@@ -1,0 +1,86 @@
+package fsmpredict_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestCommandLineWorkflow builds the command-line tools and exercises the
+// documented end-to-end workflow: generate a benchmark trace with
+// tracegen, inspect it with fsmgen, and design a per-branch predictor
+// from it — the release smoke test.
+func TestCommandLineWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	tracegen := build("tracegen")
+	fsmgen := build("fsmgen")
+
+	run := func(bin string, args ...string) string {
+		cmd := exec.Command(bin, args...)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+		}
+		return string(out)
+	}
+
+	// 1. List benchmarks.
+	if out := run(tracegen, "-list"); !strings.Contains(out, "ijpeg") {
+		t.Fatalf("tracegen -list missing benchmarks:\n%s", out)
+	}
+
+	// 2. Generate a trace.
+	traceFile := filepath.Join(dir, "ijpeg.btrc")
+	run(tracegen, "-bench", "ijpeg", "-n", "40000", "-o", traceFile)
+	if fi, err := os.Stat(traceFile); err != nil || fi.Size() == 0 {
+		t.Fatalf("trace file not written: %v", err)
+	}
+
+	// 3. Profile it.
+	profile := run(fsmgen, "-branch-trace", traceFile)
+	if !strings.Contains(profile, "0x12005008") {
+		t.Fatalf("profile missing expected branch:\n%s", profile)
+	}
+
+	// 4. Design the Figure 6 branch's predictor and emit VHDL.
+	design := run(fsmgen, "-branch-trace", traceFile, "-pc", "0x12005008",
+		"-order", "9", "-vhdl")
+	for _, want := range []string{
+		"minimized cover: [xxxxxxx1x]",
+		"final 4 states",
+		"synchronizes after 2 inputs",
+		"entity branch_0x12005008 is",
+	} {
+		if !strings.Contains(design, want) {
+			t.Errorf("fsmgen output missing %q:\n%s", want, design)
+		}
+	}
+
+	// 5. Inline-trace mode with DOT output.
+	quick := run(fsmgen, "-trace", "0000 1000 1011 1101 1110 1111",
+		"-order", "2", "-dot")
+	if !strings.Contains(quick, "final 3 states") || !strings.Contains(quick, "digraph") {
+		t.Errorf("worked example output wrong:\n%s", quick)
+	}
+
+	// 6. SimPoint-sampled trace generation.
+	sampled := filepath.Join(dir, "sampled.btrc")
+	out := run(tracegen, "-bench", "vortex", "-n", "100000", "-simpoint", "-o", sampled)
+	if !strings.Contains(out, "representatives") {
+		t.Errorf("simpoint summary missing:\n%s", out)
+	}
+}

@@ -1,0 +1,110 @@
+// Command branchbench regenerates Figure 5 of the paper: misprediction
+// rate versus estimated area for the customized branch predictor
+// (custom-same and custom-diff), the XScale baseline, gshare, and the
+// local/global chooser (LGC), on each of the six branch benchmarks.
+//
+// Usage:
+//
+//	branchbench                    # all six benchmarks, tables
+//	branchbench -prog vortex -csv  # one benchmark, CSV for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"fsmpredict/internal/bpred"
+	"fsmpredict/internal/experiments"
+	"fsmpredict/internal/stats"
+	"fsmpredict/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		prog   = flag.String("prog", "", "single benchmark (default: all six)")
+		events = flag.Int("n", 250_000, "branch events per trace")
+		csv    = flag.Bool("csv", false, "emit CSV series instead of tables")
+		ppm    = flag.Bool("ppm", false, "also run the Chen et al. PPM baseline (§3.2)")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.BranchEvents = *events
+
+	// One shared Figure 4 area model, as in the paper.
+	f4, err := experiments.Figure4(cfg, 1.0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("FSM area model (Figure 4 fit): area = %.1f + %.2f * states\n\n",
+		f4.Fit.Intercept, f4.Fit.Slope)
+	areaModel := f4.AreaModel()
+
+	programs := []string{"compress", "gs", "gsm", "g721", "ijpeg", "vortex"}
+	if *prog != "" {
+		programs = []string{*prog}
+	}
+
+	for _, p := range programs {
+		res, err := experiments.Figure5(p, cfg, areaModel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s", p, stats.CSV(res.Series()))
+			continue
+		}
+		report(res)
+		if *ppm {
+			reportPPM(p, cfg)
+		}
+	}
+}
+
+// reportPPM runs the PPM baseline over a range of orders on the test
+// input, for comparison with the Figure 5 architectures.
+func reportPPM(program string, cfg experiments.Config) {
+	prog, err := workload.ByName(program)
+	if err != nil {
+		log.Fatal(err)
+	}
+	test := prog.Generate(workload.Test, cfg.BranchEvents)
+	tbl := &stats.Table{Headers: []string{"predictor", "area (GE)", "miss rate"}}
+	for _, order := range []int{6, 8, 10, 12} {
+		p := bpred.NewPPM(order)
+		r := bpred.Run(p, test)
+		tbl.AddRow(p.Name(), fmt.Sprintf("%.0f", p.Area()), pct(r.MissRate()))
+	}
+	fmt.Printf("PPM baseline (%s):\n%s\n", program, tbl)
+}
+
+func report(res *experiments.Figure5Result) {
+	fmt.Printf("=== %s ===\n", res.Program)
+	tbl := &stats.Table{Headers: []string{"predictor", "area (GE)", "miss rate"}}
+	tbl.AddRow("xscale", fmt.Sprintf("%.0f", res.XScale.X), pct(res.XScale.Y))
+	add := func(name string, s stats.Series) {
+		for i, p := range s.Points {
+			tbl.AddRow(fmt.Sprintf("%s[%d]", name, i), fmt.Sprintf("%.0f", p.X), pct(p.Y))
+		}
+	}
+	add("custom-same", res.CustomSame)
+	add("custom-diff", res.CustomDiff)
+	add("gshare", res.Gshare)
+	add("lgc", res.LGC)
+	fmt.Println(tbl)
+
+	fmt.Printf("custom FSM entries: ")
+	for i, e := range res.Entries {
+		if i > 0 {
+			fmt.Print(", ")
+		}
+		fmt.Printf("%#x(%d states)", e.Tag, e.Machine.NumStates())
+	}
+	fmt.Printf("\nbest miss rates: custom-diff %.2f%%, gshare %.2f%%, lgc %.2f%% (xscale %.2f%%)\n\n",
+		100*experiments.MinMiss(res.CustomDiff), 100*experiments.MinMiss(res.Gshare),
+		100*experiments.MinMiss(res.LGC), 100*res.XScale.Y)
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", 100*x) }

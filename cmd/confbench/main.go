@@ -1,0 +1,78 @@
+// Command confbench regenerates Figure 2 of the paper: value-prediction
+// confidence (coverage versus accuracy) for each program in the value
+// suite, comparing the saturating up/down counter sweep (§3.1) against
+// automatically designed FSM predictors cross-trained on the other
+// programs (§6.3), over history lengths 2..10.
+//
+// Usage:
+//
+//	confbench                 # all programs, summary tables
+//	confbench -prog gcc -csv  # one program, CSV series for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"sort"
+
+	"fsmpredict/internal/experiments"
+	"fsmpredict/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		prog   = flag.String("prog", "", "single program (default: all five)")
+		events = flag.Int("n", 120_000, "load events per program")
+		csv    = flag.Bool("csv", false, "emit CSV series instead of tables")
+	)
+	flag.Parse()
+
+	cfg := experiments.DefaultConfig()
+	cfg.LoadEvents = *events
+
+	programs := []string{"gcc", "go", "groff", "li", "perl"}
+	if *prog != "" {
+		programs = []string{*prog}
+	}
+
+	for _, p := range programs {
+		res, err := experiments.Figure2(p, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *csv {
+			fmt.Printf("# %s\n%s", p, stats.CSV(res.Series()))
+			continue
+		}
+		report(res)
+	}
+}
+
+func report(res *experiments.Figure2Result) {
+	fmt.Printf("=== %s ===\n", res.Program)
+	fmt.Println("up/down counter Pareto frontier:")
+	tbl := &stats.Table{Headers: []string{"accuracy", "coverage"}}
+	for _, p := range res.SUDFrontier() {
+		tbl.AddRow(pct(p.X), pct(p.Y))
+	}
+	fmt.Println(tbl)
+
+	hists := make([]int, 0, len(res.Curves))
+	for h := range res.Curves {
+		hists = append(hists, h)
+	}
+	sort.Ints(hists)
+	for _, h := range hists {
+		fmt.Printf("custom FSM, history %d:\n", h)
+		tbl := &stats.Table{Headers: []string{"threshold", "states", "accuracy", "coverage"}}
+		for _, p := range res.Curves[h] {
+			tbl.AddRow(fmt.Sprintf("%.2f", p.Threshold), p.Machine.NumStates(),
+				pct(p.Result.Accuracy()), pct(p.Result.Coverage()))
+		}
+		fmt.Println(tbl)
+	}
+}
+
+func pct(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }

@@ -1,0 +1,160 @@
+// Command fsmgen runs the automated FSM predictor design flow (§4) on a
+// binary trace and reports every stage: the Markov model, pattern sets,
+// minimized cover, regular expression, machine sizes, and optionally the
+// DOT rendering and synthesizable VHDL.
+//
+// Usage:
+//
+//	fsmgen -trace "0000 1000 1011 1101 1110 1111" -order 2 -dot
+//	fsmgen -file outcomes.txt -order 9 -threshold 0.9 -vhdl
+//	fsmgen -branch-trace ijpeg.btrc -pc 0x12005008 -order 9
+//
+// The -file format is a plain text stream of '0' and '1' characters
+// (whitespace ignored). The -branch-trace format is the binary trace
+// written by `tracegen`; together with -pc it runs the §7.3 per-branch
+// flow: a global-history Markov model for that branch fed through the
+// design flow. Without -pc it lists the profile so a branch can be
+// picked.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"fsmpredict"
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/regex"
+	"fsmpredict/internal/trace"
+	"fsmpredict/internal/vhdl"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		traceStr  = flag.String("trace", "", "inline trace of 0/1 characters")
+		traceFile = flag.String("file", "", "file containing the trace")
+		order     = flag.Int("order", 4, "history length N (1..16)")
+		threshold = flag.Float64("threshold", 0.5, "bias threshold for the predict-1 set")
+		dcBudget  = flag.Float64("dc", 0.01, "don't-care budget (fraction of observations; negative disables)")
+		name      = flag.String("name", "predictor", "machine name (used in VHDL)")
+		keepStart = flag.Bool("keep-startup", false, "skip start-state reduction (§4.7)")
+		dot       = flag.Bool("dot", false, "print the Graphviz rendering")
+		vhdlOut   = flag.Bool("vhdl", false, "print the generated VHDL")
+		btrc      = flag.String("branch-trace", "", "binary branch trace from tracegen (per-branch mode)")
+		pcFlag    = flag.String("pc", "", "branch address to design for (with -branch-trace)")
+	)
+	flag.Parse()
+
+	opts := fsmpredict.Options{
+		Order:          *order,
+		BiasThreshold:  *threshold,
+		DontCareBudget: *dcBudget,
+		KeepStartup:    *keepStart,
+		Name:           *name,
+	}
+
+	var design *fsmpredict.Design
+	var err error
+	switch {
+	case *btrc != "":
+		design, err = designFromBranchTrace(*btrc, *pcFlag, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if design == nil {
+			return // profile listing was printed instead
+		}
+	default:
+		src := *traceStr
+		if *traceFile != "" {
+			data, err := os.ReadFile(*traceFile)
+			if err != nil {
+				log.Fatal(err)
+			}
+			src = string(data)
+		}
+		if strings.TrimSpace(src) == "" {
+			log.Fatal("fsmgen: provide -trace, -file, or -branch-trace")
+		}
+		design, err = fsmpredict.DesignFromTrace(src, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("trace: %d observations, %d distinct histories (order %d)\n",
+		design.Model.Total(), design.Model.Distinct(), *order)
+	fmt.Printf("pattern sets: %d predict-1, %d predict-0, %d don't care\n",
+		len(design.Partition.PredictOne), len(design.Partition.PredictZero),
+		len(design.Partition.DontCare))
+	fmt.Printf("minimized cover: %v\n", design.Cover)
+	fmt.Printf("regular expression: %s\n", regex.String(design.Expr))
+	fmt.Printf("machines: NFA %d -> DFA %d -> minimized %d -> final %d states\n",
+		design.NFAStates, design.DFAStates, design.MinimizedStates,
+		design.Machine.NumStates())
+	if k, ok := design.Machine.SyncDepth(); ok {
+		fmt.Printf("synchronizes after %d inputs (update-all safe, §7.6)\n", k)
+	} else {
+		fmt.Println("machine does not synchronize")
+	}
+	area, err := vhdl.EstimateArea(design.Machine)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("estimated area: %.1f gate equivalents\n", area)
+
+	if *dot {
+		fmt.Printf("\n%s", design.Machine.DOT())
+	}
+	if *vhdlOut {
+		src, err := fsmpredict.GenerateVHDL(design.Machine)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%s", src)
+	}
+}
+
+// designFromBranchTrace runs the §7.3 per-branch flow on a recorded
+// branch trace: build the target branch's global-history Markov model and
+// design from it. With no -pc it prints the branch profile and returns
+// (nil, nil) so the user can choose a target.
+func designFromBranchTrace(path, pcStr string, opts fsmpredict.Options) (*fsmpredict.Design, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	events, err := trace.ReadBranches(f)
+	if err != nil {
+		return nil, err
+	}
+	if pcStr == "" {
+		fmt.Printf("%d events; per-branch profile (pass -pc to design):\n", len(events))
+		for i, p := range trace.Profile(events) {
+			if i >= 20 {
+				fmt.Println("  ...")
+				break
+			}
+			fmt.Printf("  %#x  execs=%d  taken=%.1f%%\n", p.PC, p.Count, 100*p.TakenRate())
+		}
+		return nil, nil
+	}
+	pc, err := strconv.ParseUint(strings.TrimPrefix(pcStr, "0x"), 16, 64)
+	if err != nil {
+		return nil, fmt.Errorf("fsmgen: bad -pc %q: %v", pcStr, err)
+	}
+	models := trace.GlobalMarkov(events, map[uint64]bool{pc: true}, opts.Order)
+	model := models[pc]
+	if model.Total() == 0 {
+		return nil, fmt.Errorf("fsmgen: branch %#x not found in trace (or too early for history)", pc)
+	}
+	if opts.Name == "predictor" {
+		opts.Name = fmt.Sprintf("branch_%#x", pc)
+	}
+	return core.FromModel(model, opts)
+}

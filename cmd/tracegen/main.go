@@ -1,0 +1,115 @@
+// Command tracegen emits synthetic benchmark traces — the stand-in for
+// the paper's ATOM-instrumented SPEC95/MediaBench runs (§5). Branch
+// benchmarks produce (pc, direction) streams; value benchmarks produce
+// (pc, value) load streams.
+//
+// Usage:
+//
+//	tracegen -bench ijpeg -n 250000 -variant train -o ijpeg.btrc
+//	tracegen -bench gcc -loads -n 120000 -text -o gcc.txt
+//	tracegen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"fsmpredict/internal/simpoint"
+	"fsmpredict/internal/trace"
+	"fsmpredict/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	var (
+		bench   = flag.String("bench", "", "benchmark name")
+		n       = flag.Int("n", 250_000, "minimum number of events")
+		variant = flag.String("variant", "train", "input variant: train or test")
+		loads   = flag.Bool("loads", false, "generate a load-value trace instead of branches")
+		text    = flag.Bool("text", false, "write text format instead of binary (branches only)")
+		out     = flag.String("o", "", "output file (default stdout)")
+		list    = flag.Bool("list", false, "list available benchmarks")
+		sample  = flag.Bool("simpoint", false, "emit only SimPoint-representative intervals (branches only)")
+		sampleK = flag.Int("simpoint-k", 4, "number of SimPoint clusters")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("branch benchmarks:")
+		for _, p := range workload.BranchSuite() {
+			fmt.Printf("  %s\n", p.Name)
+		}
+		fmt.Println("value benchmarks (use -loads):")
+		for _, p := range workload.LoadSuite() {
+			fmt.Printf("  %s\n", p.Name)
+		}
+		return
+	}
+	if *bench == "" {
+		log.Fatal("tracegen: provide -bench (or -list)")
+	}
+
+	v := workload.Train
+	switch *variant {
+	case "train":
+	case "test":
+		v = workload.Test
+	default:
+		log.Fatalf("tracegen: unknown variant %q", *variant)
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		w = f
+	}
+
+	if *loads {
+		prog, err := workload.LoadByName(*bench)
+		if err != nil {
+			log.Fatal(err)
+		}
+		events := prog.Generate(v, *n)
+		if err := trace.WriteLoads(w, events); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d load events for %s/%s\n", len(events), *bench, v)
+		return
+	}
+
+	prog, err := workload.ByName(*bench)
+	if err != nil {
+		log.Fatal(err)
+	}
+	events := prog.Generate(v, *n)
+	if *sample {
+		res, err := simpoint.Analyze(events, simpoint.Options{K: *sampleK, Seed: 1})
+		if err != nil {
+			log.Fatal(err)
+		}
+		sampled := res.Sample(events)
+		fmt.Fprintf(os.Stderr, "simpoint: %d intervals -> %d representatives (%.0f%% of the trace)\n",
+			res.NumIntervals(), len(res.Representatives),
+			100*float64(len(sampled))/float64(len(events)))
+		events = sampled
+	}
+	if *text {
+		err = trace.WriteBranchesText(w, events)
+	} else {
+		err = trace.WriteBranches(w, events)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d branch events for %s/%s\n", len(events), *bench, v)
+}

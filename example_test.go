@@ -1,0 +1,97 @@
+package fsmpredict_test
+
+import (
+	"fmt"
+
+	"fsmpredict"
+)
+
+// ExampleDesignFromTrace runs the paper's §4 worked example end to end.
+func ExampleDesignFromTrace() {
+	design, err := fsmpredict.DesignFromTrace(
+		"0000 1000 1011 1101 1110 1111",
+		fsmpredict.Options{Order: 2, Name: "example"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("cover: %v\n", design.Cover)
+	fmt.Printf("states: %d\n", design.Machine.NumStates())
+
+	r := design.Machine.NewRunner()
+	r.Update(false)
+	r.Update(false)
+	fmt.Printf("after 00 predict %v\n", r.Predict())
+	r.Update(true)
+	fmt.Printf("after 001 predict %v\n", r.Predict())
+	// Output:
+	// cover: [x1 1x]
+	// states: 3
+	// after 00 predict false
+	// after 001 predict true
+}
+
+// ExampleDesignFromModel builds a predictor from an explicit Markov
+// model — the path used when profiles are aggregated across a suite.
+func ExampleDesignFromModel() {
+	model := fsmpredict.NewModel(2)
+	// Histories ending in 1 are always followed by 1; others by 0.
+	model.ObserveN(0b01, true, 100)
+	model.ObserveN(0b11, true, 100)
+	model.ObserveN(0b00, false, 100)
+	model.ObserveN(0b10, false, 100)
+
+	design, err := fsmpredict.DesignFromModel(model, fsmpredict.Options{})
+	if err != nil {
+		panic(err)
+	}
+	// "Predict whatever the last outcome was": two states.
+	fmt.Printf("cover: %v, states: %d\n", design.Cover, design.Machine.NumStates())
+	// Output:
+	// cover: [x1], states: 2
+}
+
+// ExampleMachineForCover compiles a hand-written pattern (the paper's
+// Figure 6 pattern "1x") directly into a machine.
+func ExampleMachineForCover() {
+	cube, err := fsmpredict.ParseCube("1x")
+	if err != nil {
+		panic(err)
+	}
+	m, err := fsmpredict.MachineForCover([]fsmpredict.Cube{cube}, 2)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("states: %d\n", m.NumStates())
+
+	// The machine predicts the outcome observed two updates ago.
+	r := m.NewRunner()
+	r.Update(true)
+	r.Update(false)
+	fmt.Printf("prediction: %v\n", r.Predict())
+	// Output:
+	// states: 4
+	// prediction: true
+}
+
+// ExampleGenerateVHDL emits the synthesizable hardware description of a
+// designed predictor.
+func ExampleGenerateVHDL() {
+	design, err := fsmpredict.DesignFromTrace("0101 0101 0101 0101",
+		fsmpredict.Options{Order: 1, Name: "alternator"})
+	if err != nil {
+		panic(err)
+	}
+	src, err := fsmpredict.GenerateVHDL(design.Machine)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(src[:len("-- Automatically generated FSM predictor (2 states).")])
+	area, err := fsmpredict.EstimateArea(design.Machine)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("area: %.0f gate equivalents\n", area)
+	// Output:
+	// -- Automatically generated FSM predictor (2 states).
+	// area: 8 gate equivalents
+}

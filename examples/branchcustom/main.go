@@ -1,0 +1,101 @@
+// Command branchcustom builds the paper's customized branch prediction
+// architecture (§7) for the ijpeg benchmark: it profiles the training
+// input with the XScale baseline, designs per-branch FSM predictors for
+// the worst-predicted branches from their global-history Markov models,
+// and measures the resulting architecture against XScale, gshare and LGC
+// on a different input — the custom-diff protocol of Figure 5.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fsmpredict/internal/bpred"
+	"fsmpredict/internal/experiments"
+	"fsmpredict/internal/stats"
+	"fsmpredict/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	const benchmark = "ijpeg"
+	const events = 150_000
+
+	prog, err := workload.ByName(benchmark)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := prog.Generate(workload.Train, events)
+	test := prog.Generate(workload.Test, events)
+	fmt.Printf("benchmark %s: %d training / %d test branches\n\n",
+		benchmark, len(train), len(test))
+
+	// Step 1: rank branches by baseline mispredictions.
+	ranked := bpred.RankByMisses(train)
+	fmt.Println("worst-predicted branches under the XScale baseline:")
+	tbl := &stats.Table{Headers: []string{"pc", "executions", "misses", "miss rate"}}
+	for i, r := range ranked {
+		if i >= 5 {
+			break
+		}
+		tbl.AddRow(fmt.Sprintf("%#x", r.PC), r.Execs, r.Misses,
+			fmt.Sprintf("%.1f%%", 100*float64(r.Misses)/float64(r.Execs)))
+	}
+	fmt.Println(tbl)
+
+	// Step 2: design custom FSMs for the top branches (§7.3, history 9).
+	entries, err := bpred.TrainCustom(train, bpred.TrainOptions{
+		MaxEntries: 8, Order: 9, MinExecutions: 64,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("custom FSM predictors (rank order):")
+	tbl = &stats.Table{Headers: []string{"pc", "states", "sync depth"}}
+	for _, e := range entries {
+		depth := "-"
+		if k, ok := e.Machine.SyncDepth(); ok {
+			depth = fmt.Sprintf("%d", k)
+		}
+		tbl.AddRow(fmt.Sprintf("%#x", e.Tag), e.Machine.NumStates(), depth)
+	}
+	fmt.Println(tbl)
+
+	// Step 3: evaluate the architecture sweep on the unseen input.
+	areaModel := func(states int) float64 { return 20 + 2.2*float64(states) }
+	fmt.Println("misprediction rate vs estimated area (custom-diff):")
+	tbl = &stats.Table{Headers: []string{"predictor", "area (GE)", "miss rate"}}
+	x := bpred.NewXScale()
+	xr := bpred.Run(x, test)
+	tbl.AddRow("xscale", fmt.Sprintf("%.0f", x.Area()), fmt.Sprintf("%.2f%%", 100*xr.MissRate()))
+	for m := 1; m <= len(entries); m++ {
+		c := bpred.NewCustom(entries[:m])
+		c.FSMArea = areaModel
+		r := bpred.Run(c, test)
+		tbl.AddRow(fmt.Sprintf("custom-%d", m), fmt.Sprintf("%.0f", c.Area()),
+			fmt.Sprintf("%.2f%%", 100*r.MissRate()))
+	}
+	for _, bits := range []int{10, 12, 14, 16} {
+		g := bpred.NewGshare(bits)
+		r := bpred.Run(g, test)
+		tbl.AddRow(g.Name(), fmt.Sprintf("%.0f", g.Area()), fmt.Sprintf("%.2f%%", 100*r.MissRate()))
+	}
+	for _, bits := range []int{8, 10, 12} {
+		l := bpred.NewLGC(bits)
+		r := bpred.Run(l, test)
+		tbl.AddRow(l.Name(), fmt.Sprintf("%.0f", l.Area()), fmt.Sprintf("%.2f%%", 100*r.MissRate()))
+	}
+	fmt.Println(tbl)
+
+	// Step 4: the Figure 6 showcase — the simple correlated-branch
+	// machine, captured from any state.
+	f6, err := experiments.Figure6(experiments.Config{BranchEvents: events})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Figure 6 example (branch %#x): cover %v, machine %s\n",
+		f6.PC, f6.Cover, f6.Machine)
+	if _, _, ok := f6.CapturesFromAnyState(); ok {
+		fmt.Println("verified: the pattern is captured starting from ANY state (§7.6)")
+	}
+}

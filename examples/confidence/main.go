@@ -1,0 +1,55 @@
+// Command confidence reproduces a panel of the paper's Figure 2 at small
+// scale: value-prediction confidence for the gcc workload, comparing the
+// saturating up/down counter sweep against automatically designed FSM
+// confidence predictors cross-trained on the other four programs (§6).
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"fsmpredict/internal/experiments"
+	"fsmpredict/internal/stats"
+)
+
+func main() {
+	log.SetFlags(0)
+	const program = "gcc"
+	cfg := experiments.Config{LoadEvents: 80_000, Histories: []int{2, 6, 10}}
+
+	fmt.Printf("value-prediction confidence for %s (cross-trained on the other programs)\n\n", program)
+	res, err := experiments.Figure2(program, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("saturating up/down counters — Pareto frontier of the §3.1 sweep:")
+	tbl := &stats.Table{Headers: []string{"accuracy", "coverage"}}
+	for _, p := range res.SUDFrontier() {
+		tbl.AddRow(fmt.Sprintf("%.1f%%", p.X*100), fmt.Sprintf("%.1f%%", p.Y*100))
+	}
+	fmt.Println(tbl)
+
+	hists := make([]int, 0, len(res.Curves))
+	for h := range res.Curves {
+		hists = append(hists, h)
+	}
+	sort.Ints(hists)
+	for _, h := range hists {
+		fmt.Printf("custom FSM, history %d (threshold sweep; states per design shown):\n", h)
+		tbl := &stats.Table{Headers: []string{"bias thr", "states", "accuracy", "coverage"}}
+		for _, p := range res.Curves[h] {
+			tbl.AddRow(
+				fmt.Sprintf("%.2f", p.Threshold),
+				p.Machine.NumStates(),
+				fmt.Sprintf("%.1f%%", p.Result.Accuracy()*100),
+				fmt.Sprintf("%.1f%%", p.Result.Coverage()*100),
+			)
+		}
+		fmt.Println(tbl)
+	}
+
+	fmt.Println("CSV of all series (paste into a plotter to redraw Figure 2):")
+	fmt.Print(stats.CSV(res.Series()))
+}

@@ -1,0 +1,70 @@
+// Command gating demonstrates the §2.5 application of designed FSM
+// predictors: confidence-directed pipeline gating (Manne et al.). A
+// confidence estimator watches the branch predictor; when it is not
+// confident, the fetch unit stalls instead of running down a probably
+// wrong path. The example designs an FSM estimator from a profile of the
+// baseline predictor's correctness stream and compares it against
+// resetting counters across a range of thresholds.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fsmpredict"
+	"fsmpredict/internal/bpred"
+	"fsmpredict/internal/counters"
+	"fsmpredict/internal/gating"
+	"fsmpredict/internal/stats"
+	"fsmpredict/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	const benchmark = "ijpeg"
+	prog, err := workload.ByName(benchmark)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train := prog.Generate(workload.Train, 120_000)
+	test := prog.Generate(workload.Test, 120_000)
+
+	fmt.Printf("pipeline gating on %s (XScale baseline)\n\n", benchmark)
+	base := bpred.Run(bpred.NewXScale(), test)
+	fmt.Printf("baseline: %.2f%% mispredictions -> wrong-path fetch on %d of %d branches\n\n",
+		100*base.MissRate(), base.Misses, base.Total)
+
+	model := gating.CorrectnessModel(bpred.NewXScale(), train, 8)
+
+	tbl := &stats.Table{Headers: []string{
+		"estimator", "recall (wrong-path avoided)", "precision", "false stalls",
+	}}
+	for _, thr := range []float64{0.5, 0.7, 0.9} {
+		design, err := fsmpredict.DesignFromModel(model, fsmpredict.Options{
+			BiasThreshold: thr,
+			Name:          fmt.Sprintf("gate_t%02.0f", thr*100),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		r := gating.Simulate(bpred.NewXScale(), design.Machine.NewRunner(), test)
+		tbl.AddRow(
+			fmt.Sprintf("FSM thr=%.1f (%d states)", thr, design.Machine.NumStates()),
+			fmt.Sprintf("%.1f%%", 100*r.Recall()),
+			fmt.Sprintf("%.1f%%", 100*r.Precision()),
+			fmt.Sprintf("%.1f%%", 100*r.FalseStallRate()),
+		)
+	}
+	for _, cfg := range []struct{ max, thr int }{{4, 2}, {8, 4}, {8, 6}} {
+		r := gating.Simulate(bpred.NewXScale(), counters.NewResetting(cfg.max, cfg.thr), test)
+		tbl.AddRow(
+			fmt.Sprintf("resetting ctr max=%d thr=%d", cfg.max, cfg.thr),
+			fmt.Sprintf("%.1f%%", 100*r.Recall()),
+			fmt.Sprintf("%.1f%%", 100*r.Precision()),
+			fmt.Sprintf("%.1f%%", 100*r.FalseStallRate()),
+		)
+	}
+	fmt.Println(tbl)
+	fmt.Println("recall = fraction of mispredictions whose wrong-path fetch was avoided")
+	fmt.Println("precision = fraction of stalls that actually avoided a misprediction")
+}

@@ -1,0 +1,76 @@
+// Command quickstart walks through the paper's §4 worked example: the
+// trace t = 0000 1000 1011 1101 1110 1111 is profiled into a
+// second-order Markov model, partitioned into pattern sets, minimized,
+// turned into a regular expression and compiled down to the 3-state
+// machine of Figure 1, which is then simulated, rendered as DOT, and
+// emitted as VHDL.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fsmpredict"
+)
+
+const paperTrace = "0000 1000 1011 1101 1110 1111"
+
+func main() {
+	log.SetFlags(0)
+
+	design, err := fsmpredict.DesignFromTrace(paperTrace, fsmpredict.Options{
+		Order: 2,
+		Name:  "quickstart",
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("trace t = %s\n\n", paperTrace)
+
+	fmt.Println("1. second-order Markov model (P[1|history]):")
+	for h := uint32(0); h < 4; h++ {
+		c := design.Model.Count(h)
+		fmt.Printf("   P[1|%02b] = %d/%d\n", h, c.Ones, c.Total())
+	}
+
+	fmt.Printf("\n2. pattern sets: predict-1 = %v, predict-0 = %v\n",
+		design.Partition.PredictOne, design.Partition.PredictZero)
+
+	fmt.Printf("3. minimized cover (Espresso step): %v\n", design.Cover)
+	fmt.Printf("4. intermediate machines: NFA %d states -> DFA %d -> minimized %d -> final %d\n",
+		design.NFAStates, design.DFAStates, design.MinimizedStates,
+		design.Machine.NumStates())
+
+	m := design.Machine
+	fmt.Printf("\n5. final machine (Figure 1, right): %s\n", m)
+
+	// Drive the machine over the training trace and report steady-state
+	// accuracy.
+	var trace []bool
+	for _, ch := range paperTrace {
+		switch ch {
+		case '0':
+			trace = append(trace, false)
+		case '1':
+			trace = append(trace, true)
+		}
+	}
+	res := m.Simulate(trace, 2)
+	fmt.Printf("\n6. replaying t: %d/%d correct after warm-up (miss rate %.1f%%)\n",
+		res.Correct, res.Total, res.MissRate()*100)
+
+	fmt.Printf("\n7. Graphviz rendering:\n%s\n", m.DOT())
+
+	vhdlSrc, err := fsmpredict.GenerateVHDL(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("8. synthesizable VHDL:\n%s\n", vhdlSrc)
+
+	area, err := fsmpredict.EstimateArea(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("9. estimated area: %.1f gate equivalents\n", area)
+}

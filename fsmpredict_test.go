@@ -1,0 +1,133 @@
+package fsmpredict_test
+
+import (
+	"strings"
+	"testing"
+
+	"fsmpredict"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	design, err := fsmpredict.DesignFromTrace("0000 1000 1011 1101 1110 1111",
+		fsmpredict.Options{Order: 2, Name: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := design.Machine
+	if m.NumStates() != 3 {
+		t.Fatalf("machine has %d states, want 3", m.NumStates())
+	}
+	r := m.NewRunner()
+	r.Update(true)
+	r.Update(true)
+	if !r.Predict() {
+		t.Error("after 11 the machine should predict 1")
+	}
+	r.Update(false)
+	r.Update(false)
+	if r.Predict() {
+		t.Error("after 00 the machine should predict 0")
+	}
+}
+
+func TestDesignFromBoolsAndModel(t *testing.T) {
+	trace := make([]bool, 200)
+	for i := range trace {
+		trace[i] = i%2 == 0
+	}
+	d1, err := fsmpredict.DesignFromBools(trace, fsmpredict.Options{Order: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := fsmpredict.NewModel(2)
+	model.AddBools(trace)
+	d2, err := fsmpredict.DesignFromModel(model, fsmpredict.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fsmpredict.Equal(d1.Machine, d2.Machine) {
+		t.Error("trace and model paths should agree")
+	}
+}
+
+func TestDesignFromTraceBadInput(t *testing.T) {
+	if _, err := fsmpredict.DesignFromTrace("012", fsmpredict.Options{Order: 2}); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := fsmpredict.DesignFromTrace("0101", fsmpredict.Options{Order: 0}); err == nil {
+		t.Error("expected order error")
+	}
+}
+
+func TestVHDLAndSynthesis(t *testing.T) {
+	design, err := fsmpredict.DesignFromTrace("0000 1000 1011 1101 1110 1111",
+		fsmpredict.Options{Order: 2, Name: "quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := fsmpredict.GenerateVHDL(design.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "entity quick is") {
+		t.Errorf("VHDL missing entity:\n%s", src)
+	}
+	syn, err := fsmpredict.Synthesize(design.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	area, err := fsmpredict.EstimateArea(design.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if area != syn.Area || area <= 0 {
+		t.Errorf("area = %v, synthesis area = %v", area, syn.Area)
+	}
+}
+
+func TestMachineForCover(t *testing.T) {
+	c, err := fsmpredict.ParseCube("1x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := fsmpredict.MachineForCover([]fsmpredict.Cube{c}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumStates() != 4 {
+		t.Errorf("machine states = %d, want 4 (paper Figure 6)", m.NumStates())
+	}
+	// Prediction = input two steps ago, from any state.
+	r := m.NewRunner()
+	r.Update(true)
+	r.Update(false)
+	if !r.Predict() {
+		t.Error("history 10 should predict 1")
+	}
+}
+
+func TestPublicSynthesisSurface(t *testing.T) {
+	design, err := fsmpredict.DesignFromTrace("0000 1000 1011 1101 1110 1111",
+		fsmpredict.Options{Order: 2, Name: "surface"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, err := fsmpredict.SynthesizeBest(design.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := fsmpredict.Synthesize(design.Machine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best.Area > plain.Area {
+		t.Errorf("SynthesizeBest (%v) worse than Synthesize (%v)", best.Area, plain.Area)
+	}
+	tb, err := fsmpredict.GenerateTestbench(design.Machine, []bool{true, false, true}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb, "entity surface_tb is") {
+		t.Errorf("testbench missing entity:\n%s", tb)
+	}
+}

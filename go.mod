@@ -1,0 +1,3 @@
+module fsmpredict
+
+go 1.22

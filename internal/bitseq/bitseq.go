@@ -1,0 +1,236 @@
+// Package bitseq provides the basic bit-level vocabulary shared by the FSM
+// predictor design flow: compact binary sequences (Bits), fixed-width
+// sliding history registers (History), and three-valued 0/1/x patterns
+// (Cube).
+//
+// Conventions used throughout the module:
+//
+//   - A history of width W is stored in the low W bits of an unsigned
+//     integer with the MOST RECENT input in bit 0 (the LSB). Pushing a new
+//     input b therefore computes h' = ((h << 1) | b) & mask.
+//   - The string form of histories and cubes is written OLDEST FIRST, the
+//     way the paper writes patterns such as "1x" (a one, then anything).
+//     String index 0 corresponds to integer bit W-1.
+package bitseq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bits is an append-only sequence of bits, stored packed. The zero value is
+// an empty, ready-to-use sequence.
+type Bits struct {
+	words []uint64
+	n     int
+}
+
+// FromString parses a sequence such as "0000 1000 1011"; spaces, tabs and
+// underscores are ignored. It returns an error on any other character.
+func FromString(s string) (*Bits, error) {
+	b := &Bits{}
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '0':
+			b.Append(false)
+		case '1':
+			b.Append(true)
+		case ' ', '\t', '\n', '\r', '_':
+		default:
+			return nil, fmt.Errorf("bitseq: invalid character %q at offset %d", s[i], i)
+		}
+	}
+	return b, nil
+}
+
+// MustFromString is FromString but panics on error. Intended for tests and
+// literals.
+func MustFromString(s string) *Bits {
+	b, err := FromString(s)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// FromBools builds a sequence from a slice of booleans.
+func FromBools(vs []bool) *Bits {
+	b := &Bits{}
+	for _, v := range vs {
+		b.Append(v)
+	}
+	return b
+}
+
+// Append adds one bit to the end of the sequence.
+func (b *Bits) Append(v bool) {
+	w, off := b.n/64, uint(b.n%64)
+	if w == len(b.words) {
+		b.words = append(b.words, 0)
+	}
+	if v {
+		b.words[w] |= 1 << off
+	}
+	b.n++
+}
+
+// AppendBit adds 0 or 1; any nonzero value counts as 1.
+func (b *Bits) AppendBit(v int) { b.Append(v != 0) }
+
+// Len reports the number of bits in the sequence.
+func (b *Bits) Len() int { return b.n }
+
+// At returns bit i (0 = first appended). It panics if i is out of range.
+func (b *Bits) At(i int) bool {
+	if i < 0 || i >= b.n {
+		panic(fmt.Sprintf("bitseq: index %d out of range [0,%d)", i, b.n))
+	}
+	return b.words[i/64]>>(uint(i%64))&1 == 1
+}
+
+// Bit returns bit i as 0 or 1.
+func (b *Bits) Bit(i int) int {
+	if b.At(i) {
+		return 1
+	}
+	return 0
+}
+
+// Ones counts the set bits.
+func (b *Bits) Ones() int {
+	c := 0
+	for i := 0; i < b.n; i++ {
+		if b.At(i) {
+			c++
+		}
+	}
+	return c
+}
+
+// String renders the sequence as a string of '0' and '1' in append order.
+func (b *Bits) String() string {
+	var sb strings.Builder
+	sb.Grow(b.n)
+	for i := 0; i < b.n; i++ {
+		if b.At(i) {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// Bools returns the sequence as a fresh slice of booleans.
+func (b *Bits) Bools() []bool {
+	out := make([]bool, b.n)
+	for i := range out {
+		out[i] = b.At(i)
+	}
+	return out
+}
+
+// Clone returns an independent copy of the sequence.
+func (b *Bits) Clone() *Bits {
+	return &Bits{words: append([]uint64(nil), b.words...), n: b.n}
+}
+
+// History is a fixed-width sliding register over {0,1}. The most recent
+// input occupies bit 0. Seen reports how many inputs have been pushed so
+// far, which lets callers distinguish the undefined start-up period.
+type History struct {
+	Width int
+	value uint32
+	seen  int
+}
+
+// NewHistory returns a history register of the given width (1..32).
+func NewHistory(width int) *History {
+	if width < 1 || width > 32 {
+		panic(fmt.Sprintf("bitseq: history width %d out of range [1,32]", width))
+	}
+	return &History{Width: width}
+}
+
+// Push shifts in one input bit and returns the new register value.
+func (h *History) Push(b bool) uint32 {
+	h.value = (h.value<<1 | boolBit(b)) & h.Mask()
+	h.seen++
+	return h.value
+}
+
+// Value returns the current register contents (low Width bits).
+func (h *History) Value() uint32 { return h.value }
+
+// Seen reports how many bits have been pushed since creation or Reset.
+func (h *History) Seen() int { return h.seen }
+
+// Warm reports whether at least Width bits have been pushed, i.e. the
+// register no longer contains undefined start-up zeros.
+func (h *History) Warm() bool { return h.seen >= h.Width }
+
+// Mask returns the bit mask covering the register width.
+func (h *History) Mask() uint32 {
+	return uint32(1)<<uint(h.Width) - 1
+}
+
+// Reset clears the register and the seen counter.
+func (h *History) Reset() { h.value, h.seen = 0, 0 }
+
+// String renders the register oldest-first ("x" for positions not yet
+// pushed).
+func (h *History) String() string {
+	var sb strings.Builder
+	for i := h.Width - 1; i >= 0; i-- {
+		switch {
+		case i >= h.seen && h.seen < h.Width:
+			sb.WriteByte('x')
+		case h.value>>uint(i)&1 == 1:
+			sb.WriteByte('1')
+		default:
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+func boolBit(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// HistoryString renders a W-bit history value oldest-first, e.g.
+// HistoryString(0b10, 2) == "10" (a 1 followed by a 0, the 0 most recent).
+func HistoryString(h uint32, width int) string {
+	var sb strings.Builder
+	for i := width - 1; i >= 0; i-- {
+		if h>>uint(i)&1 == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// ParseHistory parses an oldest-first history string of '0'/'1' into its
+// integer value.
+func ParseHistory(s string) (uint32, error) {
+	if len(s) == 0 || len(s) > 32 {
+		return 0, fmt.Errorf("bitseq: history length %d out of range [1,32]", len(s))
+	}
+	var v uint32
+	for i := 0; i < len(s); i++ {
+		v <<= 1
+		switch s[i] {
+		case '1':
+			v |= 1
+		case '0':
+		default:
+			return 0, fmt.Errorf("bitseq: invalid history character %q", s[i])
+		}
+	}
+	return v, nil
+}

@@ -1,0 +1,44 @@
+package bitseq
+
+import "testing"
+
+// FuzzParseCube checks the cube parser never panics and accepted cubes
+// round-trip through String.
+func FuzzParseCube(f *testing.F) {
+	for _, seed := range []string{"", "0", "1", "x", "1x", "0x1x", "0xx1x", "zz", "111111111111111111111111111111111"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := ParseCube(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseCube(c.String())
+		if err != nil || back != c {
+			t.Fatalf("round trip: %q -> %v -> %v (%v)", s, c, back, err)
+		}
+	})
+}
+
+// FuzzFromString checks the bit-string parser never panics and that
+// parsed sequences render to the input stripped of separators.
+func FuzzFromString(f *testing.F) {
+	for _, seed := range []string{"", "0", "1", "0000 1000 1011", "01_10", "2", "abc"} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		b, err := FromString(s)
+		if err != nil {
+			return
+		}
+		want := ""
+		for _, ch := range s {
+			if ch == '0' || ch == '1' {
+				want += string(ch)
+			}
+		}
+		if got := b.String(); got != want {
+			t.Fatalf("FromString(%q) = %q, want %q", s, got, want)
+		}
+	})
+}

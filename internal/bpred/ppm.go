@@ -1,0 +1,99 @@
+package bpred
+
+import "fmt"
+
+// PPM implements Prediction by Partial Matching after Chen, Coffey and
+// Mudge (§3.2 of the paper): M tables, one per history length 1..M, each
+// entry holding frequency counts of the next bit. All tables are probed
+// in parallel and the entry with the highest empirical probability makes
+// the prediction, preferring longer histories on ties. It is one of the
+// automated-predictor baselines the paper positions itself against.
+type PPM struct {
+	maxOrder int
+	ghr      uint32
+	tables   [][]ppmEntry // tables[k-1] has 2^k entries
+}
+
+type ppmEntry struct {
+	n0, n1 uint16
+}
+
+func (e *ppmEntry) add(taken bool) {
+	if taken {
+		e.n1++
+	} else {
+		e.n0++
+	}
+	// Periodic halving keeps the counters adaptive and bounded.
+	if e.n0+e.n1 >= 1024 {
+		e.n0 /= 2
+		e.n1 /= 2
+	}
+}
+
+// NewPPM returns a PPM predictor with history lengths 1..maxOrder.
+func NewPPM(maxOrder int) *PPM {
+	if maxOrder < 1 || maxOrder > 20 {
+		panic(fmt.Sprintf("bpred: ppm order %d out of range [1,20]", maxOrder))
+	}
+	p := &PPM{maxOrder: maxOrder}
+	for k := 1; k <= maxOrder; k++ {
+		p.tables = append(p.tables, make([]ppmEntry, 1<<uint(k)))
+	}
+	return p
+}
+
+// Name identifies the configuration.
+func (p *PPM) Name() string { return fmt.Sprintf("ppm-%d", p.maxOrder) }
+
+func (p *PPM) index(pc uint64, k int) uint32 {
+	mask := uint32(1)<<uint(k) - 1
+	return (p.ghr ^ uint32(pc>>2)) & mask
+}
+
+// Predict probes every history length and follows the most probable
+// entry, preferring longer histories on ties (partial matching).
+func (p *PPM) Predict(pc uint64) bool {
+	bestProb := -1.0
+	taken := false
+	for k := p.maxOrder; k >= 1; k-- {
+		e := p.tables[k-1][p.index(pc, k)]
+		total := e.n0 + e.n1
+		if total == 0 {
+			continue
+		}
+		maxN := e.n0
+		predict := false
+		if e.n1 >= e.n0 {
+			maxN = e.n1
+			predict = true
+		}
+		prob := float64(maxN) / float64(total)
+		if prob > bestProb {
+			bestProb = prob
+			taken = predict
+		}
+	}
+	return taken
+}
+
+// Update trains every table and shifts the global history.
+func (p *PPM) Update(pc uint64, taken bool) {
+	for k := 1; k <= p.maxOrder; k++ {
+		p.tables[k-1][p.index(pc, k)].add(taken)
+	}
+	p.ghr <<= 1
+	if taken {
+		p.ghr |= 1
+	}
+}
+
+// Area sums the frequency tables (two 10-bit counters per entry) plus
+// the shared BTB.
+func (p *PPM) Area() float64 {
+	var bits float64
+	for k := 1; k <= p.maxOrder; k++ {
+		bits += float64(uint64(1)<<uint(k)) * 20
+	}
+	return BTBArea() + bits*SRAMBit
+}

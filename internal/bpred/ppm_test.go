@@ -1,0 +1,114 @@
+package bpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsmpredict/internal/trace"
+	"fsmpredict/internal/workload"
+)
+
+func TestPPMLearnsCorrelation(t *testing.T) {
+	// Branch B equals branch A's outcome (global lag 1): PPM's order-1
+	// table suffices.
+	rng := rand.New(rand.NewSource(3))
+	var events []trace.BranchEvent
+	for i := 0; i < 20000; i++ {
+		a := rng.Intn(2) == 0
+		events = append(events, trace.BranchEvent{PC: 0x100, Taken: a})
+		events = append(events, trace.BranchEvent{PC: 0x200, Taken: a})
+	}
+	r := Run(NewPPM(6), events)
+	if r.MissRate() > 0.30 {
+		t.Errorf("ppm miss = %v, want < 0.30", r.MissRate())
+	}
+}
+
+func TestPPMPrefersLongerHistoriesWhenNeeded(t *testing.T) {
+	// A period-4 pattern needs more than one bit of history.
+	pattern := []bool{true, true, false, false}
+	var events []trace.BranchEvent
+	for i := 0; i < 20000; i++ {
+		events = append(events, trace.BranchEvent{PC: 0x80, Taken: pattern[i%4]})
+	}
+	long := Run(NewPPM(6), events)
+	short := Run(NewPPM(1), events)
+	if long.MissRate() > 0.10 {
+		t.Errorf("ppm-6 miss = %v, want < 0.10 on period-4 pattern", long.MissRate())
+	}
+	if short.MissRate() < 0.30 {
+		t.Errorf("ppm-1 miss = %v, expected to fail on period-4 pattern", short.MissRate())
+	}
+}
+
+func TestPPMColdPredictsNotTaken(t *testing.T) {
+	p := NewPPM(4)
+	if p.Predict(0x40) {
+		t.Error("cold PPM should default to not-taken")
+	}
+}
+
+func TestPPMCounterHalving(t *testing.T) {
+	var e ppmEntry
+	for i := 0; i < 5000; i++ {
+		e.add(true)
+	}
+	if e.n1 >= 1024 {
+		t.Errorf("counter not halved: %d", e.n1)
+	}
+	e.add(false)
+	if e.n0 == 0 {
+		t.Error("counter lost the new observation")
+	}
+}
+
+func TestPPMValidationAndArea(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for order 0")
+		}
+	}()
+	if NewPPM(8).Area() <= NewPPM(4).Area() {
+		t.Error("bigger PPM must cost more")
+	}
+	if NewPPM(4).Name() != "ppm-4" {
+		t.Error("name wrong")
+	}
+	NewPPM(0)
+}
+
+func TestPPMOnBenchmark(t *testing.T) {
+	prog, _ := workload.ByName("gsm")
+	events := prog.Generate(workload.Test, 60000)
+	ppm := Run(NewPPM(10), events)
+	xscale := Run(NewXScale(), events)
+	// PPM sees global history, so it must beat the per-branch baseline on
+	// the correlation-heavy gsm workload.
+	if ppm.MissRate() >= xscale.MissRate() {
+		t.Errorf("ppm %.3f should beat xscale %.3f on gsm", ppm.MissRate(), xscale.MissRate())
+	}
+}
+
+func TestUpdateMatchedOnlyAblation(t *testing.T) {
+	// On a globally correlated benchmark, turning off update-all starves
+	// the FSMs of the history they were designed around.
+	prog, _ := workload.ByName("vortex")
+	train := prog.Generate(workload.Train, 80000)
+	test := prog.Generate(workload.Test, 80000)
+	entries, err := TrainCustom(train, TrainOptions{MaxEntries: 6, Order: 9, MinExecutions: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	all := NewCustom(entries)
+	allRes := Run(all, test)
+
+	matched := NewCustom(entries)
+	matched.UpdateMatchedOnly = true
+	matchedRes := Run(matched, test)
+
+	if allRes.MissRate() >= matchedRes.MissRate() {
+		t.Errorf("update-all (%.3f) should beat matched-only (%.3f)",
+			allRes.MissRate(), matchedRes.MissRate())
+	}
+}

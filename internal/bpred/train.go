@@ -1,0 +1,109 @@
+package bpred
+
+import (
+	"fmt"
+	"sort"
+
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/trace"
+)
+
+// TrainOptions configures custom-predictor construction (§7.3).
+type TrainOptions struct {
+	// MaxEntries is the number of custom FSM slots to fill (ranked by
+	// baseline mispredictions).
+	MaxEntries int
+	// Order is the global history length the per-branch Markov models
+	// use; the paper uses 9 for all custom branch results.
+	Order int
+	// DontCareBudget is passed to the design flow (default 1%).
+	DontCareBudget float64
+	// MinExecutions skips branches executed fewer times in the profile,
+	// avoiding machines built from statistically meaningless models.
+	MinExecutions int
+}
+
+// DefaultTrainOptions mirror the paper's setup.
+func DefaultTrainOptions() TrainOptions {
+	return TrainOptions{MaxEntries: 16, Order: 9, MinExecutions: 64}
+}
+
+// Ranked is one profiled branch with its baseline misprediction count.
+type Ranked struct {
+	PC     uint64
+	Misses int
+	Execs  int
+}
+
+// RankByMisses profiles the trace with the XScale baseline and returns
+// branches ordered by how many mispredictions they caused — the first
+// step of building the customized architecture (§7.3: "profile the
+// application with our baseline predictor").
+func RankByMisses(events []trace.BranchEvent) []Ranked {
+	base := NewXScale()
+	misses := map[uint64]*Ranked{}
+	for _, e := range events {
+		r := misses[e.PC]
+		if r == nil {
+			r = &Ranked{PC: e.PC}
+			misses[e.PC] = r
+		}
+		r.Execs++
+		if base.Predict(e.PC) != e.Taken {
+			r.Misses++
+		}
+		base.Update(e.PC, e.Taken)
+	}
+	out := make([]Ranked, 0, len(misses))
+	for _, r := range misses {
+		out = append(out, *r)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Misses != out[j].Misses {
+			return out[i].Misses > out[j].Misses
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// TrainCustom builds custom FSM entries for the worst-predicted branches
+// of the training trace: per-branch Markov models over the global history
+// (§7.3) fed through the automated design flow (§4). Entries come back in
+// rank order, so evaluating prefixes of the slice reproduces the paper's
+// "add one more custom predictor" area sweep.
+func TrainCustom(events []trace.BranchEvent, opt TrainOptions) ([]*CustomEntry, error) {
+	if opt.MaxEntries < 1 {
+		return nil, fmt.Errorf("bpred: MaxEntries %d must be >= 1", opt.MaxEntries)
+	}
+	if opt.Order < 1 {
+		return nil, fmt.Errorf("bpred: Order %d must be >= 1", opt.Order)
+	}
+	ranked := RankByMisses(events)
+	targets := map[uint64]bool{}
+	var chosen []Ranked
+	for _, r := range ranked {
+		if len(chosen) >= opt.MaxEntries {
+			break
+		}
+		if r.Execs < opt.MinExecutions {
+			continue
+		}
+		targets[r.PC] = true
+		chosen = append(chosen, r)
+	}
+	models := trace.GlobalMarkov(events, targets, opt.Order)
+
+	entries := make([]*CustomEntry, 0, len(chosen))
+	for _, r := range chosen {
+		design, err := core.FromModel(models[r.PC], core.Options{
+			DontCareBudget: opt.DontCareBudget,
+			Name:           fmt.Sprintf("branch_%#x", r.PC),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bpred: designing FSM for %#x: %v", r.PC, err)
+		}
+		entries = append(entries, &CustomEntry{Tag: r.PC, Machine: design.Machine})
+	}
+	return entries, nil
+}

@@ -1,0 +1,210 @@
+// Package cachemgmt implements the cache-management application of FSM
+// predictors the paper motivates in §2.4 (McFarling's cache exclusion,
+// Tyson et al.'s selective cache line replacement): a set-associative
+// cache in which a small per-instruction FSM counter decides whether a
+// missing load should allocate a line at all. Streaming accesses that
+// never see reuse stop evicting useful data.
+//
+// The package provides the cache substrate, an always-allocate baseline,
+// a counter-guided bypass policy, and a designed-FSM bypass policy whose
+// predictor comes from the §4 design flow applied to per-instruction
+// reuse traces.
+package cachemgmt
+
+import (
+	"fmt"
+
+	"fsmpredict/internal/counters"
+)
+
+// AccessEvent is one memory access: the load instruction performing it
+// and the address touched.
+type AccessEvent struct {
+	PC   uint64
+	Addr uint64
+}
+
+// Stats tallies a simulation.
+type Stats struct {
+	Accesses int
+	Misses   int
+	// Bypassed counts misses that did not allocate a line.
+	Bypassed int
+}
+
+// MissRate returns the miss ratio.
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is a set-associative cache with true-LRU replacement.
+//
+// When Bypass is set, the cache also maintains a shadow tag directory of
+// the same geometry that always allocates. The bypass predictors are
+// trained from the SHADOW outcome ("would this access have hit had we
+// always allocated?"), not from the managed cache, which avoids the
+// self-fulfilling feedback loop where bypassing an instruction guarantees
+// its future misses and therefore more bypassing. The shadow directory
+// holds tags only — the modest hardware cost real cache-exclusion
+// proposals pay for their reuse monitors.
+type Cache struct {
+	sets     [][]line // per set, most recent first
+	shadow   [][]line // always-allocate tag directory (with Bypass only)
+	ways     int
+	lineBits uint
+	setMask  uint64
+	// Bypass, when non-nil, is consulted on every miss: its prediction
+	// answers "will this line be reused?"; on a not-reused prediction the
+	// line is not allocated.
+	Bypass *Bank
+}
+
+type line struct {
+	valid bool
+	tag   uint64
+}
+
+// New returns a cache with 2^setBits sets, the given associativity, and
+// 2^lineBits-byte lines.
+func New(setBits, ways, lineBits int) *Cache {
+	if setBits < 0 || setBits > 20 || ways < 1 || ways > 32 || lineBits < 2 || lineBits > 12 {
+		panic(fmt.Sprintf("cachemgmt: bad geometry sets=2^%d ways=%d line=2^%d",
+			setBits, ways, lineBits))
+	}
+	sets := make([][]line, 1<<uint(setBits))
+	for i := range sets {
+		sets[i] = make([]line, 0, ways)
+	}
+	return &Cache{
+		sets:     sets,
+		ways:     ways,
+		lineBits: uint(lineBits),
+		setMask:  uint64(1)<<uint(setBits) - 1,
+	}
+}
+
+// probe looks tag up in one set array, moving it to MRU on a hit and
+// allocating on a miss when alloc is true.
+func probe(sets [][]line, set int, tag uint64, ways int, alloc bool) bool {
+	lines := sets[set]
+	for i, l := range lines {
+		if l.valid && l.tag == tag {
+			copy(lines[1:i+1], lines[:i])
+			lines[0] = l
+			return true
+		}
+	}
+	if alloc {
+		if len(lines) < ways {
+			lines = append(lines, line{})
+		}
+		copy(lines[1:], lines[:len(lines)-1])
+		lines[0] = line{valid: true, tag: tag}
+		sets[set] = lines
+	}
+	return false
+}
+
+// Access performs one load, returning whether it hit.
+func (c *Cache) Access(e AccessEvent) bool {
+	blk := e.Addr >> c.lineBits
+	set := int(blk & c.setMask)
+	tag := blk
+
+	if c.Bypass != nil {
+		if c.shadow == nil {
+			c.shadow = make([][]line, len(c.sets))
+			for i := range c.shadow {
+				c.shadow[i] = make([]line, 0, c.ways)
+			}
+		}
+		// Train on the shadow (always-allocate) outcome.
+		wouldHit := probe(c.shadow, set, tag, c.ways, true)
+		c.Bypass.Update(e.PC, wouldHit)
+	}
+
+	if probe(c.sets, set, tag, c.ways, false) {
+		return true
+	}
+	allocate := true
+	if c.Bypass != nil {
+		allocate = c.Bypass.Predict(e.PC)
+	}
+	if allocate {
+		probe(c.sets, set, tag, c.ways, true)
+	}
+	return false
+}
+
+// Run simulates a trace and returns the stats.
+func Run(c *Cache, events []AccessEvent) Stats {
+	var s Stats
+	for _, e := range events {
+		s.Accesses++
+		if !c.Access(e) {
+			s.Misses++
+			if c.Bypass != nil && !c.Bypass.Predicted(e.PC) {
+				s.Bypassed++
+			}
+		}
+	}
+	return s
+}
+
+// Bank holds one reuse predictor per static load instruction. Predict
+// answers "allocate?" (true = expect reuse); Update learns from whether
+// the access actually hit.
+type Bank struct {
+	newPredictor func() counters.Predictor
+	byPC         map[uint64]counters.Predictor
+	lastPred     map[uint64]bool
+}
+
+// NewBank builds a predictor bank from a factory.
+func NewBank(newPredictor func() counters.Predictor) *Bank {
+	return &Bank{
+		newPredictor: newPredictor,
+		byPC:         map[uint64]counters.Predictor{},
+		lastPred:     map[uint64]bool{},
+	}
+}
+
+func (b *Bank) predictor(pc uint64) counters.Predictor {
+	p := b.byPC[pc]
+	if p == nil {
+		p = b.newPredictor()
+		b.byPC[pc] = p
+	}
+	return p
+}
+
+// Predict returns the allocation decision for pc's next miss.
+func (b *Bank) Predict(pc uint64) bool {
+	v := b.predictor(pc).Predict()
+	b.lastPred[pc] = v
+	return v
+}
+
+// Predicted reports the most recent decision for pc (used for stats).
+func (b *Bank) Predicted(pc uint64) bool { return b.lastPred[pc] }
+
+// Update trains pc's predictor with the observed reuse outcome.
+func (b *Bank) Update(pc uint64, reused bool) {
+	b.predictor(pc).Update(reused)
+}
+
+// ReuseTrace extracts, per static load, the hit/miss (reuse) bit stream
+// observed under an unmanaged cache — the profile the §4 design flow
+// turns into a bypass FSM.
+func ReuseTrace(geometrySetBits, ways, lineBits int, events []AccessEvent) map[uint64][]bool {
+	c := New(geometrySetBits, ways, lineBits)
+	out := map[uint64][]bool{}
+	for _, e := range events {
+		hit := c.Access(e)
+		out[e.PC] = append(out[e.PC], hit)
+	}
+	return out
+}

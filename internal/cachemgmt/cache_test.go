@@ -1,0 +1,186 @@
+package cachemgmt
+
+import (
+	"testing"
+
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/counters"
+)
+
+// workload: a small hot working set with strong reuse, plus a streaming
+// scan from a different instruction that never reuses but steadily
+// stomps the hot set's cache sets under always-allocate.
+func mixedWorkload(n int) []AccessEvent {
+	var events []AccessEvent
+	streamAddr := uint64(1 << 30)
+	hot := 0
+	for i := 0; i < n; i++ {
+		// Four sequential hot accesses over a 16-line working set...
+		for k := 0; k < 4; k++ {
+			events = append(events, AccessEvent{
+				PC:   0x100,
+				Addr: uint64(hot%16) * 64,
+			})
+			hot++
+		}
+		// ...then two streaming accesses that walk all sets.
+		for k := 0; k < 2; k++ {
+			events = append(events, AccessEvent{PC: 0x200, Addr: streamAddr})
+			streamAddr += 64
+		}
+	}
+	return events
+}
+
+func TestCacheBasics(t *testing.T) {
+	c := New(4, 2, 6) // 16 sets x 2 ways x 64B
+	a := AccessEvent{PC: 1, Addr: 0x1000}
+	if c.Access(a) {
+		t.Error("first access should miss")
+	}
+	if !c.Access(a) {
+		t.Error("second access should hit")
+	}
+	// Fill the set beyond associativity: LRU eviction.
+	b := AccessEvent{PC: 1, Addr: 0x1000 + 16*64} // same set
+	d := AccessEvent{PC: 1, Addr: 0x1000 + 32*64} // same set
+	c.Access(b)
+	c.Access(d) // evicts a (LRU)
+	if c.Access(a) {
+		t.Error("evicted line should miss")
+	}
+}
+
+func TestCacheLRUOrder(t *testing.T) {
+	c := New(0, 2, 6) // fully associative, 2 ways, one set
+	x := AccessEvent{PC: 1, Addr: 0}
+	y := AccessEvent{PC: 1, Addr: 64}
+	z := AccessEvent{PC: 1, Addr: 128}
+	c.Access(x)
+	c.Access(y)
+	c.Access(x) // x is MRU, y is LRU
+	c.Access(z) // evicts y
+	if !c.Access(x) {
+		t.Error("x should survive")
+	}
+	if c.Access(y) {
+		t.Error("y should have been evicted")
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(-1, 2, 6) },
+		func() { New(4, 0, 6) },
+		func() { New(4, 2, 1) },
+		func() { New(21, 2, 6) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCounterBypassBeatsAlwaysAllocate(t *testing.T) {
+	events := mixedWorkload(3000)
+
+	// Small cache: 64 sets x 1 way: the stream thrashes the hot set.
+	baseline := Run(New(6, 1, 6), events)
+
+	managed := New(6, 1, 6)
+	managed.Bypass = NewBank(func() counters.Predictor {
+		// Allocate only for instructions that have shown reuse: a 2-bit
+		// counter over hit/miss outcomes, starting pessimistic-neutral.
+		c := counters.NewTwoBit()
+		c.SetValue(2) // start willing to allocate
+		return c
+	})
+	managedStats := Run(managed, events)
+
+	if managedStats.MissRate() >= baseline.MissRate() {
+		t.Errorf("bypass (%.3f) should beat always-allocate (%.3f)",
+			managedStats.MissRate(), baseline.MissRate())
+	}
+	if managedStats.Bypassed == 0 {
+		t.Error("no accesses were bypassed")
+	}
+}
+
+func TestFSMBypassFromDesignFlow(t *testing.T) {
+	events := mixedWorkload(3000)
+
+	// Profile reuse per instruction, design an FSM per instruction from
+	// its reuse stream, deploy as the bypass policy.
+	reuse := ReuseTrace(6, 1, 6, events)
+	designs := map[uint64]*core.Design{}
+	for pc, bits := range reuse {
+		d, err := core.FromBools(bits, core.Options{Order: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		designs[pc] = d
+	}
+
+	// Install one designed-FSM runner per profiled instruction; unknown
+	// instructions fall back to a 2-bit counter.
+	managed := New(6, 1, 6)
+	bank := NewBank(func() counters.Predictor { return counters.NewTwoBit() })
+	for pc, d := range designs {
+		bank.byPC[pc] = d.Machine.NewRunner()
+	}
+	managed.Bypass = bank
+
+	baseline := Run(New(6, 1, 6), events)
+	managedStats := Run(managed, events)
+	if managedStats.MissRate() >= baseline.MissRate() {
+		t.Errorf("FSM bypass (%.3f) should beat always-allocate (%.3f)",
+			managedStats.MissRate(), baseline.MissRate())
+	}
+	// The streaming instruction must be the bypassed one.
+	if managedStats.Bypassed < 1000 {
+		t.Errorf("bypassed only %d accesses; stream not excluded", managedStats.Bypassed)
+	}
+}
+
+func TestReuseTraceShapes(t *testing.T) {
+	events := mixedWorkload(500)
+	reuse := ReuseTrace(6, 1, 6, events)
+	hot, stream := reuse[0x100], reuse[0x200]
+	if len(hot) == 0 || len(stream) == 0 {
+		t.Fatal("missing per-PC reuse streams")
+	}
+	frac := func(bits []bool) float64 {
+		n := 0
+		for _, b := range bits {
+			if b {
+				n++
+			}
+		}
+		return float64(n) / float64(len(bits))
+	}
+	if frac(stream) > 0.05 {
+		t.Errorf("streaming loads reuse fraction = %v, want ~0", frac(stream))
+	}
+	if frac(hot) < 0.6 {
+		t.Errorf("hot loads reuse fraction = %v, want clearly higher", frac(hot))
+	}
+}
+
+func TestRunStats(t *testing.T) {
+	events := []AccessEvent{{1, 0}, {1, 0}, {1, 64}}
+	s := Run(New(4, 2, 6), events)
+	if s.Accesses != 3 || s.Misses != 2 || s.Bypassed != 0 {
+		t.Errorf("stats = %+v", s)
+	}
+	if s.MissRate() < 0.66 || s.MissRate() > 0.67 {
+		t.Errorf("miss rate = %v", s.MissRate())
+	}
+	if (Stats{}).MissRate() != 0 {
+		t.Error("empty stats should be 0")
+	}
+}

@@ -1,0 +1,93 @@
+package confidence
+
+import (
+	"fmt"
+	"math/bits"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/counters"
+	"fsmpredict/internal/markov"
+)
+
+// HistorySet implements the confidence scheme of Burtscher and Zorn
+// (§3.2 of the paper): from a profile, select the N-bit prediction-
+// outcome histories whose empirical accuracy meets a target, and at run
+// time flag a prediction as confident exactly when the current history is
+// in the selected set.
+//
+// Functionally this is the un-minimized table form of what the design
+// flow compiles into an FSM: a 2^N-entry lookup instead of a handful of
+// states. The package tests exploit that equivalence — a start-up-
+// preserving FSM designed from the same model at the same threshold must
+// make identical decisions — making HistorySet an end-to-end oracle for
+// the whole pipeline.
+type HistorySet struct {
+	width     int
+	confident []uint64 // bitset over 2^width histories
+}
+
+// NewHistorySet selects the histories of the model whose P[correct]
+// meets minAccuracy. Unseen histories are never confident.
+func NewHistorySet(model *markov.Model, minAccuracy float64) (*HistorySet, error) {
+	if model.Order() > 20 {
+		return nil, fmt.Errorf("confidence: history set of order %d too large", model.Order())
+	}
+	if minAccuracy <= 0 || minAccuracy > 1 {
+		return nil, fmt.Errorf("confidence: min accuracy %v out of range (0,1]", minAccuracy)
+	}
+	s := &HistorySet{
+		width:     model.Order(),
+		confident: make([]uint64, (1<<uint(model.Order())+63)/64),
+	}
+	for _, h := range model.Histories() {
+		if model.Count(h).P1() >= minAccuracy {
+			s.confident[h/64] |= 1 << (h % 64)
+		}
+	}
+	return s, nil
+}
+
+// Width returns the history length.
+func (s *HistorySet) Width() int { return s.width }
+
+// Confident reports whether history h is in the selected set.
+func (s *HistorySet) Confident(h uint32) bool {
+	h &= uint32(1)<<uint(s.width) - 1
+	return s.confident[h/64]>>(h%64)&1 == 1
+}
+
+// Size returns the number of confident histories (the table population).
+func (s *HistorySet) Size() int {
+	n := 0
+	for _, w := range s.confident {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// TableBits returns the storage cost of the scheme: one bit per possible
+// history — what the FSM compilation saves.
+func (s *HistorySet) TableBits() int { return 1 << uint(s.width) }
+
+// Instance returns a fresh runtime instance (its own history register)
+// sharing the selected set; it satisfies counters.Predictor, so it plugs
+// into Evaluate like any estimator.
+func (s *HistorySet) Instance() counters.Predictor {
+	return &historySetRunner{set: s, hist: bitseq.NewHistory(s.width)}
+}
+
+type historySetRunner struct {
+	set  *HistorySet
+	hist *bitseq.History
+}
+
+// Predict flags confidence when the (fully warmed) history is selected.
+func (r *historySetRunner) Predict() bool {
+	return r.hist.Warm() && r.set.Confident(r.hist.Value())
+}
+
+// Update shifts in the correctness outcome.
+func (r *historySetRunner) Update(correct bool) { r.hist.Push(correct) }
+
+// Reset clears the history register.
+func (r *historySetRunner) Reset() { r.hist.Reset() }

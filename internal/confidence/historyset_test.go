@@ -1,0 +1,132 @@
+package confidence
+
+import (
+	"testing"
+
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/counters"
+	"fsmpredict/internal/markov"
+	"fsmpredict/internal/workload"
+)
+
+func TestHistorySetBasics(t *testing.T) {
+	m := markov.New(3)
+	m.ObserveN(0b101, true, 90)
+	m.ObserveN(0b101, false, 10) // 90% accurate -> in at 0.85, out at 0.95
+	m.ObserveN(0b010, false, 50) // 0% accurate
+	s, err := NewHistorySet(m, 0.85)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Confident(0b101) || s.Confident(0b010) || s.Confident(0b111) {
+		t.Error("confidence set wrong")
+	}
+	if s.Size() != 1 || s.Width() != 3 || s.TableBits() != 8 {
+		t.Errorf("Size/Width/TableBits = %d/%d/%d", s.Size(), s.Width(), s.TableBits())
+	}
+	strict, err := NewHistorySet(m, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Confident(0b101) {
+		t.Error("0.95 threshold should exclude the 90% history")
+	}
+}
+
+func TestHistorySetValidation(t *testing.T) {
+	if _, err := NewHistorySet(markov.New(3), 0); err == nil {
+		t.Error("expected accuracy range error")
+	}
+	if _, err := NewHistorySet(markov.New(3), 1.5); err == nil {
+		t.Error("expected accuracy range error")
+	}
+}
+
+func TestHistorySetRunnerWarmup(t *testing.T) {
+	m := markov.New(2)
+	m.ObserveN(0b00, true, 10) // history 00 is confident
+	s, err := NewHistorySet(m, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := s.Instance()
+	if r.Predict() {
+		t.Error("cold runner must not be confident")
+	}
+	r.Update(false)
+	if r.Predict() {
+		t.Error("half-warm runner must not be confident")
+	}
+	r.Update(false)
+	if !r.Predict() {
+		t.Error("history 00 should be confident")
+	}
+	r.Reset()
+	if r.Predict() {
+		t.Error("reset runner must not be confident")
+	}
+}
+
+// TestHistorySetEquivalentToStartupFSM is the oracle property: an FSM
+// designed from the same model at the same threshold, with don't cares
+// disabled, unseen histories forced to predict 0, and start-up states
+// kept, must make EXACTLY the same confidence decisions as the history
+// set table — the compilation changes representation, not behaviour.
+func TestHistorySetEquivalentToStartupFSM(t *testing.T) {
+	for _, program := range []string{"gcc", "li"} {
+		prog, err := workload.LoadByName(program)
+		if err != nil {
+			t.Fatal(err)
+		}
+		train := prog.Generate(workload.Train, 40000)
+		test := prog.Generate(workload.Test, 30000)
+		for _, thr := range []float64{0.5, 0.8, 0.95} {
+			model := PerEntryCorrectnessModel(train, 11, 5)
+			set, err := NewHistorySet(model, thr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			design, err := core.FromModel(model, core.Options{
+				BiasThreshold:  thr,
+				DontCareBudget: -1,
+				KeepUnseen:     true,
+				KeepStartup:    true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			machine := design.Machine
+			setRes := Evaluate(test, 11, set.Instance)
+			fsmRes := Evaluate(test, 11, func() counters.Predictor {
+				return machine.NewRunner()
+			})
+			if setRes != fsmRes {
+				t.Errorf("%s thr %v: history set %+v != FSM %+v",
+					program, thr, setRes, fsmRes)
+			}
+			// And the compiled form is radically smaller than the table.
+			if machine.NumStates() >= set.TableBits() {
+				t.Errorf("%s thr %v: FSM has %d states vs %d table bits",
+					program, thr, machine.NumStates(), set.TableBits())
+			}
+		}
+	}
+}
+
+func TestHistorySetAsEstimator(t *testing.T) {
+	prog, _ := workload.LoadByName("perl")
+	train := prog.Generate(workload.Train, 30000)
+	test := prog.Generate(workload.Test, 30000)
+	model := PerEntryCorrectnessModel(train, 11, 6)
+	set, err := NewHistorySet(model, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Evaluate(test, 11, set.Instance)
+	if r.Flagged == 0 {
+		t.Fatal("history set flagged nothing")
+	}
+	if r.Accuracy() < 0.8 {
+		t.Errorf("accuracy %.3f below profile target", r.Accuracy())
+	}
+}

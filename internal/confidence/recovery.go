@@ -1,0 +1,90 @@
+package confidence
+
+import (
+	"fsmpredict/internal/counters"
+	"fsmpredict/internal/trace"
+	"fsmpredict/internal/vpred"
+)
+
+// EvaluateValue generalizes Evaluate to any value predictor family
+// (two-delta stride, last value, FCM, hybrid — §6.1): one confidence
+// estimator per table entry, re-created when the entry is reallocated.
+func EvaluateValue(p vpred.ValuePredictor, loads []trace.LoadEvent, newEstimator func() counters.Predictor) Result {
+	estimators := map[int]counters.Predictor{}
+	owners := map[int]uint64{}
+	var r Result
+	for _, ld := range loads {
+		acc := p.Access(ld.PC, ld.Value)
+		est := estimators[acc.Entry]
+		if est == nil || owners[acc.Entry] != ld.PC {
+			est = newEstimator()
+			estimators[acc.Entry] = est
+			owners[acc.Entry] = ld.PC
+		}
+		if acc.Valid {
+			r.Accesses++
+			confident := est.Predict()
+			if acc.Correct {
+				r.Correct++
+			}
+			if confident {
+				r.Flagged++
+				if acc.Correct {
+					r.FlaggedCorrect++
+				}
+			}
+		}
+		est.Update(acc.Valid && acc.Correct)
+	}
+	return r
+}
+
+// RecoveryModel captures the §6.2 cost structure of using a value
+// prediction: a correct used prediction saves CorrectBenefit cycles of
+// load latency; a wrong used prediction costs MissPenalty cycles of
+// recovery. The paper's observation: squash recovery has a large penalty
+// and therefore needs a very accurate confidence estimator, while
+// re-execution recovery has a small penalty and prefers coverage.
+type RecoveryModel struct {
+	// Name identifies the mechanism.
+	Name string
+	// CorrectBenefit is the cycles saved per correct used prediction.
+	CorrectBenefit float64
+	// MissPenalty is the cycles lost per wrong used prediction.
+	MissPenalty float64
+}
+
+// SquashRecovery models pipeline-squash recovery: mispredictions flush
+// in-flight work, so they are expensive.
+func SquashRecovery() RecoveryModel {
+	return RecoveryModel{Name: "squash", CorrectBenefit: 2, MissPenalty: 9}
+}
+
+// ReexecRecovery models selective re-execution: only dependent
+// instructions replay, so mispredictions are cheap.
+func ReexecRecovery() RecoveryModel {
+	return RecoveryModel{Name: "reexec", CorrectBenefit: 2, MissPenalty: 1}
+}
+
+// Benefit computes the expected cycles saved per predicted access when
+// value prediction is used exactly on the confident predictions of r.
+func (m RecoveryModel) Benefit(r Result) float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	wrongUsed := r.Flagged - r.FlaggedCorrect
+	saved := float64(r.FlaggedCorrect)*m.CorrectBenefit - float64(wrongUsed)*m.MissPenalty
+	return saved / float64(r.Accesses)
+}
+
+// BestOperatingPoint returns the index of the result whose Benefit is
+// highest under the model (-1 for an empty slice).
+func (m RecoveryModel) BestOperatingPoint(results []Result) int {
+	best, bestVal := -1, 0.0
+	for i, r := range results {
+		if v := m.Benefit(r); best < 0 || v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,103 @@
+package confidence
+
+import (
+	"testing"
+
+	"fsmpredict/internal/counters"
+	"fsmpredict/internal/vpred"
+	"fsmpredict/internal/workload"
+)
+
+func TestEvaluateValueMatchesEvaluateForStride(t *testing.T) {
+	prog, _ := workload.LoadByName("gcc")
+	loads := prog.Generate(workload.Train, 30000)
+	mk := func() counters.Predictor { return counters.NewTwoBit() }
+	a := Evaluate(loads, 11, mk)
+	b := EvaluateValue(vpred.New(11), loads, mk)
+	if a != b {
+		t.Fatalf("EvaluateValue(stride) = %+v, Evaluate = %+v", b, a)
+	}
+}
+
+func TestEvaluateValueOtherFamilies(t *testing.T) {
+	prog, _ := workload.LoadByName("perl")
+	loads := prog.Generate(workload.Train, 30000)
+	for _, p := range []vpred.ValuePredictor{
+		vpred.NewLastValue(11),
+		vpred.NewContext(11, 3),
+		vpred.NewHybrid(11, 3),
+	} {
+		r := EvaluateValue(p, loads, func() counters.Predictor {
+			return counters.NewResetting(8, 6)
+		})
+		if r.Accesses == 0 {
+			t.Errorf("%s: no accesses evaluated", p.Name())
+		}
+		if r.Accuracy() < float64(r.Correct)/float64(r.Accesses)-1e-9 {
+			t.Errorf("%s: confidence should not reduce accuracy below base rate", p.Name())
+		}
+	}
+}
+
+func TestRecoveryBenefitArithmetic(t *testing.T) {
+	r := Result{Accesses: 100, Correct: 60, Flagged: 50, FlaggedCorrect: 45}
+	squash := SquashRecovery()
+	// 45*2 - 5*9 = 45 cycles over 100 accesses.
+	if got := squash.Benefit(r); got != 0.45 {
+		t.Errorf("squash benefit = %v, want 0.45", got)
+	}
+	reexec := ReexecRecovery()
+	// 45*2 - 5*1 = 85 over 100.
+	if got := reexec.Benefit(r); got != 0.85 {
+		t.Errorf("reexec benefit = %v, want 0.85", got)
+	}
+	if (RecoveryModel{}).Benefit(Result{}) != 0 {
+		t.Error("empty result should have zero benefit")
+	}
+}
+
+// TestRecoveryModelsPreferDifferentOperatingPoints encodes §6.2: across
+// a confidence threshold sweep, squash recovery's best operating point
+// is at least as accurate (and typically less covering) than
+// re-execution's.
+func TestRecoveryModelsPreferDifferentOperatingPoints(t *testing.T) {
+	prog, _ := workload.LoadByName("gcc")
+	train := prog.Generate(workload.Train, 60000)
+	test := prog.Generate(workload.Test, 40000)
+	model := PerEntryCorrectnessModel(train, 11, 6)
+	points, err := FSMCurve(model, DefaultThresholds(), test, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := make([]Result, len(points))
+	for i, p := range points {
+		results[i] = p.Result
+	}
+	si := SquashRecovery().BestOperatingPoint(results)
+	ri := ReexecRecovery().BestOperatingPoint(results)
+	if si < 0 || ri < 0 {
+		t.Fatal("no operating points")
+	}
+	if results[si].Accuracy() < results[ri].Accuracy()-1e-9 {
+		t.Errorf("squash best accuracy %.3f below reexec best accuracy %.3f",
+			results[si].Accuracy(), results[ri].Accuracy())
+	}
+	if results[si].Coverage() > results[ri].Coverage()+1e-9 {
+		t.Errorf("squash best coverage %.3f above reexec best %.3f",
+			results[si].Coverage(), results[ri].Coverage())
+	}
+	// Both mechanisms should profit from value prediction at their best
+	// operating points.
+	if SquashRecovery().Benefit(results[si]) <= 0 {
+		t.Error("squash recovery best point should be profitable")
+	}
+	if ReexecRecovery().Benefit(results[ri]) <= 0 {
+		t.Error("reexec recovery best point should be profitable")
+	}
+}
+
+func TestBestOperatingPointEmpty(t *testing.T) {
+	if SquashRecovery().BestOperatingPoint(nil) != -1 {
+		t.Error("empty slice should give -1")
+	}
+}

@@ -1,0 +1,250 @@
+// Package core implements the paper's primary contribution: the automated
+// design flow that turns a behavioural trace into a small finite state
+// machine predictor (§4).
+//
+// The flow chains the substrate packages:
+//
+//	trace            (internal/bitseq)
+//	  → Markov model (internal/markov, §4.2)
+//	  → pattern sets (markov.Partition, §4.3)
+//	  → minimized cover (internal/logic, §4.4 — the Espresso step)
+//	  → regular expression (internal/regex, §4.5)
+//	  → NFA (internal/nfa, Thompson construction, §4.6)
+//	  → DFA (internal/dfa, subset construction + Hopcroft, §4.6)
+//	  → start-state reduction (dfa.TrimStartup, §4.7)
+//	  → predictor machine (internal/fsm) and VHDL/area (internal/vhdl, §4.8)
+//
+// DirectMachine builds the same predictor by a completely different route
+// (explicit history-register automaton, then Hopcroft); the two paths
+// producing isomorphic machines is the package's central invariant and is
+// enforced by its tests.
+package core
+
+import (
+	"fmt"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/dfa"
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/logic"
+	"fsmpredict/internal/markov"
+	"fsmpredict/internal/nfa"
+	"fsmpredict/internal/regex"
+)
+
+// Options configures a design run.
+type Options struct {
+	// Order is the history length N (1..16 for the full-enumeration
+	// design flow; the paper never exceeds 10).
+	Order int
+	// BiasThreshold is the minimum P[1|h] for a history to enter the
+	// predict-1 set. 0 means the paper's default of 0.5. Confidence
+	// estimators sweep this upward to trade coverage for accuracy (§6).
+	BiasThreshold float64
+	// DontCareBudget is the cumulative frequency of rare histories moved
+	// to the don't-care set. Negative disables it; 0 means the paper's
+	// default of 1% (§4.3).
+	DontCareBudget float64
+	// KeepUnseen forces never-observed histories to predict 0 instead of
+	// don't care.
+	KeepUnseen bool
+	// KeepStartup skips start-state reduction (§4.7), retaining the
+	// machine of Figure 1 (left).
+	KeepStartup bool
+	// Name is attached to the resulting machine.
+	Name string
+}
+
+// withDefaults fills in the paper's default parameters. It is idempotent:
+// a negative DontCareBudget continues to mean "disabled" (it is clamped to
+// zero only where the partition is built).
+func (o Options) withDefaults() Options {
+	if o.BiasThreshold == 0 {
+		o.BiasThreshold = 0.5
+	}
+	if o.DontCareBudget == 0 {
+		o.DontCareBudget = 0.01
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.Order < 1 || o.Order > 16 {
+		return fmt.Errorf("core: order %d out of range [1,16]", o.Order)
+	}
+	return nil
+}
+
+// Design records every artifact of one run of the flow, so tools and
+// experiments can inspect intermediate stages.
+type Design struct {
+	Options   Options
+	Model     *markov.Model
+	Partition *markov.Partition
+	// Cover is the minimized sum-of-products description of the
+	// predict-1 set.
+	Cover []bitseq.Cube
+	// Expr is the regular expression for the language L of §4.1.
+	Expr regex.Node
+	// NFAStates, DFAStates and MinimizedStates record the sizes of the
+	// intermediate machines; Machine.NumStates() is the final size after
+	// start-state reduction.
+	NFAStates       int
+	DFAStates       int
+	MinimizedStates int
+	// Machine is the finished predictor.
+	Machine *fsm.Machine
+}
+
+// FromModel runs the design flow on an existing Markov model.
+func FromModel(m *markov.Model, opt Options) (*Design, error) {
+	opt.Order = m.Order()
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	dcBudget := opt.DontCareBudget
+	if dcBudget < 0 {
+		dcBudget = 0
+	}
+	part, err := m.Partition(markov.PartitionOptions{
+		BiasThreshold:  opt.BiasThreshold,
+		DontCareBudget: dcBudget,
+		KeepUnseen:     opt.KeepUnseen,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cover, err := logic.Minimize(logic.FromPartition(m.Order(), part.PredictOne, part.DontCare))
+	if err != nil {
+		return nil, err
+	}
+	d := &Design{
+		Options:   opt,
+		Model:     m,
+		Partition: part,
+		Cover:     cover,
+		Expr:      regex.FromCover(cover),
+	}
+	n := nfa.Compile(d.Expr)
+	d.NFAStates = n.NumStates()
+	raw := dfa.FromNFA(n)
+	d.DFAStates = raw.NumStates()
+	min := raw.Minimize()
+	d.MinimizedStates = min.NumStates()
+	final := min
+	if !opt.KeepStartup {
+		final = normalizeStart(min.TrimStartup(), opt.Order)
+	}
+	d.Machine = fsm.FromDFA(final)
+	d.Machine.Name = opt.Name
+	return d, nil
+}
+
+// FromTrace profiles a binary trace into an Order-length Markov model and
+// runs the design flow on it.
+func FromTrace(trace *bitseq.Bits, opt Options) (*Design, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	m := markov.New(opt.Order)
+	m.AddTrace(trace)
+	return FromModel(m, opt)
+}
+
+// FromBools is FromTrace for a boolean slice.
+func FromBools(trace []bool, opt Options) (*Design, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	m := markov.New(opt.Order)
+	m.AddBools(trace)
+	return FromModel(m, opt)
+}
+
+// DirectMachine builds the predictor for a cover without going through
+// regular expressions: the 2^order history-register automaton (state =
+// last order bits, output = cover match) minimized with Hopcroft. It must
+// produce a machine isomorphic to the design flow's (after start-state
+// reduction); the tests enforce this. It also serves as a fast path for
+// wide covers.
+func DirectMachine(cover []bitseq.Cube, order int) (*fsm.Machine, error) {
+	if order < 1 || order > 22 {
+		return nil, fmt.Errorf("core: order %d out of range [1,22]", order)
+	}
+	n := 1 << uint(order)
+	mask := uint32(n - 1)
+	d := &dfa.DFA{
+		Next:   make([][2]int, n),
+		Accept: make([]bool, n),
+		Start:  0,
+	}
+	for h := 0; h < n; h++ {
+		d.Accept[h] = bitseq.CoverMatches(cover, uint32(h))
+		d.Next[h][0] = int(uint32(h) << 1 & mask)
+		d.Next[h][1] = int((uint32(h)<<1 | 1) & mask)
+	}
+	return fsm.FromDFA(normalizeStart(d.Minimize(), order)), nil
+}
+
+// normalizeStart moves the start state to the state reached after feeding
+// `order` zeros. Machines whose state is a function of the last `order`
+// inputs (everything the flow produces) end up with the canonical
+// "history 00…0" start regardless of how they were constructed, which
+// makes the two construction paths directly comparable. The automaton is
+// renumbered canonically afterwards.
+func normalizeStart(d *dfa.DFA, order int) *dfa.DFA {
+	s := d.Start
+	for i := 0; i < order; i++ {
+		s = d.Next[s][0]
+	}
+	return (&dfa.DFA{Next: d.Next, Accept: d.Accept, Start: s}).Canonicalize()
+}
+
+// CrossTrain builds, for every model in the suite, an aggregate of all the
+// OTHER models — the cross-training protocol of §6.3 used so a
+// general-purpose predictor is never trained on the program it is
+// evaluated on. The returned map has the same keys as the input.
+func CrossTrain(suite map[string]*markov.Model) (map[string]*markov.Model, error) {
+	out := make(map[string]*markov.Model, len(suite))
+	for name := range suite {
+		var agg *markov.Model
+		for other, m := range suite {
+			if other == name {
+				continue
+			}
+			if agg == nil {
+				agg = m.Clone()
+				continue
+			}
+			if err := agg.Merge(m); err != nil {
+				return nil, fmt.Errorf("core: cross-training %s: %v", name, err)
+			}
+		}
+		if agg == nil {
+			return nil, fmt.Errorf("core: cross-training needs at least two models")
+		}
+		out[name] = agg
+	}
+	return out, nil
+}
+
+// Aggregate merges all models into one, the whole-suite training of §6.
+func Aggregate(suite map[string]*markov.Model) (*markov.Model, error) {
+	var agg *markov.Model
+	for _, m := range suite {
+		if agg == nil {
+			agg = m.Clone()
+			continue
+		}
+		if err := agg.Merge(m); err != nil {
+			return nil, err
+		}
+	}
+	if agg == nil {
+		return nil, fmt.Errorf("core: empty suite")
+	}
+	return agg, nil
+}

@@ -1,0 +1,389 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/markov"
+	"fsmpredict/internal/regex"
+)
+
+const paperTrace = "0000 1000 1011 1101 1110 1111"
+
+func TestPaperWorkedExample(t *testing.T) {
+	d, err := FromTrace(bitseq.MustFromString(paperTrace), Options{Order: 2, Name: "t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.3: predict-1 histories {01, 10, 11}.
+	if got := len(d.Partition.PredictOne); got != 3 {
+		t.Errorf("predict-1 set size = %d, want 3", got)
+	}
+	// §4.4: cover minimizes to (x1)|(1x).
+	if len(d.Cover) != 2 {
+		t.Fatalf("cover = %v, want two cubes", d.Cover)
+	}
+	seen := map[string]bool{}
+	for _, c := range d.Cover {
+		seen[c.String()] = true
+	}
+	if !seen["x1"] || !seen["1x"] {
+		t.Errorf("cover = %v, want {x1, 1x}", d.Cover)
+	}
+	// §4.5: regular expression (0|1)*( 1(0|1) | (0|1)1 ) in our notation.
+	if got := regex.String(d.Expr); got != ".*(x1|1x)" && got != ".*(.1|1.)" {
+		t.Errorf("regex = %q", got)
+	}
+	// Figure 1: 5 states minimized, 3 after start-state reduction.
+	if d.MinimizedStates != 5 {
+		t.Errorf("minimized states = %d, want 5", d.MinimizedStates)
+	}
+	if d.Machine.NumStates() != 3 {
+		t.Errorf("final machine states = %d, want 3", d.Machine.NumStates())
+	}
+	// Steady-state behaviour check: histories ending 01/10/11 predict 1.
+	for h := uint32(0); h < 4; h++ {
+		s := d.Machine.Start
+		s = d.Machine.Step(s, h>>1&1 == 1)
+		s = d.Machine.Step(s, h&1 == 1)
+		if want := h != 0; d.Machine.Output[s] != want {
+			t.Errorf("history %s predicts %v, want %v",
+				bitseq.HistoryString(h, 2), d.Machine.Output[s], want)
+		}
+	}
+}
+
+func TestKeepStartup(t *testing.T) {
+	d, err := FromTrace(bitseq.MustFromString(paperTrace), Options{Order: 2, KeepStartup: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Machine.NumStates() != 5 {
+		t.Errorf("startup machine states = %d, want 5 (Figure 1 left)", d.Machine.NumStates())
+	}
+	// The startup machine predicts 0 until it has seen two bits.
+	r := d.Machine.NewRunner()
+	if r.Predict() {
+		t.Error("undefined history should predict 0")
+	}
+	r.Update(true)
+	if r.Predict() {
+		t.Error("one bit of history should still predict 0")
+	}
+	r.Update(true)
+	if !r.Predict() {
+		t.Error("history 11 should predict 1")
+	}
+}
+
+// TestTwoConstructionPathsAgree is the package's central oracle: the
+// regex → NFA → DFA → Hopcroft → trim pipeline and the direct
+// history-automaton construction must produce isomorphic machines.
+func TestTwoConstructionPathsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 50; trial++ {
+		order := rng.Intn(6) + 1
+		m := markov.New(order)
+		for i := 0; i < rng.Intn(400)+20; i++ {
+			m.Observe(rng.Uint32(), rng.Intn(2) == 0)
+		}
+		d, err := FromModel(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		direct, err := DirectMachine(d.Cover, order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fsm.Isomorphic(d.Machine, direct) {
+			t.Fatalf("trial %d (order %d, cover %v):\npipeline: %s\ndirect:   %s",
+				trial, order, d.Cover, d.Machine, direct)
+		}
+	}
+}
+
+// TestMachineMatchesCoverSemantics: after warm-up, the machine's
+// prediction equals the cover's match on the trailing history.
+func TestMachineMatchesCoverSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	for trial := 0; trial < 30; trial++ {
+		order := rng.Intn(5) + 2
+		m := markov.New(order)
+		for i := 0; i < 300; i++ {
+			m.Observe(rng.Uint32(), rng.Intn(3) == 0)
+		}
+		d, err := FromModel(m, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := d.Machine.NewRunner()
+		h := bitseq.NewHistory(order)
+		for i := 0; i < 500; i++ {
+			b := rng.Intn(2) == 1
+			r.Update(b)
+			h.Push(b)
+			if h.Warm() {
+				want := bitseq.CoverMatches(d.Cover, h.Value())
+				if got := r.Predict(); got != want {
+					t.Fatalf("trial %d step %d: predict %v, cover says %v (history %s)",
+						trial, i, got, want, h)
+				}
+			}
+		}
+	}
+}
+
+func TestAlwaysTakenTraceGivesTinyMachine(t *testing.T) {
+	trace := &bitseq.Bits{}
+	for i := 0; i < 100; i++ {
+		trace.Append(true)
+	}
+	d, err := FromTrace(trace, Options{Order: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unseen histories are don't cares, so everything collapses to a
+	// single always-predict-1 state.
+	if d.Machine.NumStates() != 1 || !d.Machine.Output[0] {
+		t.Fatalf("machine = %s, want single predict-1 state", d.Machine)
+	}
+}
+
+func TestAlternatingTrace(t *testing.T) {
+	trace := &bitseq.Bits{}
+	for i := 0; i < 100; i++ {
+		trace.Append(i%2 == 0)
+	}
+	d, err := FromTrace(trace, Options{Order: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The machine must track the alternation perfectly after warm-up.
+	res := d.Machine.Simulate(trace.Bools(), 2)
+	if res.MissRate() != 0 {
+		t.Fatalf("alternating trace miss rate = %v, want 0 (machine %s)",
+			res.MissRate(), d.Machine)
+	}
+}
+
+func TestBiasThresholdSweepMonotonic(t *testing.T) {
+	// Higher thresholds must never enlarge the predict-1 set.
+	rng := rand.New(rand.NewSource(131))
+	m := markov.New(5)
+	for i := 0; i < 3000; i++ {
+		m.Observe(rng.Uint32(), rng.Intn(4) != 0)
+	}
+	prev := -1
+	for _, thr := range []float64{0.5, 0.6, 0.7, 0.8, 0.9, 0.99} {
+		d, err := FromModel(m, Options{BiasThreshold: thr})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := len(d.Partition.PredictOne)
+		if prev >= 0 && n > prev {
+			t.Errorf("threshold %v grew predict-1 set: %d > %d", thr, n, prev)
+		}
+		prev = n
+	}
+}
+
+func TestEmptyModelProducesConstantZero(t *testing.T) {
+	m := markov.New(3)
+	d, err := FromModel(m, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Machine.NumStates() != 1 || d.Machine.Output[0] {
+		t.Fatalf("machine = %s, want single predict-0 state", d.Machine)
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := FromBools([]bool{true, false}, Options{Order: 0}); err == nil {
+		t.Error("expected order validation error")
+	}
+	if _, err := FromBools([]bool{true, false}, Options{Order: 17}); err == nil {
+		t.Error("expected order validation error")
+	}
+	if _, err := DirectMachine(nil, 0); err == nil {
+		t.Error("expected DirectMachine order error")
+	}
+}
+
+func TestDontCareBudgetShrinksMachines(t *testing.T) {
+	// The paper reports don't cares can halve predictor size (§4.3). At
+	// minimum they must never make the machine bigger on average.
+	rng := rand.New(rand.NewSource(137))
+	totalWith, totalWithout := 0, 0
+	for trial := 0; trial < 15; trial++ {
+		m := markov.New(6)
+		// Skewed history popularity: some histories dominate.
+		for i := 0; i < 4000; i++ {
+			h := uint32(rng.Intn(8))
+			if rng.Intn(10) == 0 {
+				h = rng.Uint32()
+			}
+			m.Observe(h, rng.Intn(2) == 0)
+		}
+		with, err := FromModel(m, Options{DontCareBudget: 0.01, KeepUnseen: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		without, err := FromModel(m, Options{DontCareBudget: -1, KeepUnseen: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		totalWith += with.Machine.NumStates()
+		totalWithout += without.Machine.NumStates()
+	}
+	if totalWith > totalWithout {
+		t.Errorf("don't cares grew machines: %d with vs %d without", totalWith, totalWithout)
+	}
+}
+
+func TestCrossTrainExcludesTarget(t *testing.T) {
+	suite := map[string]*markov.Model{}
+	for i, name := range []string{"a", "b", "c"} {
+		m := markov.New(2)
+		m.ObserveN(uint32(i), true, 100) // distinctive signature per program
+		suite[name] = m
+	}
+	ct, err := CrossTrain(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, m := range ct {
+		// The target's own signature history must be absent.
+		sig := map[string]uint32{"a": 0, "b": 1, "c": 2}[name]
+		if m.Seen(sig) {
+			t.Errorf("cross-trained model for %s contains its own data", name)
+		}
+		if m.Total() != 200 {
+			t.Errorf("cross-trained model for %s has %d observations, want 200", name, m.Total())
+		}
+	}
+}
+
+func TestCrossTrainNeedsTwo(t *testing.T) {
+	if _, err := CrossTrain(map[string]*markov.Model{"solo": markov.New(2)}); err == nil {
+		t.Error("expected error for single-model suite")
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	suite := map[string]*markov.Model{}
+	for i := 0; i < 3; i++ {
+		m := markov.New(2)
+		m.ObserveN(uint32(i), true, 10)
+		suite[string(rune('a'+i))] = m
+	}
+	agg, err := Aggregate(suite)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Total() != 30 {
+		t.Fatalf("aggregate total = %d, want 30", agg.Total())
+	}
+	if _, err := Aggregate(nil); err == nil {
+		t.Error("expected error for empty suite")
+	}
+}
+
+func TestStageSizesRecorded(t *testing.T) {
+	d, err := FromTrace(bitseq.MustFromString(paperTrace), Options{Order: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NFAStates == 0 || d.DFAStates == 0 || d.MinimizedStates == 0 {
+		t.Errorf("stage sizes missing: %d/%d/%d", d.NFAStates, d.DFAStates, d.MinimizedStates)
+	}
+	if d.NFAStates < d.DFAStates && d.DFAStates < d.MinimizedStates {
+		t.Error("suspicious stage size ordering")
+	}
+}
+
+// TestDesignIsModelOptimal: on the training trace, the designed machine's
+// steady-state misprediction count must match the information-theoretic
+// optimum of the Markov model — sum over histories of the minority count
+// — up to the observations the don't-care budget may sacrifice.
+func TestDesignIsModelOptimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(149))
+	for trial := 0; trial < 10; trial++ {
+		order := rng.Intn(4) + 2
+		n := 4000
+		trace := make([]bool, n)
+		// A mix of pattern and noise so the optimum is nontrivial.
+		period := rng.Intn(5) + order
+		for i := range trace {
+			trace[i] = i%period < period/2 || rng.Intn(10) == 0
+		}
+		d, err := FromBools(trace, Options{Order: order, DontCareBudget: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var optimalMisses uint64
+		for _, h := range d.Model.Histories() {
+			c := d.Model.Count(h)
+			if c.Zeros < c.Ones {
+				optimalMisses += c.Zeros
+			} else {
+				optimalMisses += c.Ones
+			}
+		}
+		res := d.Machine.Simulate(trace, order)
+		got := uint64(res.Total - res.Correct)
+		if got != optimalMisses {
+			t.Errorf("trial %d (order %d): machine misses %d, model optimum %d",
+				trial, order, got, optimalMisses)
+		}
+	}
+}
+
+// TestWideOrderDesign exercises the flow beyond the paper's N=10 at
+// order 12, where the partition enumerates 4096 histories and the logic
+// minimizer may switch engines: the pipeline and direct paths must still
+// agree and the machine must still be model-optimal on its trace.
+func TestWideOrderDesign(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wide-order design is slow")
+	}
+	rng := rand.New(rand.NewSource(151))
+	trace := make([]bool, 20000)
+	for i := range trace {
+		switch {
+		case i < 12:
+			trace[i] = rng.Intn(2) == 1
+		case rng.Intn(25) == 0:
+			trace[i] = rng.Intn(2) == 1
+		default:
+			trace[i] = trace[i-5] != trace[i-11]
+		}
+	}
+	d, err := FromBools(trace, Options{Order: 12, DontCareBudget: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := DirectMachine(d.Cover, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fsm.Isomorphic(d.Machine, direct) {
+		t.Fatalf("order-12 pipeline and direct machines differ: %d vs %d states",
+			d.Machine.NumStates(), direct.NumStates())
+	}
+	var optimal uint64
+	for _, h := range d.Model.Histories() {
+		c := d.Model.Count(h)
+		if c.Zeros < c.Ones {
+			optimal += c.Zeros
+		} else {
+			optimal += c.Ones
+		}
+	}
+	res := d.Machine.Simulate(trace, 12)
+	if got := uint64(res.Total - res.Correct); got != optimal {
+		t.Errorf("order-12 machine misses %d, model optimum %d", got, optimal)
+	}
+}

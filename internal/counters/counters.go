@@ -1,0 +1,225 @@
+// Package counters implements the classic finite-state-machine predictors
+// the paper compares against (§3.1): saturating up/down (SUD) counters —
+// including the ubiquitous 2-bit branch counter — and resetting counters.
+// All of them satisfy the Predictor interface shared with the generated
+// FSM predictors, and can be converted to explicit fsm.Machine form for
+// inspection, synthesis and area comparison.
+package counters
+
+import (
+	"fmt"
+
+	"fsmpredict/internal/fsm"
+)
+
+// Predictor is the common behaviour of every binary predictor in this
+// module: predict the next outcome, then learn the actual outcome.
+type Predictor interface {
+	// Predict returns the predicted next outcome (taken / confident / 1).
+	Predict() bool
+	// Update advances the predictor with the observed outcome.
+	Update(outcome bool)
+	// Reset returns the predictor to its initial state.
+	Reset()
+}
+
+// FullReset is the Dec value denoting the paper's "full" miss penalty: a
+// wrong outcome resets the counter to zero (a resetting counter).
+const FullReset = -1
+
+// SUDConfig describes a saturating up/down counter per §3.1: four values —
+// saturation threshold, correct increment, wrong decrement, prediction
+// threshold.
+type SUDConfig struct {
+	// Max is the saturation value; the counter ranges over 0..Max, giving
+	// Max+1 states.
+	Max int
+	// Inc is added on a 1 outcome (capped at Max).
+	Inc int
+	// Dec is subtracted on a 0 outcome (floored at 0), or FullReset to
+	// reset the counter to zero.
+	Dec int
+	// Threshold: the counter predicts 1 while value >= Threshold.
+	Threshold int
+}
+
+// Validate checks the configuration.
+func (c SUDConfig) Validate() error {
+	if c.Max < 1 {
+		return fmt.Errorf("counters: max %d must be >= 1", c.Max)
+	}
+	if c.Inc < 1 {
+		return fmt.Errorf("counters: inc %d must be >= 1", c.Inc)
+	}
+	if c.Dec < 1 && c.Dec != FullReset {
+		return fmt.Errorf("counters: dec %d must be >= 1 or FullReset", c.Dec)
+	}
+	if c.Threshold < 1 || c.Threshold > c.Max {
+		return fmt.Errorf("counters: threshold %d out of range [1,%d]", c.Threshold, c.Max)
+	}
+	return nil
+}
+
+// States returns the number of states of the counter (Max+1).
+func (c SUDConfig) States() int { return c.Max + 1 }
+
+// String names the configuration, e.g. "sud(max=40,inc=1,dec=full,thr=36)".
+func (c SUDConfig) String() string {
+	dec := fmt.Sprintf("%d", c.Dec)
+	if c.Dec == FullReset {
+		dec = "full"
+	}
+	return fmt.Sprintf("sud(max=%d,inc=%d,dec=%s,thr=%d)", c.Max, c.Inc, dec, c.Threshold)
+}
+
+// SUD is a saturating up/down counter instance.
+type SUD struct {
+	cfg   SUDConfig
+	value int
+	init  int
+}
+
+// NewSUD returns a counter with the given configuration, starting at 0.
+// It panics on an invalid configuration (configurations are programmer
+// input, not runtime data).
+func NewSUD(cfg SUDConfig) *SUD {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &SUD{cfg: cfg}
+}
+
+// NewTwoBit returns the classic 2-bit saturating counter used by the
+// XScale baseline: values 0..3, predict taken at 2 and above.
+func NewTwoBit() *SUD {
+	return NewSUD(SUDConfig{Max: 3, Inc: 1, Dec: 1, Threshold: 2})
+}
+
+// NewResetting returns a resetting counter (Jacobsen et al., §3.1): it
+// counts up on correct outcomes and resets to zero on a wrong one.
+func NewResetting(max, threshold int) *SUD {
+	return NewSUD(SUDConfig{Max: max, Inc: 1, Dec: FullReset, Threshold: threshold})
+}
+
+// Config returns the counter's configuration.
+func (s *SUD) Config() SUDConfig { return s.cfg }
+
+// Value returns the current counter value.
+func (s *SUD) Value() int { return s.value }
+
+// SetValue positions the counter, clamping into range. Useful for
+// initializing branch-table counters to weakly-taken.
+func (s *SUD) SetValue(v int) {
+	if v < 0 {
+		v = 0
+	}
+	if v > s.cfg.Max {
+		v = s.cfg.Max
+	}
+	s.value = v
+	s.init = v
+}
+
+// Predict reports whether the counter is at or above its threshold.
+func (s *SUD) Predict() bool { return s.value >= s.cfg.Threshold }
+
+// Update applies one outcome.
+func (s *SUD) Update(outcome bool) {
+	if outcome {
+		s.value += s.cfg.Inc
+		if s.value > s.cfg.Max {
+			s.value = s.cfg.Max
+		}
+		return
+	}
+	if s.cfg.Dec == FullReset {
+		s.value = 0
+		return
+	}
+	s.value -= s.cfg.Dec
+	if s.value < 0 {
+		s.value = 0
+	}
+}
+
+// Reset returns the counter to its initial value.
+func (s *SUD) Reset() { s.value = s.init }
+
+// Machine expands the counter into an explicit Moore machine with Max+1
+// states, enabling the same synthesis/area analysis as generated FSMs.
+func (c SUDConfig) Machine() *fsm.Machine {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	n := c.Max + 1
+	m := &fsm.Machine{
+		Name:   c.String(),
+		Output: make([]bool, n),
+		Next:   make([][2]int, n),
+		Start:  0,
+	}
+	for v := 0; v < n; v++ {
+		m.Output[v] = v >= c.Threshold
+		up := v + c.Inc
+		if up > c.Max {
+			up = c.Max
+		}
+		down := 0
+		if c.Dec != FullReset {
+			down = v - c.Dec
+			if down < 0 {
+				down = 0
+			}
+		}
+		m.Next[v] = [2]int{down, up}
+	}
+	return m
+}
+
+// PaperSweep enumerates the SUD configurations evaluated in Figure 2 of
+// the paper: maximum values 5, 10, 20 and 40; miss penalties 1, 2, 5, 10
+// and full; and prediction thresholds at 50%, 80% and 90% of the maximum.
+func PaperSweep() []SUDConfig {
+	var out []SUDConfig
+	for _, max := range []int{5, 10, 20, 40} {
+		for _, dec := range []int{1, 2, 5, 10, FullReset} {
+			for _, frac := range []float64{0.5, 0.8, 0.9} {
+				thr := int(frac*float64(max) + 0.5)
+				if thr < 1 {
+					thr = 1
+				}
+				if thr > max {
+					thr = max
+				}
+				cfg := SUDConfig{Max: max, Inc: 1, Dec: dec, Threshold: thr}
+				out = append(out, cfg)
+			}
+		}
+	}
+	return dedupConfigs(out)
+}
+
+func dedupConfigs(in []SUDConfig) []SUDConfig {
+	seen := map[SUDConfig]bool{}
+	var out []SUDConfig
+	for _, c := range in {
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Static is a predictor that always predicts the same outcome; the
+// degenerate baseline (predict-taken / never-confident).
+type Static bool
+
+// Predict returns the fixed prediction.
+func (s Static) Predict() bool { return bool(s) }
+
+// Update is a no-op.
+func (Static) Update(bool) {}
+
+// Reset is a no-op.
+func (Static) Reset() {}

@@ -1,0 +1,29 @@
+package counters_test
+
+import (
+	"fmt"
+
+	"fsmpredict/internal/counters"
+)
+
+// ExampleNewTwoBit walks the classic 2-bit saturating counter through a
+// direction change.
+func ExampleNewTwoBit() {
+	c := counters.NewTwoBit()
+	for _, taken := range []bool{true, true, false, true} {
+		c.Update(taken)
+	}
+	fmt.Printf("value %d predicts taken: %v\n", c.Value(), c.Predict())
+	// Output:
+	// value 2 predicts taken: true
+}
+
+// ExampleSUDConfig_Machine expands a counter into an explicit Moore
+// machine, making it comparable (and synthesizable) like a designed FSM.
+func ExampleSUDConfig_Machine() {
+	cfg := counters.SUDConfig{Max: 3, Inc: 1, Dec: 1, Threshold: 2}
+	m := cfg.Machine()
+	fmt.Printf("%d states, start predicts %v\n", m.NumStates(), m.Output[m.Start])
+	// Output:
+	// 4 states, start predicts false
+}

@@ -1,0 +1,441 @@
+// Package dfa implements deterministic finite automata over {0,1} and the
+// three reduction steps of §4.6–§4.7 of the paper: subset construction
+// from an NFA, Hopcroft's partition-refinement minimization, and
+// start-state (transient state) reduction, which removes the states only
+// used while the input history is still undefined.
+package dfa
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"fsmpredict/internal/nfa"
+)
+
+// DFA is a complete deterministic automaton: every state has exactly one
+// successor for each input bit. Accept doubles as the Moore output (a
+// predict-1 state accepts).
+type DFA struct {
+	// Next[s][b] is the successor of state s on input bit b.
+	Next [][2]int
+	// Accept[s] reports whether state s is accepting (predicts 1).
+	Accept []bool
+	// Start is the initial state.
+	Start int
+}
+
+// NumStates returns the number of states.
+func (d *DFA) NumStates() int { return len(d.Next) }
+
+// Validate checks structural invariants.
+func (d *DFA) Validate() error {
+	n := len(d.Next)
+	if len(d.Accept) != n {
+		return fmt.Errorf("dfa: %d transition rows but %d accept flags", n, len(d.Accept))
+	}
+	if n == 0 {
+		return fmt.Errorf("dfa: no states")
+	}
+	if d.Start < 0 || d.Start >= n {
+		return fmt.Errorf("dfa: start state %d out of range", d.Start)
+	}
+	for s, row := range d.Next {
+		for b := 0; b < 2; b++ {
+			if row[b] < 0 || row[b] >= n {
+				return fmt.Errorf("dfa: state %d has invalid successor %d on %d", s, row[b], b)
+			}
+		}
+	}
+	return nil
+}
+
+// Run feeds the input through the automaton and reports whether it ends in
+// an accepting state.
+func (d *DFA) Run(input []bool) bool {
+	s := d.Start
+	for _, b := range input {
+		if b {
+			s = d.Next[s][1]
+		} else {
+			s = d.Next[s][0]
+		}
+	}
+	return d.Accept[s]
+}
+
+// Step returns the successor of state s on the given input bit.
+func (d *DFA) Step(s int, bit bool) int {
+	if bit {
+		return d.Next[s][1]
+	}
+	return d.Next[s][0]
+}
+
+// FromNFA performs subset construction. The resulting DFA is complete: a
+// dead state is materialized if some subset has no successor.
+func FromNFA(m *nfa.NFA) *DFA {
+	d := &DFA{}
+	ids := map[string]int{}
+
+	key := func(set []int) string {
+		var sb strings.Builder
+		for i, s := range set {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(s))
+		}
+		return sb.String()
+	}
+	accepts := func(set []int) bool {
+		for _, s := range set {
+			if s == m.Accept {
+				return true
+			}
+		}
+		return false
+	}
+
+	var sets [][]int
+	intern := func(set []int) int {
+		k := key(set)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := len(sets)
+		ids[k] = id
+		sets = append(sets, set)
+		d.Next = append(d.Next, [2]int{})
+		d.Accept = append(d.Accept, accepts(set))
+		return id
+	}
+
+	start := intern(m.EpsilonClosure([]int{m.Start}))
+	d.Start = start
+	for work := []int{start}; len(work) > 0; {
+		id := work[0]
+		work = work[1:]
+		set := sets[id]
+		for b := 0; b < 2; b++ {
+			succ := m.EpsilonClosure(m.Move(set, b == 1))
+			before := len(sets)
+			sid := intern(succ)
+			if sid == before {
+				work = append(work, sid)
+			}
+			d.Next[id][b] = sid
+		}
+	}
+	return d
+}
+
+// trimUnreachable drops states not reachable from Start and renumbers the
+// remainder in BFS order (0-edge before 1-edge), giving a canonical
+// numbering for a fixed reachable structure.
+func (d *DFA) trimUnreachable() *DFA {
+	order := make([]int, 0, len(d.Next))
+	newID := make([]int, len(d.Next))
+	for i := range newID {
+		newID[i] = -1
+	}
+	newID[d.Start] = 0
+	order = append(order, d.Start)
+	for i := 0; i < len(order); i++ {
+		s := order[i]
+		for b := 0; b < 2; b++ {
+			t := d.Next[s][b]
+			if newID[t] < 0 {
+				newID[t] = len(order)
+				order = append(order, t)
+			}
+		}
+	}
+	out := &DFA{
+		Next:   make([][2]int, len(order)),
+		Accept: make([]bool, len(order)),
+		Start:  0,
+	}
+	for _, s := range order {
+		id := newID[s]
+		out.Accept[id] = d.Accept[s]
+		out.Next[id][0] = newID[d.Next[s][0]]
+		out.Next[id][1] = newID[d.Next[s][1]]
+	}
+	return out
+}
+
+// Canonicalize renumbers the reachable part of the automaton in BFS order.
+// Two minimized automata recognize the same language from their start
+// states iff their canonical forms are identical.
+func (d *DFA) Canonicalize() *DFA { return d.trimUnreachable() }
+
+// Minimize removes unreachable states and merges equivalent ones using
+// Hopcroft's partition-refinement algorithm, then renumbers canonically.
+func (d *DFA) Minimize() *DFA {
+	t := d.trimUnreachable()
+	n := t.NumStates()
+
+	// Initial partition: accepting vs non-accepting.
+	block := make([]int, n)
+	var blocks [][]int
+	var accSt, rejSt []int
+	for s := 0; s < n; s++ {
+		if t.Accept[s] {
+			accSt = append(accSt, s)
+		} else {
+			rejSt = append(rejSt, s)
+		}
+	}
+	addBlock := func(states []int) int {
+		id := len(blocks)
+		blocks = append(blocks, states)
+		for _, s := range states {
+			block[s] = id
+		}
+		return id
+	}
+	if len(rejSt) > 0 {
+		addBlock(rejSt)
+	}
+	if len(accSt) > 0 {
+		addBlock(accSt)
+	}
+
+	// Precompute reverse edges.
+	var rev [2][][]int
+	for b := 0; b < 2; b++ {
+		rev[b] = make([][]int, n)
+	}
+	for s := 0; s < n; s++ {
+		for b := 0; b < 2; b++ {
+			tgt := t.Next[s][b]
+			rev[b][tgt] = append(rev[b][tgt], s)
+		}
+	}
+
+	// Worklist of (block id, symbol).
+	type work struct{ blk, sym int }
+	var wl []work
+	inWL := map[work]bool{}
+	push := func(blk, sym int) {
+		w := work{blk, sym}
+		if !inWL[w] {
+			inWL[w] = true
+			wl = append(wl, w)
+		}
+	}
+	for b := range blocks {
+		push(b, 0)
+		push(b, 1)
+	}
+
+	for len(wl) > 0 {
+		w := wl[len(wl)-1]
+		wl = wl[:len(wl)-1]
+		inWL[w] = false
+
+		// X = states with a transition on w.sym into block w.blk.
+		inX := map[int]bool{}
+		for _, s := range blocks[w.blk] {
+			for _, p := range rev[w.sym][s] {
+				inX[p] = true
+			}
+		}
+		if len(inX) == 0 {
+			continue
+		}
+		// Split every block crossed by X.
+		touched := map[int]bool{}
+		for p := range inX {
+			touched[block[p]] = true
+		}
+		for blk := range touched {
+			var inside, outside []int
+			for _, s := range blocks[blk] {
+				if inX[s] {
+					inside = append(inside, s)
+				} else {
+					outside = append(outside, s)
+				}
+			}
+			if len(inside) == 0 || len(outside) == 0 {
+				continue
+			}
+			// Keep the larger part in place, move the smaller to a new
+			// block (Hopcroft's trick).
+			small, large := inside, outside
+			if len(small) > len(large) {
+				small, large = large, small
+			}
+			blocks[blk] = large
+			newID := addBlock(small)
+			// If (blk, sym) is already pending, refining against the new
+			// part is enough; otherwise push the smaller part.
+			for sym := 0; sym < 2; sym++ {
+				push(newID, sym)
+			}
+		}
+	}
+
+	// Build the quotient automaton.
+	sort.Slice(blocks, func(i, j int) bool {
+		return minOf(blocks[i]) < minOf(blocks[j])
+	})
+	for id, states := range blocks {
+		for _, s := range states {
+			block[s] = id
+		}
+	}
+	out := &DFA{
+		Next:   make([][2]int, len(blocks)),
+		Accept: make([]bool, len(blocks)),
+		Start:  block[t.Start],
+	}
+	for id, states := range blocks {
+		rep := states[0]
+		out.Accept[id] = t.Accept[rep]
+		out.Next[id][0] = block[t.Next[rep][0]]
+		out.Next[id][1] = block[t.Next[rep][1]]
+	}
+	return out.trimUnreachable()
+}
+
+func minOf(xs []int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}
+
+// RecurrentStates returns the steady-state set of §4.7: the states the
+// machine can occupy after arbitrarily many inputs. It iterates the image
+// of the reachable set until the set sequence cycles and returns the union
+// over the cycle.
+func (d *DFA) RecurrentStates() []int {
+	cur := map[int]bool{d.Start: true}
+	seen := map[string]int{}
+	var history []map[int]bool
+	for {
+		k := setKey(cur)
+		if at, ok := seen[k]; ok {
+			// Union of the cycle's sets.
+			union := map[int]bool{}
+			for _, set := range history[at:] {
+				for s := range set {
+					union[s] = true
+				}
+			}
+			out := make([]int, 0, len(union))
+			for s := range union {
+				out = append(out, s)
+			}
+			sort.Ints(out)
+			return out
+		}
+		seen[k] = len(history)
+		history = append(history, cur)
+		next := map[int]bool{}
+		for s := range cur {
+			next[d.Next[s][0]] = true
+			next[d.Next[s][1]] = true
+		}
+		cur = next
+	}
+}
+
+func setKey(set map[int]bool) string {
+	xs := make([]int, 0, len(set))
+	for s := range set {
+		xs = append(xs, s)
+	}
+	sort.Ints(xs)
+	var sb strings.Builder
+	for i, s := range xs {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(strconv.Itoa(s))
+	}
+	return sb.String()
+}
+
+// TrimStartup performs the start-state reduction of §4.7: it restricts the
+// automaton to its recurrent (steady-state) set, choosing as the new start
+// the first recurrent state reachable from the old start (BFS, 0-edge
+// first), then renumbers canonically. The steady-state behaviour — the
+// output after any sufficiently long input — is unchanged.
+func (d *DFA) TrimStartup() *DFA {
+	rec := map[int]bool{}
+	for _, s := range d.RecurrentStates() {
+		rec[s] = true
+	}
+	// BFS from the old start to find the nearest recurrent state.
+	start := -1
+	visited := map[int]bool{d.Start: true}
+	queue := []int{d.Start}
+	for len(queue) > 0 {
+		s := queue[0]
+		queue = queue[1:]
+		if rec[s] {
+			start = s
+			break
+		}
+		for b := 0; b < 2; b++ {
+			t := d.Next[s][b]
+			if !visited[t] {
+				visited[t] = true
+				queue = append(queue, t)
+			}
+		}
+	}
+	if start < 0 {
+		// Cannot happen for a complete automaton, but fall back safely.
+		return d.trimUnreachable()
+	}
+	out := &DFA{Next: d.Next, Accept: d.Accept, Start: start}
+	return out.trimUnreachable()
+}
+
+// Equal reports whether two automata accept exactly the same language from
+// their start states, via product-construction BFS.
+func Equal(a, b *DFA) bool {
+	type pair struct{ x, y int }
+	seen := map[pair]bool{}
+	queue := []pair{{a.Start, b.Start}}
+	seen[queue[0]] = true
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if a.Accept[p.x] != b.Accept[p.y] {
+			return false
+		}
+		for bit := 0; bit < 2; bit++ {
+			n := pair{a.Next[p.x][bit], b.Next[p.y][bit]}
+			if !seen[n] {
+				seen[n] = true
+				queue = append(queue, n)
+			}
+		}
+	}
+	return true
+}
+
+// Isomorphic reports whether the reachable parts of two automata are
+// identical up to state renumbering.
+func Isomorphic(a, b *DFA) bool {
+	ca, cb := a.Canonicalize(), b.Canonicalize()
+	if ca.NumStates() != cb.NumStates() || ca.Start != cb.Start {
+		return false
+	}
+	for s := range ca.Next {
+		if ca.Next[s] != cb.Next[s] || ca.Accept[s] != cb.Accept[s] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,318 @@
+package dfa
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/nfa"
+	"fsmpredict/internal/regex"
+)
+
+func bitsOf(s string) []bool {
+	return bitseq.MustFromString(s).Bools()
+}
+
+func compile(expr string) *DFA {
+	return FromNFA(nfa.Compile(regex.MustParse(expr)))
+}
+
+func TestSubsetConstructionBasics(t *testing.T) {
+	cases := []struct {
+		expr string
+		yes  []string
+		no   []string
+	}{
+		{"1", []string{"1"}, []string{"", "0", "11"}},
+		{".*11", []string{"11", "011", "111"}, []string{"", "1", "10"}},
+		{".*(.1|1.)", []string{"01", "10", "11", "001"}, []string{"", "0", "00", "100"}},
+		{"(01)*", []string{"", "01", "0101"}, []string{"0", "011"}},
+	}
+	for _, c := range cases {
+		d := compile(c.expr)
+		if err := d.Validate(); err != nil {
+			t.Fatalf("%q: %v", c.expr, err)
+		}
+		for _, s := range c.yes {
+			if !d.Run(bitsOf(s)) {
+				t.Errorf("DFA(%q) should accept %q", c.expr, s)
+			}
+		}
+		for _, s := range c.no {
+			if d.Run(bitsOf(s)) {
+				t.Errorf("DFA(%q) should reject %q", c.expr, s)
+			}
+		}
+	}
+}
+
+// randomExpr mirrors the generator in the nfa tests.
+func randomExpr(rng *rand.Rand, depth int) regex.Node {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return regex.Lit{Bit: rng.Intn(2) == 1}
+		case 1:
+			return regex.Any{}
+		default:
+			return regex.Empty{}
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return regex.Concat{Parts: []regex.Node{
+			randomExpr(rng, depth-1), randomExpr(rng, depth-1)}}
+	case 1:
+		return regex.Alt{Alts: []regex.Node{
+			randomExpr(rng, depth-1), randomExpr(rng, depth-1)}}
+	case 2:
+		return regex.Star{Inner: randomExpr(rng, depth-1)}
+	default:
+		return randomExpr(rng, 0)
+	}
+}
+
+func forAllInputs(maxLen int, f func(input []bool) bool) bool {
+	for n := 0; n <= maxLen; n++ {
+		for v := 0; v < 1<<uint(n); v++ {
+			input := make([]bool, n)
+			for i := range input {
+				input[i] = v>>uint(i)&1 == 1
+			}
+			if !f(input) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func TestSubsetAndMinimizeAgreeWithNFA(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		expr := randomExpr(rng, 3)
+		m := nfa.Compile(expr)
+		d := FromNFA(m)
+		dm := d.Minimize()
+		if err := dm.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		ok := forAllInputs(7, func(input []bool) bool {
+			want := m.Accepts(input)
+			return d.Run(input) == want && dm.Run(input) == want
+		})
+		if !ok {
+			t.Fatalf("trial %d expr %q: DFA disagrees with NFA", trial, regex.String(expr))
+		}
+		if !Equal(d, dm) {
+			t.Fatalf("trial %d: Minimize changed the language", trial)
+		}
+		if dm.NumStates() > d.trimUnreachable().NumStates() {
+			t.Fatalf("trial %d: Minimize grew the automaton", trial)
+		}
+	}
+}
+
+// naiveMinimalCount computes the minimal state count by Moore's iterative
+// partition refinement — an independent oracle for Hopcroft.
+func naiveMinimalCount(d *DFA) int {
+	r := d.trimUnreachable()
+	n := r.NumStates()
+	class := make([]int, n)
+	for s := 0; s < n; s++ {
+		if r.Accept[s] {
+			class[s] = 1
+		}
+	}
+	for {
+		type sig struct{ c, c0, c1 int }
+		next := make([]int, n)
+		ids := map[sig]int{}
+		for s := 0; s < n; s++ {
+			g := sig{class[s], class[r.Next[s][0]], class[r.Next[s][1]]}
+			id, ok := ids[g]
+			if !ok {
+				id = len(ids)
+				ids[g] = id
+			}
+			next[s] = id
+		}
+		same := true
+		for s := range class {
+			if class[s] != next[s] {
+				same = false
+			}
+		}
+		copy(class, next)
+		if same {
+			return len(ids)
+		}
+	}
+}
+
+func TestHopcroftMatchesNaiveMinimization(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	for trial := 0; trial < 60; trial++ {
+		// Random complete DFA.
+		n := rng.Intn(30) + 2
+		d := &DFA{
+			Next:   make([][2]int, n),
+			Accept: make([]bool, n),
+			Start:  rng.Intn(n),
+		}
+		for s := 0; s < n; s++ {
+			d.Next[s][0] = rng.Intn(n)
+			d.Next[s][1] = rng.Intn(n)
+			d.Accept[s] = rng.Intn(2) == 1
+		}
+		dm := d.Minimize()
+		if want := naiveMinimalCount(d); dm.NumStates() != want {
+			t.Fatalf("trial %d: Hopcroft -> %d states, naive -> %d", trial, dm.NumStates(), want)
+		}
+		if !Equal(d, dm) {
+			t.Fatalf("trial %d: minimization changed the language", trial)
+		}
+	}
+}
+
+func TestFigure1Pipeline(t *testing.T) {
+	// §4: trace t yields cover {x1, 1x}; the minimized machine has 5
+	// states including start-up states (Figure 1 left) and 3 states after
+	// start-state reduction (Figure 1 right), one of which predicts 0.
+	d := compile(".*(.1|1.)").Minimize()
+	if d.NumStates() != 5 {
+		t.Fatalf("minimized machine has %d states, want 5 (Figure 1 left)", d.NumStates())
+	}
+	tr := d.TrimStartup()
+	if tr.NumStates() != 3 {
+		t.Fatalf("after start-state reduction: %d states, want 3 (Figure 1 right)", tr.NumStates())
+	}
+	acc := 0
+	for _, a := range tr.Accept {
+		if a {
+			acc++
+		}
+	}
+	if acc != 2 {
+		t.Fatalf("trimmed machine has %d predict-1 states, want 2", acc)
+	}
+	// Steady-state behaviour: patterns ending in 01, 10, 11 predict 1 and
+	// 00 predicts 0, from any state.
+	for s := 0; s < tr.NumStates(); s++ {
+		for h := uint32(0); h < 4; h++ {
+			cur := s
+			cur = tr.Step(cur, h>>1&1 == 1)
+			cur = tr.Step(cur, h&1 == 1)
+			want := h != 0
+			if tr.Accept[cur] != want {
+				t.Errorf("from state %d history %s: predict %v, want %v",
+					s, bitseq.HistoryString(h, 2), tr.Accept[cur], want)
+			}
+		}
+	}
+}
+
+func TestTrimStartupPreservesSteadyState(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		// Build a pipeline-style machine from a random cover.
+		width := rng.Intn(4) + 2
+		var cover []bitseq.Cube
+		for i := 0; i < rng.Intn(3)+1; i++ {
+			cover = append(cover, bitseq.NewCube(rng.Uint32(), rng.Uint32()|1, width))
+		}
+		d := FromNFA(nfa.Compile(regex.FromCover(cover))).Minimize()
+		tr := d.TrimStartup()
+		if tr.NumStates() > d.NumStates() {
+			t.Fatalf("trial %d: TrimStartup grew the machine", trial)
+		}
+		// After the warm-up prefix both machines agree step by step.
+		warm := width + d.NumStates()
+		input := make([]bool, warm+40)
+		for i := range input {
+			input[i] = rng.Intn(2) == 1
+		}
+		s1, s2 := d.Start, tr.Start
+		for i, b := range input {
+			s1, s2 = d.Step(s1, b), tr.Step(s2, b)
+			if i >= warm && d.Accept[s1] != tr.Accept[s2] {
+				t.Fatalf("trial %d: steady-state mismatch at step %d", trial, i)
+			}
+		}
+	}
+}
+
+func TestRecurrentStatesSimple(t *testing.T) {
+	// start -> a -> b -> a (cycle a,b); start transient.
+	d := &DFA{
+		Next:   [][2]int{{1, 1}, {2, 2}, {1, 1}},
+		Accept: []bool{false, true, false},
+		Start:  0,
+	}
+	rec := d.RecurrentStates()
+	if len(rec) != 2 || rec[0] != 1 || rec[1] != 2 {
+		t.Fatalf("RecurrentStates = %v, want [1 2]", rec)
+	}
+	tr := d.TrimStartup()
+	if tr.NumStates() != 2 {
+		t.Fatalf("TrimStartup -> %d states, want 2", tr.NumStates())
+	}
+}
+
+func TestRecurrentStatesSelfLoop(t *testing.T) {
+	d := &DFA{Next: [][2]int{{0, 0}}, Accept: []bool{true}, Start: 0}
+	rec := d.RecurrentStates()
+	if len(rec) != 1 || rec[0] != 0 {
+		t.Fatalf("RecurrentStates = %v, want [0]", rec)
+	}
+}
+
+func TestEqualAndIsomorphic(t *testing.T) {
+	a := compile(".*11").Minimize()
+	b := compile(".*1 1").Minimize()
+	c := compile(".*00").Minimize()
+	if !Equal(a, b) || !Isomorphic(a, b) {
+		t.Error("identical languages should be Equal and Isomorphic")
+	}
+	if Equal(a, c) || Isomorphic(a, c) {
+		t.Error("different languages should not be Equal or Isomorphic")
+	}
+	// Renumbered copy is isomorphic.
+	perm := &DFA{
+		Next:   make([][2]int, a.NumStates()),
+		Accept: make([]bool, a.NumStates()),
+	}
+	n := a.NumStates()
+	for s := 0; s < n; s++ {
+		p := (s + 1) % n
+		perm.Next[p][0] = (a.Next[s][0] + 1) % n
+		perm.Next[p][1] = (a.Next[s][1] + 1) % n
+		perm.Accept[p] = a.Accept[s]
+	}
+	perm.Start = (a.Start + 1) % n
+	if !Isomorphic(a, perm) {
+		t.Error("renumbered machine should be isomorphic")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []*DFA{
+		{},
+		{Next: [][2]int{{0, 0}}, Accept: []bool{}, Start: 0},
+		{Next: [][2]int{{0, 5}}, Accept: []bool{true}, Start: 0},
+		{Next: [][2]int{{0, 0}}, Accept: []bool{true}, Start: 3},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestMinimizeIdempotent(t *testing.T) {
+	d := compile(".*(0.1.|0..1.)").Minimize()
+	again := d.Minimize()
+	if !Isomorphic(d, again) || d.NumStates() != again.NumStates() {
+		t.Fatal("Minimize should be idempotent")
+	}
+}

@@ -1,0 +1,60 @@
+// Package experiments regenerates every figure of the paper's evaluation
+// on the synthetic benchmark suite. Each figure has one entry point
+// returning structured results; the cmd tools print them, the benchmarks
+// time them, and the package tests assert the qualitative shapes the
+// paper reports (who wins, by roughly what factor, where the crossovers
+// fall). See DESIGN.md for the experiment index.
+package experiments
+
+// Config scales the experiments. The zero value is replaced by defaults
+// sized like the paper's SimPoint traces; tests shrink them.
+type Config struct {
+	// BranchEvents is the branch-trace length per benchmark.
+	BranchEvents int
+	// LoadEvents is the load-trace length per value benchmark.
+	LoadEvents int
+	// MaxCustom is the number of custom FSM slots swept in Figure 5.
+	MaxCustom int
+	// Order is the global history length for custom branch predictors
+	// (the paper uses 9 throughout, §7.3).
+	Order int
+	// Histories are the confidence FSM history lengths of Figure 2.
+	Histories []int
+	// TableLog2 sizes the stride value predictor (11 -> 2K entries).
+	TableLog2 int
+}
+
+// DefaultConfig returns the paper-scale configuration.
+func DefaultConfig() Config {
+	return Config{
+		BranchEvents: 250_000,
+		LoadEvents:   120_000,
+		MaxCustom:    16,
+		Order:        9,
+		Histories:    []int{2, 4, 6, 8, 10},
+		TableLog2:    11,
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.BranchEvents <= 0 {
+		c.BranchEvents = d.BranchEvents
+	}
+	if c.LoadEvents <= 0 {
+		c.LoadEvents = d.LoadEvents
+	}
+	if c.MaxCustom <= 0 {
+		c.MaxCustom = d.MaxCustom
+	}
+	if c.Order <= 0 {
+		c.Order = d.Order
+	}
+	if len(c.Histories) == 0 {
+		c.Histories = d.Histories
+	}
+	if c.TableLog2 <= 0 {
+		c.TableLog2 = d.TableLog2
+	}
+	return c
+}

@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/regex"
+)
+
+// PaperTrace is the worked-example trace t of §4.2.
+const PaperTrace = "0000 1000 1011 1101 1110 1111"
+
+// Figure1Result holds both machines of Figure 1: the minimized machine
+// with start-up states (left) and the final machine after start-state
+// reduction (right), along with every intermediate design artifact.
+type Figure1Result struct {
+	Design         *core.Design
+	StartupMachine *fsm.Machine
+}
+
+// Figure1 runs the §4 design flow on the paper's example trace with a
+// second-order model.
+func Figure1() (*Figure1Result, error) {
+	tr := bitseq.MustFromString(PaperTrace)
+	design, err := core.FromTrace(tr, core.Options{Order: 2, Name: "figure1"})
+	if err != nil {
+		return nil, err
+	}
+	withStartup, err := core.FromTrace(tr, core.Options{Order: 2, Name: "figure1_startup", KeepStartup: true})
+	if err != nil {
+		return nil, err
+	}
+	return &Figure1Result{Design: design, StartupMachine: withStartup.Machine}, nil
+}
+
+// Report renders the figure as text: model probabilities, pattern sets,
+// cover, regular expression, and both machines.
+func (r *Figure1Result) Report() string {
+	var sb strings.Builder
+	d := r.Design
+	fmt.Fprintf(&sb, "trace t = %s\n\n", PaperTrace)
+	sb.WriteString("second-order Markov model:\n")
+	for h := uint32(0); h < 4; h++ {
+		c := d.Model.Count(h)
+		fmt.Fprintf(&sb, "  P[1|%s] = %d/%d\n", bitseq.HistoryString(h, 2), c.Ones, c.Total())
+	}
+	fmt.Fprintf(&sb, "\npredict-1 set: %v\npredict-0 set: %v\n",
+		d.Partition.PredictOne, d.Partition.PredictZero)
+	fmt.Fprintf(&sb, "minimized cover: %v\n", d.Cover)
+	fmt.Fprintf(&sb, "regular expression: %s\n", regex.String(d.Expr))
+	fmt.Fprintf(&sb, "\nwith start-up states (%d states):\n%s\n",
+		r.StartupMachine.NumStates(), r.StartupMachine)
+	fmt.Fprintf(&sb, "after start-state reduction (%d states):\n%s\n",
+		d.Machine.NumStates(), d.Machine)
+	return sb.String()
+}

@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fsmpredict/internal/confidence"
+	"fsmpredict/internal/markov"
+	"fsmpredict/internal/stats"
+	"fsmpredict/internal/trace"
+	"fsmpredict/internal/workload"
+)
+
+// Figure2Result holds one program's value-prediction confidence
+// comparison: the saturating up/down counter sweep versus cross-trained
+// custom FSM curves per history length.
+type Figure2Result struct {
+	Program string
+	// SUD holds the counter configuration points (§3.1 sweep).
+	SUD []confidence.SUDPoint
+	// Curves maps each history length to its threshold-swept FSM points;
+	// the FSMs were trained on all OTHER programs (§6.3 cross-training).
+	Curves map[int][]confidence.FSMPoint
+}
+
+// Figure2 reproduces one panel of Figure 2 for the named value benchmark
+// (gcc, go, groff, li or perl).
+func Figure2(program string, cfg Config) (*Figure2Result, error) {
+	cfg = cfg.withDefaults()
+	target, err := workload.LoadByName(program)
+	if err != nil {
+		return nil, err
+	}
+	evalLoads := target.Generate(workload.Test, cfg.LoadEvents)
+
+	res := &Figure2Result{
+		Program: program,
+		SUD:     confidence.SUDSweep(evalLoads, cfg.TableLog2),
+		Curves:  make(map[int][]confidence.FSMPoint, len(cfg.Histories)),
+	}
+
+	// Cross-training: per history length, merge the per-entry correctness
+	// models of every other program's training input.
+	others := make([][]trace.LoadEvent, 0, 4)
+	for _, p := range workload.LoadSuite() {
+		if p.Name == program {
+			continue
+		}
+		others = append(others, p.Generate(workload.Train, cfg.LoadEvents))
+	}
+	if len(others) == 0 {
+		return nil, fmt.Errorf("experiments: no other programs to cross-train on")
+	}
+	for _, h := range cfg.Histories {
+		model := markov.New(h)
+		for _, loads := range others {
+			if err := model.Merge(confidence.PerEntryCorrectnessModel(loads, cfg.TableLog2, h)); err != nil {
+				return nil, err
+			}
+		}
+		points, err := confidence.FSMCurve(model, confidence.DefaultThresholds(), evalLoads, cfg.TableLog2)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure2 %s h=%d: %v", program, h, err)
+		}
+		res.Curves[h] = points
+	}
+	return res, nil
+}
+
+// SUDFrontier returns the Pareto-optimal accuracy/coverage frontier of
+// the counter sweep.
+func (r *Figure2Result) SUDFrontier() []stats.Point {
+	pts := make([]stats.Point, 0, len(r.SUD))
+	for _, p := range r.SUD {
+		pts = append(pts, stats.Point{X: p.Result.Accuracy(), Y: p.Result.Coverage()})
+	}
+	return stats.ParetoMax(pts)
+}
+
+// CurvePoints returns one history length's curve as accuracy/coverage
+// points sorted by accuracy.
+func (r *Figure2Result) CurvePoints(history int) []stats.Point {
+	pts := make([]stats.Point, 0, len(r.Curves[history]))
+	for _, p := range r.Curves[history] {
+		pts = append(pts, stats.Point{X: p.Result.Accuracy(), Y: p.Result.Coverage()})
+	}
+	s := stats.Series{Points: pts}
+	s.Sort()
+	return s.Points
+}
+
+// Series renders the whole panel as named series for CSV/plot output.
+func (r *Figure2Result) Series() []stats.Series {
+	var out []stats.Series
+	var sud stats.Series
+	sud.Name = "up/down"
+	for _, p := range r.SUD {
+		sud.Points = append(sud.Points, stats.Point{X: p.Result.Accuracy(), Y: p.Result.Coverage()})
+	}
+	out = append(out, sud)
+	for _, h := range sortedKeys(r.Curves) {
+		out = append(out, stats.Series{
+			Name:   fmt.Sprintf("custom w/ hist=%d", h),
+			Points: r.CurvePoints(h),
+		})
+	}
+	return out
+}
+
+func sortedKeys(m map[int][]confidence.FSMPoint) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

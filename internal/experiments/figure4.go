@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fsmpredict/internal/bpred"
+	"fsmpredict/internal/stats"
+	"fsmpredict/internal/vhdl"
+	"fsmpredict/internal/workload"
+)
+
+// Figure4Result holds the synthesized area versus state count of a
+// sample of generated FSM predictors, plus the fitted linear area bound
+// the rest of the experiments use (§7.4).
+//
+// As in the paper, most machines sit on a linear trend while some large
+// but highly regular machines optimize far below it; the fit follows the
+// linear bulk (a trimmed least squares) so it can serve as the paper's
+// conservative area bound.
+type Figure4Result struct {
+	// Points are all (states, gate-equivalent area) samples.
+	Points []stats.Point
+	// Kept are the samples the trimmed fit retained (the linear bulk).
+	Kept []stats.Point
+	// Fit is the least-squares line through Kept.
+	Fit stats.Fit
+}
+
+// Figure4 generates custom FSM predictors across all branch benchmarks,
+// synthesizes a sample of them with the gate-level model (the Synopsys
+// stand-in), and fits the linear area/state relationship. sampleFrac
+// mirrors the paper's 10% random sample; pass 1.0 to synthesize all.
+func Figure4(cfg Config, sampleFrac float64) (*Figure4Result, error) {
+	cfg = cfg.withDefaults()
+	if sampleFrac <= 0 || sampleFrac > 1 {
+		sampleFrac = 0.1
+	}
+	var all []*bpred.CustomEntry
+	for _, prog := range workload.BranchSuite() {
+		events := prog.Generate(workload.Train, cfg.BranchEvents)
+		entries, err := bpred.TrainCustom(events, bpred.TrainOptions{
+			MaxEntries:    cfg.MaxCustom,
+			Order:         cfg.Order,
+			MinExecutions: 64,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: figure4 %s: %v", prog.Name, err)
+		}
+		all = append(all, entries...)
+	}
+	if len(all) == 0 {
+		return nil, fmt.Errorf("experiments: figure4 produced no machines")
+	}
+
+	rng := rand.New(rand.NewSource(97))
+	res := &Figure4Result{}
+	for _, e := range all {
+		if sampleFrac < 1 && rng.Float64() >= sampleFrac {
+			continue
+		}
+		area, err := vhdl.EstimateArea(e.Machine)
+		if err != nil {
+			return nil, err
+		}
+		res.Points = append(res.Points, stats.Point{
+			X: float64(e.Machine.NumStates()),
+			Y: area,
+		})
+	}
+	if len(res.Points) < 2 {
+		// Sampling left too few points; use everything.
+		res.Points = res.Points[:0]
+		for _, e := range all {
+			area, err := vhdl.EstimateArea(e.Machine)
+			if err != nil {
+				return nil, err
+			}
+			res.Points = append(res.Points, stats.Point{
+				X: float64(e.Machine.NumStates()),
+				Y: area,
+			})
+		}
+	}
+	if err := res.fitTrimmed(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// fitTrimmed fits the linear bulk: a robust Theil–Sen line locates the
+// trend despite the regular-machine outliers; points far below it (the
+// paper's "highly regular" large machines whose synthesized area beats
+// the trend) are set aside, and ordinary least squares on the remainder
+// gives the reported line.
+func (r *Figure4Result) fitTrimmed() error {
+	base, err := stats.TheilSen(r.Points)
+	if err != nil {
+		return err
+	}
+	var kept []stats.Point
+	for _, p := range r.Points {
+		pred := base.At(p.X)
+		if pred > 40 && p.Y < 0.5*pred {
+			continue // regular machine, far below the trend
+		}
+		kept = append(kept, p)
+	}
+	if len(kept) < 2 {
+		kept = r.Points
+	}
+	r.Kept = kept
+	fit, err := stats.LinearFit(kept)
+	if err != nil {
+		return err
+	}
+	r.Fit = fit
+	return nil
+}
+
+// AreaModel converts the fit into the conservative estimator used by
+// Figure 5: a linear bound on area by state count, floored at the
+// smallest sampled area.
+func (r *Figure4Result) AreaModel() func(states int) float64 {
+	minArea := r.Points[0].Y
+	for _, p := range r.Points {
+		if p.Y < minArea {
+			minArea = p.Y
+		}
+	}
+	fit := r.Fit
+	return func(states int) float64 {
+		a := fit.At(float64(states))
+		if a < minArea {
+			return minArea
+		}
+		return a
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fsmpredict/internal/bpred"
+	"fsmpredict/internal/stats"
+	"fsmpredict/internal/workload"
+)
+
+// Figure5Result holds one benchmark's misprediction-rate versus
+// estimated-area comparison of the four architectures (§7.5).
+type Figure5Result struct {
+	Program string
+	// XScale is the baseline's single operating point.
+	XScale stats.Point
+	// Gshare and LGC are size sweeps of the table-based predictors.
+	Gshare stats.Series
+	LGC    stats.Series
+	// CustomSame and CustomDiff add one custom FSM at a time; Same is
+	// trained and measured on the same input (the limit study), Diff is
+	// trained on the Train input and measured on Test.
+	CustomSame stats.Series
+	CustomDiff stats.Series
+	// Entries are the trained custom predictors in rank order.
+	Entries []*bpred.CustomEntry
+}
+
+// GshareBits and LGCBits are the table-size sweeps of Figure 5.
+var (
+	GshareBits = []int{7, 8, 9, 10, 11, 12, 13, 14, 15, 16}
+	LGCBits    = []int{5, 6, 7, 8, 9, 10, 11, 12, 13, 14}
+)
+
+// Figure5 reproduces one panel of Figure 5 for the named branch
+// benchmark. fsmArea is the Figure 4 linear model; pass nil to use a
+// freshly fitted one.
+func Figure5(program string, cfg Config, fsmArea func(states int) float64) (*Figure5Result, error) {
+	cfg = cfg.withDefaults()
+	prog, err := workload.ByName(program)
+	if err != nil {
+		return nil, err
+	}
+	if fsmArea == nil {
+		f4, err := Figure4(cfg, 1.0)
+		if err != nil {
+			return nil, err
+		}
+		fsmArea = f4.AreaModel()
+	}
+
+	train := prog.Generate(workload.Train, cfg.BranchEvents)
+	test := prog.Generate(workload.Test, cfg.BranchEvents)
+
+	res := &Figure5Result{Program: program}
+	res.Gshare.Name, res.LGC.Name = "gshare", "lgc"
+	res.CustomSame.Name, res.CustomDiff.Name = "custom-same", "custom-diff"
+
+	// Baselines, measured on the test input.
+	x := bpred.NewXScale()
+	xr := bpred.Run(x, test)
+	res.XScale = stats.Point{X: x.Area(), Y: xr.MissRate()}
+
+	for _, bits := range GshareBits {
+		g := bpred.NewGshare(bits)
+		r := bpred.Run(g, test)
+		res.Gshare.Points = append(res.Gshare.Points, stats.Point{X: g.Area(), Y: r.MissRate()})
+	}
+	for _, bits := range LGCBits {
+		l := bpred.NewLGC(bits)
+		r := bpred.Run(l, test)
+		res.LGC.Points = append(res.LGC.Points, stats.Point{X: l.Area(), Y: r.MissRate()})
+	}
+
+	// Custom predictors trained on the training input.
+	entries, err := bpred.TrainCustom(train, bpred.TrainOptions{
+		MaxEntries:    cfg.MaxCustom,
+		Order:         cfg.Order,
+		MinExecutions: 64,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure5 %s: %v", program, err)
+	}
+	if len(entries) == 0 {
+		return nil, fmt.Errorf("experiments: figure5 %s: no custom entries", program)
+	}
+	res.Entries = entries
+
+	for m := 1; m <= len(entries); m++ {
+		same := bpred.NewCustom(entries[:m])
+		same.FSMArea = fsmArea
+		sr := bpred.Run(same, train)
+		res.CustomSame.Points = append(res.CustomSame.Points,
+			stats.Point{X: same.Area(), Y: sr.MissRate()})
+
+		diff := bpred.NewCustom(entries[:m])
+		diff.FSMArea = fsmArea
+		dr := bpred.Run(diff, test)
+		res.CustomDiff.Points = append(res.CustomDiff.Points,
+			stats.Point{X: diff.Area(), Y: dr.MissRate()})
+	}
+	return res, nil
+}
+
+// Series returns all curves (and the baseline point) as named series.
+func (r *Figure5Result) Series() []stats.Series {
+	return []stats.Series{
+		{Name: "xscale", Points: []stats.Point{r.XScale}},
+		r.Gshare,
+		r.LGC,
+		r.CustomSame,
+		r.CustomDiff,
+	}
+}
+
+// BestAtOrBelow returns a series' lowest miss rate among points with area
+// at most the given budget, and whether any point qualifies.
+func BestAtOrBelow(s stats.Series, areaBudget float64) (float64, bool) {
+	best, ok := 0.0, false
+	for _, p := range s.Points {
+		if p.X <= areaBudget && (!ok || p.Y < best) {
+			best, ok = p.Y, true
+		}
+	}
+	return best, ok
+}
+
+// MinMiss returns a series' lowest miss rate across all its points.
+func MinMiss(s stats.Series) float64 {
+	best := 1.0
+	for _, p := range s.Points {
+		if p.Y < best {
+			best = p.Y
+		}
+	}
+	return best
+}

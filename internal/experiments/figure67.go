@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/trace"
+	"fsmpredict/internal/workload"
+)
+
+// ExampleMachine is one of the paper's custom FSM showcases (Figures 6
+// and 7): the branch it was built for, the minimized pattern cover it
+// captures, and the machine itself.
+type ExampleMachine struct {
+	Program string
+	PC      uint64
+	Order   int
+	Cover   []bitseq.Cube
+	Machine *fsm.Machine
+}
+
+// designFor profiles the benchmark and designs an FSM for one branch at
+// the given history length.
+func designFor(program string, pc uint64, order, events int) (*ExampleMachine, error) {
+	prog, err := workload.ByName(program)
+	if err != nil {
+		return nil, err
+	}
+	evs := prog.Generate(workload.Train, events)
+	models := trace.GlobalMarkov(evs, map[uint64]bool{pc: true}, order)
+	design, err := core.FromModel(models[pc], core.Options{
+		Name: fmt.Sprintf("%s_%#x", program, pc),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &ExampleMachine{
+		Program: program,
+		PC:      pc,
+		Order:   order,
+		Cover:   design.Cover,
+		Machine: design.Machine,
+	}, nil
+}
+
+// Figure6 designs the simple ijpeg example: a branch correlated with the
+// branch two back in the global history. At history length 2 its cover
+// is the single pattern "1x" and the machine has four states, exactly as
+// in the paper's Figure 6.
+func Figure6(cfg Config) (*ExampleMachine, error) {
+	cfg = cfg.withDefaults()
+	const pc = 0x12005000 + 2*4 // ijpeg site 2: outcome = Lag(2)
+	return designFor("ijpeg", pc, 2, cfg.BranchEvents)
+}
+
+// Figure7 designs the richer gs example: a branch whose outcome is a
+// two-condition function of the global history (the paper's machine
+// captures "0x1x | 0xx1x"). At history length 4 the gs site computes
+// !Lag(1) && Lag(3), giving the analogous two-literal pattern "x1x0".
+func Figure7(cfg Config) (*ExampleMachine, error) {
+	cfg = cfg.withDefaults()
+	const pc = 0x12002000 + 1*4 // gs site 1: !Lag(1) && Lag(3)
+	return designFor("gs", pc, 4, cfg.BranchEvents)
+}
+
+// CapturesFromAnyState verifies the paper's §7.6 property for an example
+// machine: starting in ANY state, feeding any Order-length history ends
+// in a state whose prediction equals the cover's match of that history.
+// It returns the first violating (state, history) pair, or ok.
+func (e *ExampleMachine) CapturesFromAnyState() (state int, history uint32, ok bool) {
+	m := e.Machine
+	for s := 0; s < m.NumStates(); s++ {
+		for h := uint32(0); h < 1<<uint(e.Order); h++ {
+			cur := s
+			for i := e.Order - 1; i >= 0; i-- {
+				cur = m.Step(cur, h>>uint(i)&1 == 1)
+			}
+			if m.Output[cur] != bitseq.CoverMatches(e.Cover, h) {
+				return s, h, false
+			}
+		}
+	}
+	return 0, 0, true
+}

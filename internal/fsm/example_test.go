@@ -1,0 +1,36 @@
+package fsm_test
+
+import (
+	"fmt"
+
+	"fsmpredict/internal/fsm"
+)
+
+// ExampleMachine_Simulate drives the Figure 1 machine over a trace.
+func ExampleMachine_Simulate() {
+	m := &fsm.Machine{
+		Name:   "figure1",
+		Output: []bool{false, true, true},
+		Next:   [][2]int{{0, 1}, {2, 1}, {0, 1}},
+		Start:  0,
+	}
+	trace := []bool{true, true, true, false, false, true}
+	res := m.Simulate(trace, 2)
+	fmt.Printf("correct %d of %d\n", res.Correct, res.Total)
+	// Output:
+	// correct 1 of 4
+}
+
+// ExampleMachine_SyncDepth shows the §7.6 synchronization property that
+// makes the update-all policy safe.
+func ExampleMachine_SyncDepth() {
+	m := &fsm.Machine{
+		Output: []bool{false, true, true},
+		Next:   [][2]int{{0, 1}, {2, 1}, {0, 1}},
+		Start:  0,
+	}
+	k, ok := m.SyncDepth()
+	fmt.Printf("synchronizes after %d inputs: %v\n", k, ok)
+	// Output:
+	// synchronizes after 2 inputs: true
+}

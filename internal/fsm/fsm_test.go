@@ -1,0 +1,288 @@
+package fsm
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/dfa"
+	"fsmpredict/internal/nfa"
+	"fsmpredict/internal/regex"
+)
+
+// figure1Machine is the 3-state machine of Figure 1 (right): predict 1
+// unless the last two inputs were 00. State encodes the last two bits:
+// s0 = 00 [0], s1 = x1 [1] (last bit 1), s2 = 10 [1].
+func figure1Machine() *Machine {
+	return &Machine{
+		Name:   "figure1",
+		Output: []bool{false, true, true},
+		Next:   [][2]int{{0, 1}, {2, 1}, {0, 1}},
+		Start:  0,
+	}
+}
+
+// pipelineMachine compiles a cube cover through the full
+// regex→NFA→DFA→minimize→trim pipeline.
+func pipelineMachine(t *testing.T, cubes ...string) *Machine {
+	t.Helper()
+	var cover []bitseq.Cube
+	for _, s := range cubes {
+		cover = append(cover, bitseq.MustParseCube(s))
+	}
+	d := dfa.FromNFA(nfa.Compile(regex.FromCover(cover))).Minimize().TrimStartup()
+	m := FromDFA(d)
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidate(t *testing.T) {
+	good := figure1Machine()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []*Machine{
+		{},
+		{Output: []bool{true}, Next: [][2]int{{0, 0}}, Start: 2},
+		{Output: []bool{true, false}, Next: [][2]int{{0, 0}}, Start: 0},
+		{Output: []bool{true}, Next: [][2]int{{0, 9}}, Start: 0},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestRunnerPredictUpdate(t *testing.T) {
+	m := figure1Machine()
+	r := m.NewRunner()
+	if r.Predict() {
+		t.Error("start state should predict 0")
+	}
+	r.Update(true) // history x1
+	if !r.Predict() {
+		t.Error("after a 1 should predict 1")
+	}
+	r.Update(false) // history 10
+	if !r.Predict() {
+		t.Error("after 1,0 should predict 1")
+	}
+	r.Update(false) // history 00
+	if r.Predict() {
+		t.Error("after 0,0 should predict 0")
+	}
+	r.Reset()
+	if r.State() != m.Start {
+		t.Error("Reset should return to start")
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	m := figure1Machine()
+	// On an all-ones trace the machine mispredicts only the first bit.
+	trace := make([]bool, 50)
+	for i := range trace {
+		trace[i] = true
+	}
+	res := m.Simulate(trace, 0)
+	if res.Total != 50 || res.Correct != 49 {
+		t.Fatalf("Simulate = %+v, want 49/50", res)
+	}
+	if res.MissRate() != 1.0/50 {
+		t.Errorf("MissRate = %v", res.MissRate())
+	}
+	// Warm-up skip removes the initial misprediction.
+	res = m.Simulate(trace, 1)
+	if res.Total != 49 || res.Correct != 49 {
+		t.Fatalf("Simulate with skip = %+v, want 49/49", res)
+	}
+	if res.Accuracy() != 1 {
+		t.Errorf("Accuracy = %v, want 1", res.Accuracy())
+	}
+}
+
+func TestSimResultEmpty(t *testing.T) {
+	var r SimResult
+	if r.MissRate() != 0 || r.Accuracy() != 0 {
+		t.Error("empty result should report zero rates")
+	}
+}
+
+func TestFromToDFARoundTrip(t *testing.T) {
+	m := figure1Machine()
+	back := FromDFA(m.ToDFA())
+	if !Isomorphic(m, back) || !Equal(m, back) {
+		t.Fatal("DFA round trip changed the machine")
+	}
+}
+
+func TestFigure1PipelineProducesKnownMachine(t *testing.T) {
+	m := pipelineMachine(t, "x1", "1x")
+	if m.NumStates() != 3 {
+		t.Fatalf("pipeline machine has %d states, want 3", m.NumStates())
+	}
+	if !Equal(m, figure1Machine()) {
+		t.Fatalf("pipeline machine differs from Figure 1:\n%s", m)
+	}
+}
+
+func TestFigure6Property(t *testing.T) {
+	// Figure 6: machine for cover {1x} (width 2). From ANY state,
+	// following inputs b1 then b2 lands in a state predicting b1.
+	m := pipelineMachine(t, "1x")
+	if m.NumStates() != 4 {
+		t.Errorf("Figure 6 machine has %d states, want 4", m.NumStates())
+	}
+	for s := 0; s < m.NumStates(); s++ {
+		for _, b1 := range []bool{false, true} {
+			for _, b2 := range []bool{false, true} {
+				end := m.Step(m.Step(s, b1), b2)
+				if m.Output[end] != b1 {
+					t.Errorf("from s%d inputs %v,%v: predict %v, want %v",
+						s, b1, b2, m.Output[end], b1)
+				}
+			}
+		}
+	}
+}
+
+func TestSyncDepthPipelineBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 30; trial++ {
+		width := rng.Intn(5) + 2
+		var cubes []string
+		for i := 0; i < rng.Intn(3)+1; i++ {
+			c := bitseq.NewCube(rng.Uint32(), rng.Uint32()|1, width)
+			cubes = append(cubes, c.String())
+		}
+		m := pipelineMachine(t, cubes...)
+		k, ok := m.SyncDepth()
+		if !ok {
+			t.Fatalf("trial %d (cubes %v): pipeline machine must synchronize", trial, cubes)
+		}
+		if k > width {
+			t.Fatalf("trial %d: SyncDepth %d exceeds history width %d", trial, k, width)
+		}
+		// Directly verify: every width-length word drives all states to
+		// one state.
+		for w := 0; w < 1<<uint(width); w++ {
+			end := -1
+			for s := 0; s < m.NumStates(); s++ {
+				cur := s
+				for i := width - 1; i >= 0; i-- {
+					cur = m.Step(cur, w>>uint(i)&1 == 1)
+				}
+				if end < 0 {
+					end = cur
+				} else if end != cur {
+					t.Fatalf("trial %d: word %b does not synchronize", trial, w)
+				}
+			}
+		}
+	}
+}
+
+func TestSyncDepthCounterUnbounded(t *testing.T) {
+	// A 2-bit saturating counter never synchronizes: alternating inputs
+	// keep two middle states apart forever.
+	counter := &Machine{
+		Output: []bool{false, false, true, true},
+		Next:   [][2]int{{0, 1}, {0, 2}, {1, 3}, {2, 3}},
+		Start:  0,
+	}
+	if _, ok := counter.SyncDepth(); ok {
+		t.Fatal("saturating counter should not synchronize")
+	}
+}
+
+func TestSyncDepthSingleState(t *testing.T) {
+	m := &Machine{Output: []bool{true}, Next: [][2]int{{0, 0}}, Start: 0}
+	k, ok := m.SyncDepth()
+	if !ok || k != 0 {
+		t.Fatalf("SyncDepth = %d/%v, want 0/true", k, ok)
+	}
+}
+
+func TestDOT(t *testing.T) {
+	m := figure1Machine()
+	dot := m.DOT()
+	for _, want := range []string{
+		"digraph", "init -> s0", `s0 [label="s0\n[0]"]`,
+		`s1 [label="s1\n[1]"]`, `s1 -> s2 [label="0"]`,
+		`s0 -> s0 [label="0"]`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+	// Merged-edge rendering.
+	loop := &Machine{Output: []bool{true}, Next: [][2]int{{0, 0}}, Start: 0}
+	if !strings.Contains(loop.DOT(), `label="0,1"`) {
+		t.Error("DOT should merge identical edges")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	m := figure1Machine()
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != m.Name || got.Start != m.Start || !Isomorphic(got, m) {
+		t.Fatalf("round trip mismatch: %s vs %s", got, m)
+	}
+	for s := range m.Next {
+		if got.Next[s] != m.Next[s] || got.Output[s] != m.Output[s] {
+			t.Fatalf("state %d mismatch", s)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"bogus 1 0\n1 0 0\n",
+		"fsm 2 0 x\n1 0 0\n", // missing row
+		"fsm 1 0\nz 0 0\n",
+		"fsm 1 5 name\n1 0 0\n", // bad start
+	} {
+		if _, err := Read(bytes.NewBufferString(s)); err == nil {
+			t.Errorf("Read(%q): expected error", s)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := figure1Machine()
+	c := m.Clone()
+	c.Output[0] = true
+	c.Next[0][0] = 1
+	if m.Output[0] || m.Next[0][0] != 0 {
+		t.Fatal("Clone not independent")
+	}
+}
+
+func TestEqualDistinguishes(t *testing.T) {
+	a := figure1Machine()
+	b := figure1Machine()
+	b.Output[0] = true // now predicts 1 everywhere
+	if Equal(a, b) {
+		t.Fatal("machines with different outputs should differ")
+	}
+}
+
+func TestStringContainsStates(t *testing.T) {
+	s := figure1Machine().String()
+	if !strings.Contains(s, "3 states") || !strings.Contains(s, "s0[0]") {
+		t.Errorf("String = %q", s)
+	}
+}

@@ -1,0 +1,205 @@
+// Package gasearch implements a genetic-programming search over small
+// Moore-machine predictors, in the spirit of Emer and Gloy's
+// feedback-driven predictor synthesis — the closest prior work the paper
+// compares itself against (§3.2). The paper's argument is that its
+// constructive design flow builds good small FSMs directly from a
+// behavioural model, where a search must evaluate thousands of candidate
+// machines against the trace; this package provides that baseline so the
+// claim can be measured (see the BenchmarkSearchVsDesigner ablation).
+package gasearch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fsmpredict/internal/fsm"
+)
+
+// Options configures a search run.
+type Options struct {
+	// States is the fixed machine size of every genome (2..64).
+	States int
+	// Population is the number of genomes per generation (default 64).
+	Population int
+	// Generations is the number of evolution steps (default 50).
+	Generations int
+	// MutationRate is the per-gene mutation probability (default 0.02).
+	MutationRate float64
+	// Elite is how many top genomes survive unchanged (default 2).
+	Elite int
+	// TournamentK is the tournament selection size (default 3).
+	TournamentK int
+	// Seed makes the search reproducible.
+	Seed int64
+	// Warmup outcomes at the head of the trace are not scored.
+	Warmup int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Population <= 0 {
+		o.Population = 64
+	}
+	if o.Generations <= 0 {
+		o.Generations = 50
+	}
+	if o.MutationRate <= 0 {
+		o.MutationRate = 0.02
+	}
+	if o.Elite <= 0 {
+		o.Elite = 2
+	}
+	if o.TournamentK <= 0 {
+		o.TournamentK = 3
+	}
+	return o
+}
+
+func (o Options) validate() error {
+	if o.States < 2 || o.States > 64 {
+		return fmt.Errorf("gasearch: states %d out of range [2,64]", o.States)
+	}
+	if o.Elite >= o.Population {
+		return fmt.Errorf("gasearch: elite %d must be below population %d", o.Elite, o.Population)
+	}
+	return nil
+}
+
+// Result reports the outcome of a search.
+type Result struct {
+	// Best is the fittest machine found.
+	Best *fsm.Machine
+	// BestMissRate is its misprediction rate on the training trace.
+	BestMissRate float64
+	// PerGeneration records the best miss rate after each generation
+	// (non-increasing thanks to elitism).
+	PerGeneration []float64
+	// Evaluations counts fitness evaluations performed.
+	Evaluations int
+}
+
+type genome struct {
+	m    *fsm.Machine
+	miss float64
+}
+
+// Search evolves Moore machines of the configured size to minimize the
+// misprediction rate on the trace.
+func Search(trace []bool, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	if len(trace) <= opt.Warmup {
+		return nil, fmt.Errorf("gasearch: trace of %d outcomes too short", len(trace))
+	}
+	rng := rand.New(rand.NewSource(opt.Seed))
+	res := &Result{}
+
+	evaluate := func(g *genome) {
+		r := g.m.Simulate(trace, opt.Warmup)
+		g.miss = r.MissRate()
+		res.Evaluations++
+	}
+
+	pop := make([]*genome, opt.Population)
+	for i := range pop {
+		pop[i] = &genome{m: randomMachine(rng, opt.States)}
+		evaluate(pop[i])
+	}
+	sortByFitness(pop)
+
+	for gen := 0; gen < opt.Generations; gen++ {
+		next := make([]*genome, 0, opt.Population)
+		for i := 0; i < opt.Elite; i++ {
+			next = append(next, pop[i])
+		}
+		for len(next) < opt.Population {
+			a := tournament(rng, pop, opt.TournamentK)
+			b := tournament(rng, pop, opt.TournamentK)
+			child := &genome{m: crossover(rng, a.m, b.m)}
+			mutate(rng, child.m, opt.MutationRate)
+			evaluate(child)
+			next = append(next, child)
+		}
+		pop = next
+		sortByFitness(pop)
+		res.PerGeneration = append(res.PerGeneration, pop[0].miss)
+	}
+	res.Best = pop[0].m
+	res.BestMissRate = pop[0].miss
+	return res, nil
+}
+
+// randomMachine draws a uniform random Moore machine of n states.
+func randomMachine(rng *rand.Rand, n int) *fsm.Machine {
+	m := &fsm.Machine{
+		Output: make([]bool, n),
+		Next:   make([][2]int, n),
+		Start:  0,
+	}
+	for s := 0; s < n; s++ {
+		m.Output[s] = rng.Intn(2) == 1
+		m.Next[s][0] = rng.Intn(n)
+		m.Next[s][1] = rng.Intn(n)
+	}
+	return m
+}
+
+// crossover mixes two parents state by state (uniform crossover over
+// whole state rows, which keeps rows internally consistent).
+func crossover(rng *rand.Rand, a, b *fsm.Machine) *fsm.Machine {
+	n := a.NumStates()
+	child := &fsm.Machine{
+		Output: make([]bool, n),
+		Next:   make([][2]int, n),
+		Start:  0,
+	}
+	for s := 0; s < n; s++ {
+		src := a
+		if rng.Intn(2) == 1 {
+			src = b
+		}
+		child.Output[s] = src.Output[s]
+		child.Next[s] = src.Next[s]
+	}
+	return child
+}
+
+// mutate flips outputs and rewires transitions with the given per-gene
+// probability.
+func mutate(rng *rand.Rand, m *fsm.Machine, rate float64) {
+	n := m.NumStates()
+	for s := 0; s < n; s++ {
+		if rng.Float64() < rate {
+			m.Output[s] = !m.Output[s]
+		}
+		for b := 0; b < 2; b++ {
+			if rng.Float64() < rate {
+				m.Next[s][b] = rng.Intn(n)
+			}
+		}
+	}
+}
+
+func tournament(rng *rand.Rand, pop []*genome, k int) *genome {
+	best := pop[rng.Intn(len(pop))]
+	for i := 1; i < k; i++ {
+		c := pop[rng.Intn(len(pop))]
+		if c.miss < best.miss {
+			best = c
+		}
+	}
+	return best
+}
+
+// sortByFitness orders genomes best-first, breaking ties by a stable
+// structural key so runs are reproducible.
+func sortByFitness(pop []*genome) {
+	// Insertion sort: populations are small and mostly sorted after the
+	// first generation.
+	for i := 1; i < len(pop); i++ {
+		for j := i; j > 0 && pop[j].miss < pop[j-1].miss; j-- {
+			pop[j], pop[j-1] = pop[j-1], pop[j]
+		}
+	}
+}

@@ -1,0 +1,120 @@
+package gasearch
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsmpredict/internal/core"
+)
+
+func alternatingTrace(n int) []bool {
+	t := make([]bool, n)
+	for i := range t {
+		t[i] = i%2 == 0
+	}
+	return t
+}
+
+func TestSearchFindsAlternation(t *testing.T) {
+	res, err := Search(alternatingTrace(500), Options{
+		States: 2, Population: 40, Generations: 30, Seed: 1, Warmup: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestMissRate > 0.01 {
+		t.Errorf("best miss = %v, want ~0 on alternating trace", res.BestMissRate)
+	}
+	if err := res.Best.Validate(); err != nil {
+		t.Errorf("best machine invalid: %v", err)
+	}
+}
+
+func TestSearchMonotoneUnderElitism(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	trace := make([]bool, 2000)
+	for i := range trace {
+		trace[i] = i%7 < 4 || rng.Intn(5) == 0
+	}
+	res, err := Search(trace, Options{States: 8, Population: 50, Generations: 40, Seed: 2, Warmup: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.PerGeneration); i++ {
+		if res.PerGeneration[i] > res.PerGeneration[i-1]+1e-12 {
+			t.Fatalf("fitness regressed at generation %d: %v -> %v",
+				i, res.PerGeneration[i-1], res.PerGeneration[i])
+		}
+	}
+	if res.Evaluations == 0 {
+		t.Error("no evaluations counted")
+	}
+}
+
+func TestSearchDeterministic(t *testing.T) {
+	trace := alternatingTrace(300)
+	opt := Options{States: 4, Population: 30, Generations: 10, Seed: 7, Warmup: 2}
+	a, err := Search(trace, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Search(trace, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BestMissRate != b.BestMissRate || a.Evaluations != b.Evaluations {
+		t.Fatalf("nondeterministic: %v/%d vs %v/%d",
+			a.BestMissRate, a.Evaluations, b.BestMissRate, b.Evaluations)
+	}
+}
+
+func TestSearchValidation(t *testing.T) {
+	if _, err := Search(alternatingTrace(100), Options{States: 1}); err == nil {
+		t.Error("expected states error")
+	}
+	if _, err := Search(alternatingTrace(100), Options{States: 99}); err == nil {
+		t.Error("expected states error")
+	}
+	if _, err := Search(nil, Options{States: 4}); err == nil {
+		t.Error("expected trace error")
+	}
+	if _, err := Search(alternatingTrace(100), Options{States: 4, Elite: 64, Population: 64}); err == nil {
+		t.Error("expected elite error")
+	}
+}
+
+// TestDesignerMatchesSearchQuality is the paper's §3.2 comparison: on a
+// globally patterned trace, the constructive design flow must reach the
+// quality of an evolutionary search (it is provably model-optimal on the
+// training trace) at a fraction of the evaluations.
+func TestDesignerMatchesSearchQuality(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// Outcome = outcome three steps back, with 5% noise.
+	trace := make([]bool, 4000)
+	for i := range trace {
+		if i < 3 {
+			trace[i] = rng.Intn(2) == 1
+		} else {
+			trace[i] = trace[i-3] != (rng.Intn(20) == 0)
+		}
+	}
+	design, err := core.FromBools(trace, core.Options{Order: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	designed := design.Machine.Simulate(trace, 3).MissRate()
+
+	res, err := Search(trace, Options{
+		States: design.Machine.NumStates(), Population: 60, Generations: 60,
+		Seed: 3, Warmup: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if designed > res.BestMissRate+0.01 {
+		t.Errorf("designed machine (%.4f) should match GA search (%.4f)",
+			designed, res.BestMissRate)
+	}
+	t.Logf("designed %.4f in 1 construction vs GA %.4f in %d evaluations",
+		designed, res.BestMissRate, res.Evaluations)
+}

@@ -1,0 +1,101 @@
+// Package gating implements confidence-directed pipeline gating after
+// Manne, Klauser and Grunwald, one of the FSM-predictor applications the
+// paper motivates (§2.5): a confidence estimator watches the branch
+// predictor, and when confidence in the current prediction is low the
+// fetch unit is stalled until the branch resolves, avoiding wrong-path
+// fetch energy.
+//
+// The estimator here is exactly the kind of predictor the design flow
+// produces: it observes the branch predictor's correct/incorrect stream
+// and predicts whether the NEXT prediction will be correct. Gating
+// quality is measured as precision (how many stalls actually avoided a
+// misprediction) and recall (how much wrong-path fetch was avoided).
+package gating
+
+import (
+	"fsmpredict/internal/bpred"
+	"fsmpredict/internal/counters"
+	"fsmpredict/internal/markov"
+	"fsmpredict/internal/trace"
+)
+
+// Result tallies a gating simulation.
+type Result struct {
+	// Branches is the number of dynamic branches simulated.
+	Branches int
+	// Mispredicts counts branch predictor misses (wrong-path fetches
+	// without gating).
+	Mispredicts int
+	// Gated counts low-confidence branches, i.e. fetch stalls.
+	Gated int
+	// GatedWrong counts gated branches that were indeed mispredicted —
+	// stalls that paid for themselves.
+	GatedWrong int
+}
+
+// Precision is the fraction of stalls that avoided a real misprediction.
+// It returns 1 when nothing was gated.
+func (r Result) Precision() float64 {
+	if r.Gated == 0 {
+		return 1
+	}
+	return float64(r.GatedWrong) / float64(r.Gated)
+}
+
+// Recall is the fraction of mispredictions whose wrong-path fetch was
+// avoided by gating.
+func (r Result) Recall() float64 {
+	if r.Mispredicts == 0 {
+		return 0
+	}
+	return float64(r.GatedWrong) / float64(r.Mispredicts)
+}
+
+// FalseStallRate is the fraction of all branches stalled unnecessarily
+// (the performance cost of gating).
+func (r Result) FalseStallRate() float64 {
+	if r.Branches == 0 {
+		return 0
+	}
+	return float64(r.Gated-r.GatedWrong) / float64(r.Branches)
+}
+
+// Simulate drives the branch predictor over the trace with the given
+// confidence estimator watching its correctness stream. A branch is
+// gated when the estimator is NOT confident. The estimator is updated
+// with every branch's correctness, matching the §2.5 hardware.
+func Simulate(p bpred.Predictor, est counters.Predictor, events []trace.BranchEvent) Result {
+	var r Result
+	for _, e := range events {
+		r.Branches++
+		predicted := p.Predict(e.PC)
+		correct := predicted == e.Taken
+		confident := est.Predict()
+		if !correct {
+			r.Mispredicts++
+		}
+		if !confident {
+			r.Gated++
+			if !correct {
+				r.GatedWrong++
+			}
+		}
+		est.Update(correct)
+		p.Update(e.PC, e.Taken)
+	}
+	return r
+}
+
+// CorrectnessModel profiles the branch predictor's correctness stream on
+// a training trace into an order-N Markov model — the input the design
+// flow needs to build a gating confidence FSM.
+func CorrectnessModel(p bpred.Predictor, events []trace.BranchEvent, order int) *markov.Model {
+	m := markov.New(order)
+	bits := make([]bool, 0, len(events))
+	for _, e := range events {
+		bits = append(bits, p.Predict(e.PC) == e.Taken)
+		p.Update(e.PC, e.Taken)
+	}
+	m.AddBools(bits)
+	return m
+}

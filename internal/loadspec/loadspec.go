@@ -1,0 +1,142 @@
+// Package loadspec implements the load-speculation application of §2.1:
+// memory disambiguation. A load may issue before an older store whose
+// address is not yet known; if the store turns out to alias the load, the
+// speculation fails and costs a recovery, otherwise it hides latency.
+// A per-load FSM predictor — a conflict history machine, exactly the
+// kind the design flow generates — decides whether to speculate.
+//
+// The simulator consumes pairs of (load, older-store) address events and
+// scores policies by net benefit: cycles saved by successful speculation
+// minus recovery cycles for mis-speculation.
+package loadspec
+
+import (
+	"fsmpredict/internal/counters"
+	"fsmpredict/internal/markov"
+)
+
+// Op is one dynamic load with one unresolved older store.
+type Op struct {
+	// LoadPC identifies the static load.
+	LoadPC uint64
+	// Conflict reports whether the older store aliased the load (known
+	// only after the store resolves; the predictor must guess first).
+	Conflict bool
+}
+
+// Costs models the §2.1 trade-off.
+type Costs struct {
+	// SpecWin is the cycles saved when a speculated load does not
+	// conflict.
+	SpecWin float64
+	// SpecLoss is the recovery cycles when a speculated load conflicts.
+	SpecLoss float64
+}
+
+// DefaultCosts reflect a short pipeline: conflicts are several times
+// more expensive than the latency a successful speculation hides.
+func DefaultCosts() Costs { return Costs{SpecWin: 2, SpecLoss: 8} }
+
+// Result tallies a policy run.
+type Result struct {
+	Ops        int
+	Speculated int
+	Conflicts  int // conflicts among speculated loads (mis-speculations)
+	Missed     int // non-speculated loads that would have been safe
+}
+
+// Benefit returns the policy's net cycles saved per op under the costs.
+func (r Result) Benefit(c Costs) float64 {
+	if r.Ops == 0 {
+		return 0
+	}
+	saved := float64(r.Speculated-r.Conflicts)*c.SpecWin - float64(r.Conflicts)*c.SpecLoss
+	return saved / float64(r.Ops)
+}
+
+// Policy decides, per load, whether to speculate.
+type Policy interface {
+	// Speculate returns the decision for the load at pc.
+	Speculate(pc uint64) bool
+	// Resolve informs the policy of the actual conflict outcome.
+	Resolve(pc uint64, conflict bool)
+}
+
+// Run drives a policy over the ops.
+func Run(p Policy, ops []Op) Result {
+	var r Result
+	for _, op := range ops {
+		r.Ops++
+		if p.Speculate(op.LoadPC) {
+			r.Speculated++
+			if op.Conflict {
+				r.Conflicts++
+			}
+		} else if !op.Conflict {
+			r.Missed++
+		}
+		p.Resolve(op.LoadPC, op.Conflict)
+	}
+	return r
+}
+
+// Always speculates unconditionally (or never, when false) — the naive
+// baselines.
+type Always bool
+
+// Speculate returns the fixed decision.
+func (a Always) Speculate(uint64) bool { return bool(a) }
+
+// Resolve is a no-op.
+func (Always) Resolve(uint64, bool) {}
+
+// PerPC keeps one predictor per static load, created by the factory.
+// Each predictor observes the load's no-conflict history (1 = safe) and
+// its prediction is the speculation decision.
+type PerPC struct {
+	factory func() counters.Predictor
+	byPC    map[uint64]counters.Predictor
+}
+
+// NewPerPC builds a per-load policy from a predictor factory.
+func NewPerPC(factory func() counters.Predictor) *PerPC {
+	return &PerPC{factory: factory, byPC: map[uint64]counters.Predictor{}}
+}
+
+func (p *PerPC) predictor(pc uint64) counters.Predictor {
+	c := p.byPC[pc]
+	if c == nil {
+		c = p.factory()
+		p.byPC[pc] = c
+	}
+	return c
+}
+
+// Install assigns a specific predictor instance to a load (used to
+// deploy per-load designed FSMs).
+func (p *PerPC) Install(pc uint64, c counters.Predictor) { p.byPC[pc] = c }
+
+// Speculate consults the load's predictor.
+func (p *PerPC) Speculate(pc uint64) bool { return p.predictor(pc).Predict() }
+
+// Resolve trains the load's predictor with 1 = no conflict (safe).
+func (p *PerPC) Resolve(pc uint64, conflict bool) {
+	p.predictor(pc).Update(!conflict)
+}
+
+// ConflictModels profiles each load's no-conflict bit stream into an
+// order-N Markov model — the §4 design-flow input for building per-load
+// speculation FSMs.
+func ConflictModels(ops []Op, order int) map[uint64]*markov.Model {
+	models := map[uint64]*markov.Model{}
+	hists := map[uint64][]bool{}
+	for _, op := range ops {
+		hists[op.LoadPC] = append(hists[op.LoadPC], !op.Conflict)
+	}
+	for pc, bits := range hists {
+		m := markov.New(order)
+		m.AddBools(bits)
+		models[pc] = m
+	}
+	return models
+}

@@ -1,0 +1,165 @@
+package loadspec
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/counters"
+)
+
+// patternedOps builds a workload of three loads: one never conflicts,
+// one always conflicts, and one conflicts in a repeating pattern (every
+// fourth execution) — the §2.1 case where history beats counting.
+func patternedOps(n int) []Op {
+	var ops []Op
+	for i := 0; i < n; i++ {
+		ops = append(ops,
+			Op{LoadPC: 0x10, Conflict: false},
+			Op{LoadPC: 0x20, Conflict: true},
+			Op{LoadPC: 0x30, Conflict: i%4 == 3},
+		)
+	}
+	return ops
+}
+
+func TestBaselines(t *testing.T) {
+	ops := patternedOps(1000)
+	always := Run(Always(true), ops)
+	never := Run(Always(false), ops)
+	if always.Speculated != always.Ops {
+		t.Error("Always(true) must speculate everything")
+	}
+	if never.Speculated != 0 || never.Missed == 0 {
+		t.Errorf("Always(false) stats wrong: %+v", never)
+	}
+	costs := DefaultCosts()
+	// With a 1/3 always-conflicting load, blind speculation loses money.
+	if always.Benefit(costs) >= never.Benefit(costs)+1.0 {
+		t.Errorf("blind speculation benefit %v suspiciously high", always.Benefit(costs))
+	}
+}
+
+func TestCounterPolicyLearnsStableLoads(t *testing.T) {
+	ops := patternedOps(1000)
+	p := NewPerPC(func() counters.Predictor {
+		c := counters.NewTwoBit()
+		c.SetValue(2)
+		return c
+	})
+	r := Run(p, ops)
+	costs := DefaultCosts()
+	if r.Benefit(costs) <= Run(Always(true), patternedOps(1000)).Benefit(costs) {
+		t.Error("counter policy should beat blind speculation")
+	}
+	// The always-conflicting load must be (almost) never speculated.
+	solo := NewPerPC(func() counters.Predictor {
+		c := counters.NewTwoBit()
+		c.SetValue(2)
+		return c
+	})
+	rr := Run(solo, repeatOp(0x20, true, 500))
+	if rr.Conflicts > 3 {
+		t.Errorf("counter kept speculating a hostile load: %d conflicts", rr.Conflicts)
+	}
+}
+
+func repeatOp(pc uint64, conflict bool, n int) []Op {
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{LoadPC: pc, Conflict: conflict}
+	}
+	return ops
+}
+
+// TestFSMPolicyCapturesConflictPattern: the every-fourth-conflicts load
+// is fully predictable from history; the designed FSM speculates the
+// three safe executions and skips the conflicting one, which no
+// saturating counter can do.
+func TestFSMPolicyCapturesConflictPattern(t *testing.T) {
+	train := patternedOps(2000)
+	test := patternedOps(1500)
+
+	models := ConflictModels(train, 4)
+	fsmPolicy := NewPerPC(func() counters.Predictor {
+		c := counters.NewTwoBit()
+		c.SetValue(2)
+		return c
+	})
+	for pc, m := range models {
+		d, err := core.FromModel(m, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fsmPolicy.Install(pc, d.Machine.NewRunner())
+	}
+	fsmRes := Run(fsmPolicy, test)
+
+	ctrPolicy := NewPerPC(func() counters.Predictor {
+		c := counters.NewTwoBit()
+		c.SetValue(2)
+		return c
+	})
+	ctrRes := Run(ctrPolicy, test)
+
+	costs := DefaultCosts()
+	if fsmRes.Benefit(costs) <= ctrRes.Benefit(costs) {
+		t.Errorf("FSM policy benefit %.3f should beat counter policy %.3f",
+			fsmRes.Benefit(costs), ctrRes.Benefit(costs))
+	}
+	// On the patterned load alone, the FSM should be near-perfect:
+	// speculate 3/4 of executions with almost no conflicts.
+	var patterned []Op
+	for i := 0; i < 1000; i++ {
+		patterned = append(patterned, Op{LoadPC: 0x30, Conflict: i%4 == 3})
+	}
+	soloModels := ConflictModels(patterned, 4)
+	d, err := core.FromModel(soloModels[0x30], core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	solo := NewPerPC(func() counters.Predictor { return counters.Static(true) })
+	solo.Install(0x30, d.Machine.NewRunner())
+	sr := Run(solo, patterned)
+	if sr.Conflicts > 5 {
+		t.Errorf("FSM mis-speculated %d times on a deterministic pattern", sr.Conflicts)
+	}
+	if sr.Speculated < 700 {
+		t.Errorf("FSM speculated only %d of ~750 safe executions", sr.Speculated)
+	}
+}
+
+func TestConflictModels(t *testing.T) {
+	ops := patternedOps(100)
+	models := ConflictModels(ops, 3)
+	if len(models) != 3 {
+		t.Fatalf("models = %d, want 3", len(models))
+	}
+	// The never-conflicting load's model must be all ones.
+	m := models[0x10]
+	for _, h := range m.Histories() {
+		if m.Count(h).Zeros != 0 {
+			t.Error("safe load should never record a conflict")
+		}
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	ops := make([]Op, 5000)
+	for i := range ops {
+		ops[i] = Op{LoadPC: uint64(rng.Intn(8)) * 4, Conflict: rng.Intn(3) == 0}
+	}
+	mk := func() Result {
+		return Run(NewPerPC(func() counters.Predictor { return counters.NewResetting(4, 3) }), ops)
+	}
+	if mk() != mk() {
+		t.Error("policy run not deterministic")
+	}
+}
+
+func TestBenefitEmpty(t *testing.T) {
+	if (Result{}).Benefit(DefaultCosts()) != 0 {
+		t.Error("empty result should have zero benefit")
+	}
+}

@@ -1,0 +1,211 @@
+package logic
+
+import (
+	"sort"
+
+	"fsmpredict/internal/bitseq"
+)
+
+// MinimizeHeuristic minimizes the problem with the classic Espresso
+// iteration: EXPAND grows each cube as far as the off-set allows,
+// IRREDUNDANT drops cubes whose on-set contribution is covered by others,
+// and REDUCE shrinks cubes to escape local minima before another EXPAND.
+// The loop runs until the cover cost stops improving.
+func MinimizeHeuristic(p Problem) ([]bitseq.Cube, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.On) == 0 {
+		return nil, nil
+	}
+
+	// allowed holds every minterm a cube may cover (on ∪ dc).
+	allowed := make(map[uint32]bool, len(p.On)+len(p.DC))
+	onSet := make(map[uint32]bool, len(p.On))
+	for _, m := range p.On {
+		allowed[m] = true
+		onSet[m] = true
+	}
+	for _, m := range p.DC {
+		allowed[m] = true
+	}
+
+	// Initial cover: the on-set minterms themselves.
+	cover := make([]bitseq.Cube, 0, len(onSet))
+	for m := range onSet {
+		cover = append(cover, bitseq.Minterm(m, p.Width))
+	}
+	bitseq.SortCubes(cover)
+
+	cover = expand(cover, allowed, p.Width)
+	cover = irredundant(cover, onSet)
+	best := CoverCost(cover)
+
+	for iter := 0; iter < 8; iter++ {
+		reduced := reduce(cover, onSet, p.Width)
+		candidate := expand(reduced, allowed, p.Width)
+		candidate = irredundant(candidate, onSet)
+		cost := CoverCost(candidate)
+		if !cost.Less(best) {
+			break
+		}
+		cover, best = candidate, cost
+	}
+	bitseq.SortCubes(cover)
+	return cover, nil
+}
+
+// fits reports whether every minterm of c lies inside the allowed set.
+// The early size check keeps enumeration bounded by |allowed|.
+func fits(c bitseq.Cube, allowed map[uint32]bool) bool {
+	if c.Size() > uint64(len(allowed)) {
+		return false
+	}
+	for _, m := range c.Minterms() {
+		if !allowed[m] {
+			return false
+		}
+	}
+	return true
+}
+
+// expand grows every cube one freed literal at a time, greedily choosing
+// the literal whose removal stays inside allowed, then prunes cubes
+// contained in other cubes.
+func expand(cover []bitseq.Cube, allowed map[uint32]bool, width int) []bitseq.Cube {
+	out := make([]bitseq.Cube, 0, len(cover))
+	for _, c := range cover {
+		grown := true
+		for grown {
+			grown = false
+			// Greedy: free the first (deterministic order) bit that works.
+			for b := 0; b < width; b++ {
+				if c.Care>>uint(b)&1 == 0 {
+					continue
+				}
+				cand := bitseq.NewCube(c.Value&^(1<<uint(b)), c.Care&^(1<<uint(b)), width)
+				if fits(cand, allowed) {
+					c = cand
+					grown = true
+				}
+			}
+		}
+		out = append(out, c)
+	}
+	return pruneContained(out)
+}
+
+// pruneContained removes cubes contained in another cube of the cover.
+func pruneContained(cover []bitseq.Cube) []bitseq.Cube {
+	// Sort most-general first so containment scan is one pass.
+	sorted := append([]bitseq.Cube(nil), cover...)
+	bitseq.SortCubes(sorted)
+	var out []bitseq.Cube
+	for _, c := range sorted {
+		contained := false
+		for _, k := range out {
+			if k.Contains(c) {
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// irredundant removes cubes whose on-set minterms are all covered by the
+// remaining cubes, scanning the most specific cubes first.
+func irredundant(cover []bitseq.Cube, onSet map[uint32]bool) []bitseq.Cube {
+	order := make([]int, len(cover))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := cover[order[a]], cover[order[b]]
+		if ca.Literals() != cb.Literals() {
+			return ca.Literals() > cb.Literals() // most specific first
+		}
+		if ca.Care != cb.Care {
+			return ca.Care < cb.Care
+		}
+		return ca.Value < cb.Value
+	})
+	removed := make([]bool, len(cover))
+	for _, i := range order {
+		needed := false
+		for _, m := range cover[i].Minterms() {
+			if !onSet[m] {
+				continue
+			}
+			coveredElsewhere := false
+			for j, c := range cover {
+				if j == i || removed[j] {
+					continue
+				}
+				if c.Matches(m) {
+					coveredElsewhere = true
+					break
+				}
+			}
+			if !coveredElsewhere {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			removed[i] = true
+		}
+	}
+	var out []bitseq.Cube
+	for i, c := range cover {
+		if !removed[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// reduce shrinks each cube to the supercube of the on-set minterms only it
+// covers, dropping cubes with no unique contribution. Shrinking within the
+// original cube can never introduce off-set coverage.
+func reduce(cover []bitseq.Cube, onSet map[uint32]bool, width int) []bitseq.Cube {
+	var out []bitseq.Cube
+	for i, c := range cover {
+		var unique []uint32
+		for _, m := range c.Minterms() {
+			if !onSet[m] {
+				continue
+			}
+			elsewhere := false
+			for j, d := range cover {
+				if j != i && d.Matches(m) {
+					elsewhere = true
+					break
+				}
+			}
+			if !elsewhere {
+				unique = append(unique, m)
+			}
+		}
+		if len(unique) == 0 {
+			continue
+		}
+		out = append(out, supercube(unique, width))
+	}
+	return out
+}
+
+// supercube returns the smallest cube containing all the given minterms.
+func supercube(minterms []uint32, width int) bitseq.Cube {
+	mask := uint32(1)<<uint(width) - 1
+	andV, orV := mask, uint32(0)
+	for _, m := range minterms {
+		andV &= m
+		orV |= m
+	}
+	care := mask &^ (andV ^ orV) // positions where all minterms agree
+	return bitseq.NewCube(andV&care, care, width)
+}

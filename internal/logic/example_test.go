@@ -1,0 +1,25 @@
+package logic_test
+
+import (
+	"fmt"
+
+	"fsmpredict/internal/logic"
+)
+
+// ExampleMinimize reproduces the paper's §4.4 Espresso step: the
+// predict-1 set {01, 10, 11} compresses to two cubes.
+func ExampleMinimize() {
+	problem := logic.Problem{
+		Width: 2,
+		On:    []uint32{0b01, 0b10, 0b11},
+	}
+	cover, err := logic.Minimize(problem)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(cover)
+	fmt.Println(logic.Verify(problem, cover))
+	// Output:
+	// [x1 1x]
+	// <nil>
+}

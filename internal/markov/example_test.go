@@ -1,0 +1,23 @@
+package markov_test
+
+import (
+	"fmt"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/markov"
+)
+
+// ExampleModel reproduces the §4.2 worked example probabilities.
+func ExampleModel() {
+	m := markov.New(2)
+	m.AddTrace(bitseq.MustFromString("0000 1000 1011 1101 1110 1111"))
+	for h := uint32(0); h < 4; h++ {
+		c := m.Count(h)
+		fmt.Printf("P[1|%s] = %d/%d\n", bitseq.HistoryString(h, 2), c.Ones, c.Total())
+	}
+	// Output:
+	// P[1|00] = 2/5
+	// P[1|01] = 3/5
+	// P[1|10] = 3/4
+	// P[1|11] = 6/8
+}

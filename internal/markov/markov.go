@@ -1,0 +1,228 @@
+// Package markov implements the Nth-order Markov model of §4.2 of the
+// paper: for every N-bit history it records how often the next bit in the
+// trace was a 0 or a 1. The model is the statistical substrate from which
+// pattern sets ("predict 1", "predict 0", "don't care") are drawn.
+//
+// Histories follow the bitseq convention: the most recent bit is the LSB;
+// string forms are written oldest-first.
+package markov
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"fsmpredict/internal/bitseq"
+)
+
+// Count is the outcome tally for one history.
+type Count struct {
+	Zeros uint64
+	Ones  uint64
+}
+
+// Total returns the number of observations for the history.
+func (c Count) Total() uint64 { return c.Zeros + c.Ones }
+
+// P1 returns the empirical probability that the next bit is 1. It returns
+// 0 for an empty count.
+func (c Count) P1() float64 {
+	if t := c.Total(); t > 0 {
+		return float64(c.Ones) / float64(t)
+	}
+	return 0
+}
+
+// Model is a sparse Nth-order Markov model over the binary alphabet. The
+// table conceptually has 2^Order rows; only observed histories are stored,
+// which the paper notes is essential for per-branch models (§7.3). Create
+// one with New.
+type Model struct {
+	order  int
+	counts map[uint32]Count
+}
+
+// New returns an empty model of the given order (1..24). Orders beyond the
+// paper's maximum of 10 are allowed for experimentation but enumeration
+// helpers become proportionally more expensive.
+func New(order int) *Model {
+	if order < 1 || order > 24 {
+		panic(fmt.Sprintf("markov: order %d out of range [1,24]", order))
+	}
+	return &Model{order: order, counts: make(map[uint32]Count)}
+}
+
+// Order returns the model's history length N.
+func (m *Model) Order() int { return m.order }
+
+// Observe records that history h was followed by bit next.
+func (m *Model) Observe(h uint32, next bool) {
+	h &= m.mask()
+	c := m.counts[h]
+	if next {
+		c.Ones++
+	} else {
+		c.Zeros++
+	}
+	m.counts[h] = c
+}
+
+// ObserveN records n identical observations.
+func (m *Model) ObserveN(h uint32, next bool, n uint64) {
+	h &= m.mask()
+	c := m.counts[h]
+	if next {
+		c.Ones += n
+	} else {
+		c.Zeros += n
+	}
+	m.counts[h] = c
+}
+
+// AddTrace slides an Order-wide window over the trace and records every
+// transition that has a fully defined history, matching the paper's
+// counting in §4.2 (the worked example reproduces P[1|00] = 2/5 for trace
+// t).
+func (m *Model) AddTrace(b *bitseq.Bits) {
+	h := bitseq.NewHistory(m.order)
+	for i := 0; i < b.Len(); i++ {
+		v := b.At(i)
+		if h.Warm() {
+			m.Observe(h.Value(), v)
+		}
+		h.Push(v)
+	}
+}
+
+// AddBools is AddTrace for a plain boolean slice.
+func (m *Model) AddBools(vs []bool) {
+	h := bitseq.NewHistory(m.order)
+	for _, v := range vs {
+		if h.Warm() {
+			m.Observe(h.Value(), v)
+		}
+		h.Push(v)
+	}
+}
+
+// Count returns the tally for history h (zero if unseen).
+func (m *Model) Count(h uint32) Count {
+	return m.counts[h&m.mask()]
+}
+
+// Seen reports whether h was observed at least once.
+func (m *Model) Seen(h uint32) bool {
+	return m.counts[h&m.mask()].Total() > 0
+}
+
+// P1 returns the empirical P[next=1 | h] and whether h was ever observed.
+func (m *Model) P1(h uint32) (float64, bool) {
+	c := m.counts[h&m.mask()]
+	if c.Total() == 0 {
+		return 0, false
+	}
+	return c.P1(), true
+}
+
+// Total returns the number of observations across all histories.
+func (m *Model) Total() uint64 {
+	var t uint64
+	for _, c := range m.counts {
+		t += c.Total()
+	}
+	return t
+}
+
+// Distinct returns the number of observed histories.
+func (m *Model) Distinct() int { return len(m.counts) }
+
+// Histories returns the observed histories in ascending order.
+func (m *Model) Histories() []uint32 {
+	hs := make([]uint32, 0, len(m.counts))
+	for h := range m.counts {
+		hs = append(hs, h)
+	}
+	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
+	return hs
+}
+
+// Merge adds every observation of other into m. The orders must match.
+// Merging is how aggregate suite models (§6) and cross-training models
+// (§6.3) are built.
+func (m *Model) Merge(other *Model) error {
+	if other.order != m.order {
+		return fmt.Errorf("markov: cannot merge order %d into order %d", other.order, m.order)
+	}
+	for h, c := range other.counts {
+		t := m.counts[h]
+		t.Zeros += c.Zeros
+		t.Ones += c.Ones
+		m.counts[h] = t
+	}
+	return nil
+}
+
+// Clone returns an independent copy of the model.
+func (m *Model) Clone() *Model {
+	c := New(m.order)
+	for h, v := range m.counts {
+		c.counts[h] = v
+	}
+	return c
+}
+
+func (m *Model) mask() uint32 {
+	return uint32(1)<<uint(m.order) - 1
+}
+
+// WriteTo serializes the model as text: a header line "markov <order>"
+// followed by "history zeros ones" rows in ascending history order.
+func (m *Model) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	var n int64
+	k, err := fmt.Fprintf(bw, "markov %d\n", m.order)
+	n += int64(k)
+	if err != nil {
+		return n, err
+	}
+	for _, h := range m.Histories() {
+		c := m.counts[h]
+		k, err = fmt.Fprintf(bw, "%s %d %d\n", bitseq.HistoryString(h, m.order), c.Zeros, c.Ones)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	return n, bw.Flush()
+}
+
+// Read parses a model previously written with WriteTo.
+func Read(r io.Reader) (*Model, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("markov: missing header")
+	}
+	var order int
+	if _, err := fmt.Sscanf(sc.Text(), "markov %d", &order); err != nil {
+		return nil, fmt.Errorf("markov: bad header %q: %v", sc.Text(), err)
+	}
+	m := New(order)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		var hs string
+		var zeros, ones uint64
+		if _, err := fmt.Sscanf(line, "%s %d %d", &hs, &zeros, &ones); err != nil {
+			return nil, fmt.Errorf("markov: bad row %q: %v", line, err)
+		}
+		h, err := bitseq.ParseHistory(hs)
+		if err != nil {
+			return nil, err
+		}
+		m.counts[h] = Count{Zeros: zeros, Ones: ones}
+	}
+	return m, sc.Err()
+}

@@ -1,0 +1,272 @@
+package markov
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fsmpredict/internal/bitseq"
+)
+
+// paperTrace is the worked example trace t from §4.2.
+const paperTrace = "0000 1000 1011 1101 1110 1111"
+
+func TestPaperExampleProbabilities(t *testing.T) {
+	m := New(2)
+	m.AddTrace(bitseq.MustFromString(paperTrace))
+
+	cases := []struct {
+		hist  string
+		zeros uint64
+		ones  uint64
+	}{
+		{"00", 3, 2}, // P[1|00] = 2/5
+		{"01", 2, 3}, // P[1|01] = 3/5
+		{"10", 1, 3}, // P[1|10] = 3/4
+		{"11", 2, 6}, // P[1|11] = 6/8
+	}
+	for _, c := range cases {
+		h, _ := bitseq.ParseHistory(c.hist)
+		got := m.Count(h)
+		if got.Zeros != c.zeros || got.Ones != c.ones {
+			t.Errorf("Count(%s) = %+v, want {%d %d}", c.hist, got, c.zeros, c.ones)
+		}
+	}
+	if m.Total() != 22 {
+		t.Errorf("Total = %d, want 22", m.Total())
+	}
+}
+
+func TestP1AndSeen(t *testing.T) {
+	m := New(3)
+	m.Observe(0b101, true)
+	m.Observe(0b101, true)
+	m.Observe(0b101, false)
+	p, ok := m.P1(0b101)
+	if !ok || p < 0.66 || p > 0.67 {
+		t.Errorf("P1(101) = %v/%v, want ~2/3", p, ok)
+	}
+	if _, ok := m.P1(0b000); ok {
+		t.Error("P1 of unseen history should report unseen")
+	}
+	if m.Seen(0b000) {
+		t.Error("Seen(000) should be false")
+	}
+	if !m.Seen(0b101) {
+		t.Error("Seen(101) should be true")
+	}
+}
+
+func TestObserveN(t *testing.T) {
+	m := New(2)
+	m.ObserveN(0b01, true, 10)
+	m.ObserveN(0b01, false, 5)
+	c := m.Count(0b01)
+	if c.Ones != 10 || c.Zeros != 5 {
+		t.Fatalf("Count = %+v, want {5 10}", c)
+	}
+}
+
+func TestMergeEqualsAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	mkTrace := func(n int) *bitseq.Bits {
+		b := &bitseq.Bits{}
+		for i := 0; i < n; i++ {
+			b.Append(rng.Intn(3) != 0)
+		}
+		return b
+	}
+	t1, t2 := mkTrace(500), mkTrace(700)
+
+	a := New(4)
+	a.AddTrace(t1)
+	b := New(4)
+	b.AddTrace(t2)
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aggregate built from both traces independently (window does not span
+	// traces, matching per-program model merging).
+	agg := New(4)
+	agg.AddTrace(t1)
+	agg.AddTrace(t2)
+
+	if a.Total() != agg.Total() || a.Distinct() != agg.Distinct() {
+		t.Fatalf("merge mismatch: total %d vs %d, distinct %d vs %d",
+			a.Total(), agg.Total(), a.Distinct(), agg.Distinct())
+	}
+	for _, h := range agg.Histories() {
+		if a.Count(h) != agg.Count(h) {
+			t.Fatalf("Count(%d) = %+v vs %+v", h, a.Count(h), agg.Count(h))
+		}
+	}
+}
+
+func TestMergeOrderMismatch(t *testing.T) {
+	if err := New(2).Merge(New(3)); err == nil {
+		t.Fatal("expected order mismatch error")
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	m := New(2)
+	m.Observe(1, true)
+	c := m.Clone()
+	c.Observe(1, true)
+	if m.Count(1).Ones != 1 || c.Count(1).Ones != 2 {
+		t.Fatal("clone not independent")
+	}
+}
+
+func TestSerializationRoundTrip(t *testing.T) {
+	m := New(5)
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 2000; i++ {
+		m.Observe(rng.Uint32(), rng.Intn(2) == 0)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Order() != 5 || got.Total() != m.Total() || got.Distinct() != m.Distinct() {
+		t.Fatalf("round trip mismatch: %d/%d/%d vs %d/%d/%d",
+			got.Order(), got.Total(), got.Distinct(), m.Order(), m.Total(), m.Distinct())
+	}
+	for _, h := range m.Histories() {
+		if got.Count(h) != m.Count(h) {
+			t.Fatalf("Count(%d) mismatch", h)
+		}
+	}
+}
+
+func TestReadErrors(t *testing.T) {
+	for _, s := range []string{"", "bogus 2\n", "markov 2\nzz 1 2\n", "markov 2\n01 x y\n"} {
+		if _, err := Read(bytes.NewBufferString(s)); err == nil {
+			t.Errorf("Read(%q): expected error", s)
+		}
+	}
+}
+
+func TestPartitionPaperExample(t *testing.T) {
+	m := New(2)
+	m.AddTrace(bitseq.MustFromString(paperTrace))
+	p, err := m.Partition(PartitionOptions{BiasThreshold: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// §4.3: predict 1 = {01, 10, 11}, predict 0 = {00}, don't care empty.
+	if len(p.PredictOne) != 3 || len(p.PredictZero) != 1 || len(p.DontCare) != 0 {
+		t.Fatalf("partition sizes = %d/%d/%d, want 3/1/0",
+			len(p.PredictOne), len(p.PredictZero), len(p.DontCare))
+	}
+	if p.PredictZero[0].String() != "00" {
+		t.Errorf("predict 0 = %v, want [00]", p.PredictZero)
+	}
+	want := map[string]bool{"01": true, "10": true, "11": true}
+	for _, c := range p.PredictOne {
+		if !want[c.String()] {
+			t.Errorf("unexpected predict-1 cube %v", c)
+		}
+	}
+}
+
+func TestPartitionDontCareBudget(t *testing.T) {
+	m := New(3)
+	// History 000 seen 1000 times (always 1); history 111 seen once.
+	m.ObserveN(0b000, true, 1000)
+	m.Observe(0b111, true)
+	p, err := m.Partition(PartitionOptions{BiasThreshold: 0.5, DontCareBudget: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 111 (1 of 1001 observations, under 1%) should be a don't care along
+	// with all six unseen histories.
+	if len(p.DontCare) != 7 {
+		t.Fatalf("don't care size = %d, want 7", len(p.DontCare))
+	}
+	if len(p.PredictOne) != 1 || p.PredictOne[0].String() != "000" {
+		t.Fatalf("predict 1 = %v, want [000]", p.PredictOne)
+	}
+}
+
+func TestPartitionKeepUnseen(t *testing.T) {
+	m := New(2)
+	m.Observe(0b00, true)
+	p, err := m.Partition(PartitionOptions{BiasThreshold: 0.5, KeepUnseen: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.DontCare) != 0 || len(p.PredictZero) != 3 || len(p.PredictOne) != 1 {
+		t.Fatalf("sizes = %d/%d/%d, want 1/3/0 for one/zero/dc",
+			len(p.PredictOne), len(p.PredictZero), len(p.DontCare))
+	}
+}
+
+func TestPartitionValidation(t *testing.T) {
+	m := New(2)
+	if _, err := m.Partition(PartitionOptions{BiasThreshold: 0}); err == nil {
+		t.Error("expected error for zero bias threshold")
+	}
+	if _, err := m.Partition(PartitionOptions{BiasThreshold: 0.5, DontCareBudget: 1}); err == nil {
+		t.Error("expected error for budget 1")
+	}
+}
+
+func TestPartitionCoversAllHistoriesQuick(t *testing.T) {
+	// The three sets always partition the full history space.
+	f := func(seed int64, orderRaw uint8, thrRaw uint8) bool {
+		order := int(orderRaw%6) + 1
+		thr := 0.3 + float64(thrRaw%60)/100
+		m := New(order)
+		rng := rand.New(rand.NewSource(seed))
+		for i := 0; i < 300; i++ {
+			m.Observe(rng.Uint32(), rng.Intn(2) == 0)
+		}
+		p, err := m.Partition(PartitionOptions{BiasThreshold: thr, DontCareBudget: 0.01})
+		if err != nil {
+			return false
+		}
+		n := len(p.PredictOne) + len(p.PredictZero) + len(p.DontCare)
+		if n != 1<<uint(order) {
+			return false
+		}
+		seen := map[uint32]int{}
+		for _, c := range p.PredictOne {
+			seen[c.Value]++
+		}
+		for _, c := range p.PredictZero {
+			seen[c.Value]++
+		}
+		for _, c := range p.DontCare {
+			seen[c.Value]++
+		}
+		for _, k := range seen {
+			if k != 1 {
+				return false
+			}
+		}
+		return len(seen) == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNewOrderPanics(t *testing.T) {
+	for _, o := range []int{0, 25} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d): expected panic", o)
+				}
+			}()
+			New(o)
+		}()
+	}
+}

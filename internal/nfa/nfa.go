@@ -1,0 +1,183 @@
+// Package nfa builds non-deterministic finite automata from binary regular
+// expressions using Thompson's construction — the first half of the FSM
+// creation step (§4.6 of the paper). The automaton has a single start and
+// a single accept state; transitions are labelled 0, 1, or ε.
+package nfa
+
+import (
+	"fmt"
+	"sort"
+
+	"fsmpredict/internal/regex"
+)
+
+// NFA is a non-deterministic automaton over {0,1} with ε-transitions.
+type NFA struct {
+	// On0, On1 and Eps hold, per state, the target states reached on input
+	// 0, input 1, and without consuming input.
+	On0, On1, Eps [][]int
+	Start         int
+	Accept        int
+}
+
+// NumStates returns the number of states.
+func (n *NFA) NumStates() int { return len(n.Eps) }
+
+type builder struct {
+	nfa NFA
+}
+
+func (b *builder) newState() int {
+	b.nfa.On0 = append(b.nfa.On0, nil)
+	b.nfa.On1 = append(b.nfa.On1, nil)
+	b.nfa.Eps = append(b.nfa.Eps, nil)
+	return len(b.nfa.Eps) - 1
+}
+
+func (b *builder) edge(from, to int, sym int) {
+	switch sym {
+	case 0:
+		b.nfa.On0[from] = append(b.nfa.On0[from], to)
+	case 1:
+		b.nfa.On1[from] = append(b.nfa.On1[from], to)
+	default:
+		b.nfa.Eps[from] = append(b.nfa.Eps[from], to)
+	}
+}
+
+const eps = -1
+
+// Compile translates a regular expression into an ε-NFA via Thompson's
+// construction.
+func Compile(n regex.Node) *NFA {
+	b := &builder{}
+	start, accept := b.compile(n)
+	b.nfa.Start, b.nfa.Accept = start, accept
+	return &b.nfa
+}
+
+// compile returns the (start, accept) fragment for node n.
+func (b *builder) compile(n regex.Node) (int, int) {
+	switch t := n.(type) {
+	case regex.Empty:
+		s := b.newState()
+		a := b.newState()
+		b.edge(s, a, eps)
+		return s, a
+	case regex.Lit:
+		s := b.newState()
+		a := b.newState()
+		if t.Bit {
+			b.edge(s, a, 1)
+		} else {
+			b.edge(s, a, 0)
+		}
+		return s, a
+	case regex.Any:
+		s := b.newState()
+		a := b.newState()
+		b.edge(s, a, 0)
+		b.edge(s, a, 1)
+		return s, a
+	case regex.Concat:
+		if len(t.Parts) == 0 {
+			return b.compile(regex.Empty{})
+		}
+		start, accept := b.compile(t.Parts[0])
+		for _, p := range t.Parts[1:] {
+			s2, a2 := b.compile(p)
+			b.edge(accept, s2, eps)
+			accept = a2
+		}
+		return start, accept
+	case regex.Alt:
+		s := b.newState()
+		a := b.newState()
+		// An empty alternation denotes the empty language: accept is
+		// unreachable, which subset construction handles naturally.
+		for _, alt := range t.Alts {
+			s2, a2 := b.compile(alt)
+			b.edge(s, s2, eps)
+			b.edge(a2, a, eps)
+		}
+		return s, a
+	case regex.Star:
+		s := b.newState()
+		a := b.newState()
+		is, ia := b.compile(t.Inner)
+		b.edge(s, is, eps)
+		b.edge(s, a, eps)
+		b.edge(ia, is, eps)
+		b.edge(ia, a, eps)
+		return s, a
+	default:
+		panic(fmt.Sprintf("nfa: unknown regex node type %T", n))
+	}
+}
+
+// EpsilonClosure expands a state set with everything reachable through
+// ε-transitions. The input set (a sorted-unique slice) is not modified.
+func (n *NFA) EpsilonClosure(states []int) []int {
+	seen := make(map[int]bool, len(states))
+	stack := append([]int(nil), states...)
+	for _, s := range states {
+		seen[s] = true
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.Eps[s] {
+			if !seen[t] {
+				seen[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sortInts(out)
+	return out
+}
+
+// Move returns the states reachable from the set on the given input bit
+// (before ε-closure).
+func (n *NFA) Move(states []int, bit bool) []int {
+	seen := map[int]bool{}
+	table := n.On0
+	if bit {
+		table = n.On1
+	}
+	for _, s := range states {
+		for _, t := range table[s] {
+			seen[t] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for s := range seen {
+		out = append(out, s)
+	}
+	sortInts(out)
+	return out
+}
+
+// Accepts simulates the NFA on the input and reports acceptance. Used as
+// a mid-pipeline oracle in tests.
+func (n *NFA) Accepts(input []bool) bool {
+	cur := n.EpsilonClosure([]int{n.Start})
+	for _, b := range input {
+		cur = n.EpsilonClosure(n.Move(cur, b))
+		if len(cur) == 0 {
+			return false
+		}
+	}
+	for _, s := range cur {
+		if s == n.Accept {
+			return true
+		}
+	}
+	return false
+}
+
+func sortInts(xs []int) { sort.Ints(xs) }

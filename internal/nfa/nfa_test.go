@@ -1,0 +1,135 @@
+package nfa
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/regex"
+)
+
+func bitsOf(s string) []bool {
+	return bitseq.MustFromString(s).Bools()
+}
+
+func TestAcceptsBasics(t *testing.T) {
+	cases := []struct {
+		expr string
+		yes  []string
+		no   []string
+	}{
+		{"1", []string{"1"}, []string{"", "0", "11"}},
+		{"0|1", []string{"0", "1"}, []string{"", "01"}},
+		{"1.", []string{"10", "11"}, []string{"1", "01"}},
+		{"(01)*", []string{"", "01", "0101"}, []string{"0", "10"}},
+		{".*(1.|.1)", []string{"01", "10", "11", "001"}, []string{"", "0", "00", "100"}},
+		{"", []string{""}, []string{"0"}},
+	}
+	for _, c := range cases {
+		m := Compile(regex.MustParse(c.expr))
+		for _, s := range c.yes {
+			if !m.Accepts(bitsOf(s)) {
+				t.Errorf("NFA(%q) should accept %q", c.expr, s)
+			}
+		}
+		for _, s := range c.no {
+			if m.Accepts(bitsOf(s)) {
+				t.Errorf("NFA(%q) should reject %q", c.expr, s)
+			}
+		}
+	}
+}
+
+func TestEmptyLanguage(t *testing.T) {
+	m := Compile(regex.Alt{})
+	for _, s := range []string{"", "0", "1", "01"} {
+		if m.Accepts(bitsOf(s)) {
+			t.Errorf("empty language accepted %q", s)
+		}
+	}
+}
+
+func TestEpsilonClosure(t *testing.T) {
+	// a --ε--> b --ε--> c, a --0--> d
+	b := &builder{}
+	a := b.newState()
+	s2 := b.newState()
+	c := b.newState()
+	d := b.newState()
+	b.edge(a, s2, eps)
+	b.edge(s2, c, eps)
+	b.edge(a, d, 0)
+	m := &b.nfa
+	got := m.EpsilonClosure([]int{a})
+	if len(got) != 3 || got[0] != a || got[1] != s2 || got[2] != c {
+		t.Fatalf("EpsilonClosure = %v, want [%d %d %d]", got, a, s2, c)
+	}
+	if mv := m.Move([]int{a}, false); len(mv) != 1 || mv[0] != d {
+		t.Fatalf("Move = %v, want [%d]", mv, d)
+	}
+	if mv := m.Move([]int{a}, true); len(mv) != 0 {
+		t.Fatalf("Move on 1 = %v, want empty", mv)
+	}
+}
+
+// randomExpr builds a random small regex for the agreement test.
+func randomExpr(rng *rand.Rand, depth int) regex.Node {
+	if depth <= 0 {
+		switch rng.Intn(3) {
+		case 0:
+			return regex.Lit{Bit: rng.Intn(2) == 1}
+		case 1:
+			return regex.Any{}
+		default:
+			return regex.Empty{}
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		return regex.Concat{Parts: []regex.Node{
+			randomExpr(rng, depth-1), randomExpr(rng, depth-1)}}
+	case 1:
+		return regex.Alt{Alts: []regex.Node{
+			randomExpr(rng, depth-1), randomExpr(rng, depth-1)}}
+	case 2:
+		return regex.Star{Inner: randomExpr(rng, depth-1)}
+	default:
+		return randomExpr(rng, 0)
+	}
+}
+
+// TestAgreesWithRegexOracle exhaustively compares the NFA against the
+// recursive regex matcher on all inputs up to length 7.
+func TestAgreesWithRegexOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 80; trial++ {
+		expr := randomExpr(rng, 3)
+		m := Compile(expr)
+		for n := 0; n <= 7; n++ {
+			for v := 0; v < 1<<uint(n); v++ {
+				input := make([]bool, n)
+				for i := range input {
+					input[i] = v>>uint(i)&1 == 1
+				}
+				want := regex.Matches(expr, input)
+				if got := m.Accepts(input); got != want {
+					t.Fatalf("trial %d expr %q input %v: NFA = %v, oracle = %v",
+						trial, regex.String(expr), input, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestCompileStateCountLinear(t *testing.T) {
+	// Thompson construction produces at most 2 states per AST node; check
+	// the paper-scale expression stays small.
+	cover := []bitseq.Cube{
+		bitseq.MustParseCube("0x1x"),
+		bitseq.MustParseCube("0xx1x"),
+	}
+	m := Compile(regex.FromCover(cover))
+	if m.NumStates() > 60 {
+		t.Fatalf("NFA has %d states; Thompson construction should be linear", m.NumStates())
+	}
+}

@@ -1,0 +1,227 @@
+// Package prefetch implements predictor-directed stream buffers, the
+// prefetching application of §2.4 (Sherwood, Sair & Calder): a small set
+// of stream buffers prefetch sequential blocks after a miss, and a
+// per-instruction FSM predictor decides which misses deserve a buffer.
+// Allocating buffers for pointer-chasing loads wastes both buffers and
+// bandwidth; allocating for streaming loads covers their future misses.
+//
+// The allocation predictor is trained on each load's STREAM CONTINUITY —
+// whether its current block follows its previous block — rather than on
+// buffer survival, which under contention is destroyed by the very
+// thrashing the predictor exists to prevent.
+package prefetch
+
+import (
+	"fmt"
+
+	"fsmpredict/internal/counters"
+	"fsmpredict/internal/markov"
+)
+
+// Access is one memory reference: the load performing it and the block
+// address touched (cache-line granularity).
+type Access struct {
+	PC    uint64
+	Block uint64
+}
+
+// Stats tallies a simulation.
+type Stats struct {
+	Accesses int
+	// Covered counts accesses serviced by a stream buffer (a miss the
+	// prefetcher turned into a hit).
+	Covered int
+	// Allocations counts buffers allocated.
+	Allocations int
+	// Wasted counts allocated buffers evicted (or left) without ever
+	// servicing an access.
+	Wasted int
+	// Prefetched counts blocks fetched by the buffers (bandwidth).
+	Prefetched int
+}
+
+// Coverage is the fraction of accesses serviced by buffers.
+func (s Stats) Coverage() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Covered) / float64(s.Accesses)
+}
+
+// WasteRate is the fraction of allocations that were never used.
+func (s Stats) WasteRate() float64 {
+	if s.Allocations == 0 {
+		return 0
+	}
+	return float64(s.Wasted) / float64(s.Allocations)
+}
+
+type buffer struct {
+	valid bool
+	next  uint64 // next block the buffer will supply
+	left  int    // remaining prefetch depth
+	used  bool
+	age   int // for LRU
+}
+
+// Prefetcher is a bank of stream buffers with an allocation policy.
+type Prefetcher struct {
+	buffers []buffer
+	depth   int
+	clock   int
+	// Allocate, when non-nil, gates buffer allocation per PC. It is
+	// trained on every access with the load's stream continuity. nil
+	// means always allocate (the baseline stream buffer).
+	Allocate *Bank
+	// lastBlock remembers each load's previous block for the continuity
+	// signal.
+	lastBlock map[uint64]uint64
+	lastSeen  map[uint64]bool
+
+	lastAllocated   bool
+	lastEvictValid  bool
+	lastEvictWasted bool
+}
+
+// New returns a prefetcher with the given number of buffers, each
+// running depth blocks ahead.
+func New(buffers, depth int) *Prefetcher {
+	if buffers < 1 || buffers > 64 || depth < 1 || depth > 64 {
+		panic(fmt.Sprintf("prefetch: bad geometry buffers=%d depth=%d", buffers, depth))
+	}
+	return &Prefetcher{
+		buffers:   make([]buffer, buffers),
+		depth:     depth,
+		lastBlock: map[uint64]uint64{},
+		lastSeen:  map[uint64]bool{},
+	}
+}
+
+// continuity records and returns whether this access continues the
+// load's previous block.
+func (p *Prefetcher) continuity(a Access) bool {
+	cont := p.lastSeen[a.PC] && a.Block == p.lastBlock[a.PC]+1
+	p.lastBlock[a.PC] = a.Block
+	p.lastSeen[a.PC] = true
+	return cont
+}
+
+// Access services one reference, returning whether a buffer covered it.
+func (p *Prefetcher) Access(a Access) bool {
+	p.clock++
+	cont := p.continuity(a)
+	if p.Allocate != nil {
+		p.Allocate.Train(a.PC, cont)
+	}
+
+	for i := range p.buffers {
+		b := &p.buffers[i]
+		if b.valid && b.left > 0 && b.next == a.Block {
+			b.next++
+			b.left--
+			b.used = true
+			b.age = p.clock
+			p.lastAllocated = false
+			return true
+		}
+	}
+	allocate := true
+	if p.Allocate != nil {
+		allocate = p.Allocate.Predict(a.PC)
+	}
+	if allocate {
+		victim := 0
+		for i := range p.buffers {
+			if !p.buffers[i].valid {
+				victim = i
+				break
+			}
+			if p.buffers[i].age < p.buffers[victim].age {
+				victim = i
+			}
+		}
+		v := &p.buffers[victim]
+		p.lastEvictValid = v.valid
+		p.lastEvictWasted = v.valid && !v.used
+		*v = buffer{valid: true, next: a.Block + 1, left: p.depth, age: p.clock}
+	}
+	p.lastAllocated = allocate
+	return false
+}
+
+// Run drives the prefetcher over the trace and accumulates stats.
+func Run(p *Prefetcher, accesses []Access) Stats {
+	var s Stats
+	for _, a := range accesses {
+		s.Accesses++
+		if p.Access(a) {
+			s.Covered++
+			continue
+		}
+		if p.lastAllocated {
+			s.Allocations++
+			s.Prefetched += p.depth
+			if p.lastEvictValid && p.lastEvictWasted {
+				s.Wasted++
+			}
+		}
+	}
+	// Account for buffers still resident and never used.
+	for _, b := range p.buffers {
+		if b.valid && !b.used {
+			s.Wasted++
+		}
+	}
+	return s
+}
+
+// Bank maps static loads to allocation predictors (1 = this load
+// streams; allocate on its misses).
+type Bank struct {
+	factory func() counters.Predictor
+	byPC    map[uint64]counters.Predictor
+}
+
+// NewBank builds a bank from a predictor factory.
+func NewBank(factory func() counters.Predictor) *Bank {
+	return &Bank{factory: factory, byPC: map[uint64]counters.Predictor{}}
+}
+
+func (b *Bank) predictor(pc uint64) counters.Predictor {
+	p := b.byPC[pc]
+	if p == nil {
+		p = b.factory()
+		b.byPC[pc] = p
+	}
+	return p
+}
+
+// Install assigns a specific predictor (e.g. a designed FSM runner).
+func (b *Bank) Install(pc uint64, p counters.Predictor) { b.byPC[pc] = p }
+
+// Predict returns the allocation decision for pc.
+func (b *Bank) Predict(pc uint64) bool { return b.predictor(pc).Predict() }
+
+// Train records pc's stream-continuity outcome.
+func (b *Bank) Train(pc uint64, cont bool) { b.predictor(pc).Update(cont) }
+
+// StreamModels profiles, per static load, its stream-continuity bit
+// stream — the design-flow input for building per-load allocation FSMs.
+func StreamModels(accesses []Access, order int) map[uint64]*markov.Model {
+	lastBlock := map[uint64]uint64{}
+	lastSeen := map[uint64]bool{}
+	streams := map[uint64][]bool{}
+	for _, a := range accesses {
+		cont := lastSeen[a.PC] && a.Block == lastBlock[a.PC]+1
+		lastBlock[a.PC] = a.Block
+		lastSeen[a.PC] = true
+		streams[a.PC] = append(streams[a.PC], cont)
+	}
+	models := map[uint64]*markov.Model{}
+	for pc, bits := range streams {
+		m := markov.New(order)
+		m.AddBools(bits)
+		models[pc] = m
+	}
+	return models
+}

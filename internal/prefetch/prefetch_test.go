@@ -1,0 +1,166 @@
+package prefetch
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/counters"
+)
+
+// mixedAccesses interleaves a streaming load (sequential blocks) with a
+// pointer-chasing load issuing several misses per iteration — enough to
+// evict every buffer under always-allocate, so the stream only survives
+// if the chaser is denied allocations.
+func mixedAccesses(n int, seed int64) []Access {
+	rng := rand.New(rand.NewSource(seed))
+	var out []Access
+	stream := uint64(1 << 20)
+	for i := 0; i < n; i++ {
+		out = append(out, Access{PC: 0x10, Block: stream})
+		stream++
+		for k := 0; k < 3; k++ {
+			out = append(out, Access{PC: 0x20, Block: uint64(rng.Int63())})
+		}
+	}
+	return out
+}
+
+func TestStreamingLoadIsCovered(t *testing.T) {
+	p := New(4, 8)
+	var accesses []Access
+	for b := uint64(0); b < 200; b++ {
+		accesses = append(accesses, Access{PC: 0x10, Block: b})
+	}
+	s := Run(p, accesses)
+	// After the first allocation, each buffer covers `depth` blocks.
+	if s.Coverage() < 0.8 {
+		t.Errorf("streaming coverage = %v, want >= 0.8", s.Coverage())
+	}
+}
+
+func TestRandomLoadIsNotCovered(t *testing.T) {
+	p := New(4, 8)
+	rng := rand.New(rand.NewSource(1))
+	var accesses []Access
+	for i := 0; i < 500; i++ {
+		accesses = append(accesses, Access{PC: 0x20, Block: uint64(rng.Int63())})
+	}
+	s := Run(p, accesses)
+	if s.Coverage() > 0.01 {
+		t.Errorf("random coverage = %v, want ~0", s.Coverage())
+	}
+	if s.WasteRate() < 0.9 {
+		t.Errorf("random waste = %v, want ~1", s.WasteRate())
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 8) },
+		func() { New(4, 0) },
+		func() { New(65, 8) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// TestPredictorDirectedAllocationBeatsAlways: with few buffers and a
+// hostile pointer-chasing load competing for them, gating allocation on
+// a learned per-PC predictor recovers the streaming load's coverage.
+func TestPredictorDirectedAllocationBeatsAlways(t *testing.T) {
+	accesses := mixedAccesses(2000, 7)
+
+	base := Run(New(2, 8), accesses)
+
+	managed := New(2, 8)
+	managed.Allocate = NewBank(func() counters.Predictor {
+		c := counters.NewTwoBit()
+		c.SetValue(2)
+		return c
+	})
+	managedStats := Run(managed, accesses)
+
+	if managedStats.Coverage() <= base.Coverage() {
+		t.Errorf("directed coverage %v should beat always-allocate %v",
+			managedStats.Coverage(), base.Coverage())
+	}
+	if managedStats.WasteRate() >= base.WasteRate() {
+		t.Errorf("directed waste %v should be below always-allocate %v",
+			managedStats.WasteRate(), base.WasteRate())
+	}
+}
+
+// TestFSMAllocatorFromDesignFlow deploys per-load FSMs designed from the
+// profiled usefulness streams.
+func TestFSMAllocatorFromDesignFlow(t *testing.T) {
+	train := mixedAccesses(2000, 7)
+	test := mixedAccesses(2000, 8)
+
+	models := StreamModels(train, 3)
+	bank := NewBank(func() counters.Predictor {
+		c := counters.NewTwoBit()
+		c.SetValue(2)
+		return c
+	})
+	for pc, m := range models {
+		d, err := core.FromModel(m, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		bank.Install(pc, d.Machine.NewRunner())
+	}
+	managed := New(2, 8)
+	managed.Allocate = bank
+	managedStats := Run(managed, test)
+	base := Run(New(2, 8), test)
+
+	if managedStats.Coverage() <= base.Coverage() {
+		t.Errorf("FSM-directed coverage %v should beat always-allocate %v",
+			managedStats.Coverage(), base.Coverage())
+	}
+}
+
+func TestStreamModels(t *testing.T) {
+	models := StreamModels(mixedAccesses(1000, 3), 3)
+	if len(models) == 0 {
+		t.Fatal("no models profiled")
+	}
+	// The streaming PC's buffers are mostly useful; the random PC's are
+	// not.
+	frac := func(pc uint64) float64 {
+		m, ok := models[pc]
+		if !ok {
+			t.Fatalf("no model for %#x", pc)
+		}
+		var ones, total uint64
+		for _, h := range m.Histories() {
+			c := m.Count(h)
+			ones += c.Ones
+			total += c.Total()
+		}
+		if total == 0 {
+			return 0
+		}
+		return float64(ones) / float64(total)
+	}
+	if frac(0x10) < 0.9 {
+		t.Errorf("streaming continuity = %v, want ~1", frac(0x10))
+	}
+	if frac(0x20) > 0.05 {
+		t.Errorf("random continuity = %v, want ~0", frac(0x20))
+	}
+}
+
+func TestStatsEdgeCases(t *testing.T) {
+	if (Stats{}).Coverage() != 0 || (Stats{}).WasteRate() != 0 {
+		t.Error("empty stats should be zero")
+	}
+}

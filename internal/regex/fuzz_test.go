@@ -1,0 +1,29 @@
+package regex
+
+import "testing"
+
+// FuzzParse checks that the parser never panics and that anything it
+// accepts survives a print/re-parse round trip with a stable rendering.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"", "0", "1", ".", "0|1", "(0|1)*", ".*(1.|.1)",
+		"{0|1}{1{0|1}|{0|1}1}", "1**", "((((0))))", "0x1x|0xx1x",
+		"(", ")", "|", "}{", "0*|*", "\x00", "ε",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		n, err := Parse(s)
+		if err != nil {
+			return
+		}
+		printed := String(n)
+		n2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted %q but rejected its rendering %q: %v", s, printed, err)
+		}
+		if again := String(n2); again != printed {
+			t.Fatalf("unstable rendering: %q -> %q", printed, again)
+		}
+	})
+}

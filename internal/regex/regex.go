@@ -1,0 +1,354 @@
+// Package regex implements regular expressions over the binary alphabet
+// {0,1}, the intermediate form of §4.5 of the paper. A minimized cube
+// cover is translated into the expression
+//
+//	(0|1)* ( cube₁ | cube₂ | … | cubeₖ )
+//
+// where each cube becomes a concatenation of 0, 1 and "." (don't care,
+// printed as the paper's {0|1}). The expression denotes the language L of
+// all input strings ending in a predict-1 history.
+//
+// The package also provides a parser for the same notation so expressions
+// can be written by hand in tests and tools, and a direct semantic matcher
+// used as an oracle against the NFA/DFA pipeline.
+package regex
+
+import (
+	"fmt"
+	"strings"
+
+	"fsmpredict/internal/bitseq"
+)
+
+// Node is a regular expression AST node.
+type Node interface {
+	// writeTo renders the node, parenthesizing according to the parent
+	// precedence: 0 = alternation context, 1 = concatenation, 2 = star.
+	writeTo(sb *strings.Builder, prec int)
+}
+
+// Empty matches the empty string ε.
+type Empty struct{}
+
+// Lit matches a single input symbol.
+type Lit struct{ Bit bool }
+
+// Any matches either input symbol; it prints as ".".
+type Any struct{}
+
+// Concat matches its parts in sequence.
+type Concat struct{ Parts []Node }
+
+// Alt matches any one of its alternatives.
+type Alt struct{ Alts []Node }
+
+// Star matches zero or more repetitions of its inner expression.
+type Star struct{ Inner Node }
+
+func (Empty) writeTo(sb *strings.Builder, prec int) { sb.WriteString("ε") }
+
+func (l Lit) writeTo(sb *strings.Builder, prec int) {
+	if l.Bit {
+		sb.WriteByte('1')
+	} else {
+		sb.WriteByte('0')
+	}
+}
+
+func (Any) writeTo(sb *strings.Builder, prec int) { sb.WriteByte('.') }
+
+func (c Concat) writeTo(sb *strings.Builder, prec int) {
+	if len(c.Parts) == 0 {
+		Empty{}.writeTo(sb, prec)
+		return
+	}
+	if len(c.Parts) == 1 {
+		c.Parts[0].writeTo(sb, prec)
+		return
+	}
+	paren := prec >= 2
+	if paren {
+		sb.WriteByte('(')
+	}
+	for _, p := range c.Parts {
+		p.writeTo(sb, 1)
+	}
+	if paren {
+		sb.WriteByte(')')
+	}
+}
+
+func (a Alt) writeTo(sb *strings.Builder, prec int) {
+	if len(a.Alts) == 0 {
+		sb.WriteString("∅")
+		return
+	}
+	if len(a.Alts) == 1 {
+		a.Alts[0].writeTo(sb, prec)
+		return
+	}
+	paren := prec >= 1
+	if paren {
+		sb.WriteByte('(')
+	}
+	for i, alt := range a.Alts {
+		if i > 0 {
+			sb.WriteByte('|')
+		}
+		alt.writeTo(sb, 0)
+	}
+	if paren {
+		sb.WriteByte(')')
+	}
+}
+
+func (s Star) writeTo(sb *strings.Builder, prec int) {
+	s.Inner.writeTo(sb, 2)
+	sb.WriteByte('*')
+}
+
+// String renders any node in the package's canonical notation.
+func String(n Node) string {
+	var sb strings.Builder
+	n.writeTo(&sb, 0)
+	return sb.String()
+}
+
+// CubeExpr translates one cube into the concatenation of its positions,
+// oldest first, with don't cares as Any.
+func CubeExpr(c bitseq.Cube) Node {
+	parts := make([]Node, 0, c.Width)
+	for i := c.Width - 1; i >= 0; i-- {
+		switch {
+		case c.Care>>uint(i)&1 == 0:
+			parts = append(parts, Any{})
+		case c.Value>>uint(i)&1 == 1:
+			parts = append(parts, Lit{Bit: true})
+		default:
+			parts = append(parts, Lit{Bit: false})
+		}
+	}
+	return Concat{Parts: parts}
+}
+
+// FromCover builds the predictor language of §4.5 from a minimized cover:
+// (0|1)* followed by the alternation of the cube patterns. An empty cover
+// yields the empty language (Alt with no alternatives).
+func FromCover(cover []bitseq.Cube) Node {
+	if len(cover) == 0 {
+		return Alt{}
+	}
+	alts := make([]Node, len(cover))
+	for i, c := range cover {
+		alts[i] = CubeExpr(c)
+	}
+	return Concat{Parts: []Node{
+		Star{Inner: Any{}},
+		Alt{Alts: alts},
+	}}
+}
+
+// Parse reads an expression in the package notation. Accepted tokens:
+// '0', '1', '.', 'x'/'X' (synonyms for '.'), '|', '*', both '()' and the
+// paper's '{}' for grouping, plus the printer's "ε" (empty string) and
+// "∅" (empty language). Whitespace is ignored. An empty input parses as
+// Empty.
+func Parse(s string) (Node, error) {
+	p := &parser{src: s}
+	n := p.alt()
+	p.skipSpace()
+	if p.err != nil {
+		return nil, p.err
+	}
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("regex: unexpected %q at offset %d", p.src[p.pos], p.pos)
+	}
+	return n, nil
+}
+
+// MustParse is Parse but panics on error; intended for tests and literals.
+func MustParse(s string) Node {
+	n, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type parser struct {
+	src string
+	pos int
+	err error
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '\t', '\n', '\r':
+			p.pos++
+		default:
+			return
+		}
+	}
+}
+
+func (p *parser) peek() (byte, bool) {
+	p.skipSpace()
+	if p.pos >= len(p.src) {
+		return 0, false
+	}
+	return p.src[p.pos], true
+}
+
+func (p *parser) alt() Node {
+	parts := []Node{p.concat()}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			break
+		}
+		p.pos++
+		parts = append(parts, p.concat())
+	}
+	if len(parts) == 1 {
+		return parts[0]
+	}
+	return Alt{Alts: parts}
+}
+
+func (p *parser) concat() Node {
+	var parts []Node
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' || c == '}' {
+			break
+		}
+		parts = append(parts, p.rep())
+		if p.err != nil {
+			return Empty{}
+		}
+	}
+	switch len(parts) {
+	case 0:
+		return Empty{}
+	case 1:
+		return parts[0]
+	}
+	return Concat{Parts: parts}
+}
+
+func (p *parser) rep() Node {
+	n := p.atom()
+	for {
+		c, ok := p.peek()
+		if !ok || c != '*' {
+			return n
+		}
+		p.pos++
+		n = Star{Inner: n}
+	}
+}
+
+func (p *parser) atom() Node {
+	c, ok := p.peek()
+	if !ok {
+		p.fail("unexpected end of expression")
+		return Empty{}
+	}
+	if strings.HasPrefix(p.src[p.pos:], "ε") {
+		p.pos += len("ε")
+		return Empty{}
+	}
+	if strings.HasPrefix(p.src[p.pos:], "∅") {
+		p.pos += len("∅")
+		return Alt{}
+	}
+	switch c {
+	case '0':
+		p.pos++
+		return Lit{Bit: false}
+	case '1':
+		p.pos++
+		return Lit{Bit: true}
+	case '.', 'x', 'X':
+		p.pos++
+		return Any{}
+	case '(', '{':
+		open := c
+		p.pos++
+		n := p.alt()
+		cl, ok := p.peek()
+		want := byte(')')
+		if open == '{' {
+			want = '}'
+		}
+		if !ok || cl != want {
+			p.fail(fmt.Sprintf("missing %q", want))
+			return Empty{}
+		}
+		p.pos++
+		return n
+	default:
+		p.fail(fmt.Sprintf("unexpected %q", c))
+		return Empty{}
+	}
+}
+
+func (p *parser) fail(msg string) {
+	if p.err == nil {
+		p.err = fmt.Errorf("regex: %s at offset %d", msg, p.pos)
+	}
+}
+
+// Matches evaluates the expression against an input string by recursive
+// descent over suffix positions. It is exponential in the worst case and
+// exists as a small, obviously-correct oracle for testing the NFA and DFA
+// construction; production matching goes through the compiled machines.
+func Matches(n Node, input []bool) bool {
+	return matchAt(n, input, 0, func(end int) bool { return end == len(input) })
+}
+
+// matchAt tries to match n starting at position i, invoking k on every
+// possible end position until k returns true.
+func matchAt(n Node, input []bool, i int, k func(int) bool) bool {
+	switch t := n.(type) {
+	case Empty:
+		return k(i)
+	case Lit:
+		return i < len(input) && input[i] == t.Bit && k(i+1)
+	case Any:
+		return i < len(input) && k(i+1)
+	case Concat:
+		return matchSeq(t.Parts, input, i, k)
+	case Alt:
+		for _, alt := range t.Alts {
+			if matchAt(alt, input, i, k) {
+				return true
+			}
+		}
+		return false
+	case Star:
+		// Match zero or more; bound depth by remaining input to avoid
+		// infinite recursion on nullable inner expressions.
+		if k(i) {
+			return true
+		}
+		return matchAt(t.Inner, input, i, func(j int) bool {
+			if j <= i {
+				return false // no progress; stop
+			}
+			return matchAt(Star{Inner: t.Inner}, input, j, k)
+		})
+	default:
+		panic(fmt.Sprintf("regex: unknown node type %T", n))
+	}
+}
+
+func matchSeq(parts []Node, input []bool, i int, k func(int) bool) bool {
+	if len(parts) == 0 {
+		return k(i)
+	}
+	return matchAt(parts[0], input, i, func(j int) bool {
+		return matchSeq(parts[1:], input, j, k)
+	})
+}

@@ -1,0 +1,211 @@
+package regex
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsmpredict/internal/bitseq"
+)
+
+func bitsOf(s string) []bool {
+	return bitseq.MustFromString(s).Bools()
+}
+
+func TestStringForms(t *testing.T) {
+	cases := []struct {
+		n    Node
+		want string
+	}{
+		{Lit{true}, "1"},
+		{Lit{false}, "0"},
+		{Any{}, "."},
+		{Empty{}, "ε"},
+		{Alt{}, "∅"},
+		{Concat{Parts: []Node{Lit{true}, Any{}}}, "1."},
+		{Alt{Alts: []Node{Lit{false}, Lit{true}}}, "0|1"},
+		{Star{Inner: Any{}}, ".*"},
+		{Star{Inner: Alt{Alts: []Node{Lit{false}, Lit{true}}}}, "(0|1)*"},
+		{Concat{Parts: []Node{
+			Star{Inner: Any{}},
+			Alt{Alts: []Node{
+				Concat{Parts: []Node{Lit{true}, Any{}}},
+				Concat{Parts: []Node{Any{}, Lit{true}}},
+			}},
+		}}, ".*(1.|.1)"},
+	}
+	for _, c := range cases {
+		if got := String(c.n); got != c.want {
+			t.Errorf("String = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"1", "0", ".", "1.", "0|1", "(0|1)*", ".*(1.|.1)",
+		"((0|1))*", "{0|1}{1{0|1}|{0|1}1}", "1**", "0x1x|0xx1x",
+	} {
+		n, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		printed := String(n)
+		n2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("re-Parse(%q): %v", printed, err)
+		}
+		if String(n2) != printed {
+			t.Errorf("print not stable: %q -> %q", printed, String(n2))
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"(", "(0|1", "{0|1)", "2", "0)", "a", "|)"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q): expected error", s)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	n, err := Parse("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := n.(Empty); !ok {
+		t.Fatalf("Parse(\"\") = %T, want Empty", n)
+	}
+	if !Matches(n, nil) {
+		t.Error("Empty should match the empty string")
+	}
+	if Matches(n, bitsOf("0")) {
+		t.Error("Empty should not match a nonempty string")
+	}
+}
+
+func TestMatchesBasics(t *testing.T) {
+	cases := []struct {
+		expr string
+		yes  []string
+		no   []string
+	}{
+		{"1", []string{"1"}, []string{"0", "", "11"}},
+		{"1.", []string{"10", "11"}, []string{"1", "01", "110"}},
+		{"(0|1)*", []string{"", "0", "1", "0101"}, nil},
+		{".*11", []string{"11", "011", "10101011"}, []string{"", "1", "10", "110"}},
+		{".*(1.|.1)", []string{"10", "01", "11", "0010", "111"}, []string{"", "0", "1", "00", "000"}},
+		{"0*1", []string{"1", "01", "0001"}, []string{"", "0", "10", "011"}},
+		{"(01)*", []string{"", "01", "0101"}, []string{"0", "10", "011"}},
+	}
+	for _, c := range cases {
+		n := MustParse(c.expr)
+		for _, s := range c.yes {
+			if !Matches(n, bitsOf(s)) {
+				t.Errorf("%q should match %q", c.expr, s)
+			}
+		}
+		for _, s := range c.no {
+			if Matches(n, bitsOf(s)) {
+				t.Errorf("%q should not match %q", c.expr, s)
+			}
+		}
+	}
+}
+
+func TestNullableStarTerminates(t *testing.T) {
+	// (ε|0)* and (.*)* must not loop forever.
+	for _, s := range []string{"0**", "(0*)*", "(.*)*"} {
+		n := MustParse(s)
+		if !Matches(n, bitsOf("000")) {
+			t.Errorf("%q should match 000", s)
+		}
+	}
+	if Matches(MustParse("(1*)*"), bitsOf("0")) {
+		t.Error("(1*)* should not match 0")
+	}
+}
+
+func TestCubeExpr(t *testing.T) {
+	c := bitseq.MustParseCube("1x0")
+	if got := String(CubeExpr(c)); got != "1.0" {
+		t.Fatalf("CubeExpr = %q, want 1.0", got)
+	}
+}
+
+func TestFromCoverPaperExample(t *testing.T) {
+	cover := []bitseq.Cube{
+		bitseq.MustParseCube("x1"),
+		bitseq.MustParseCube("1x"),
+	}
+	n := FromCover(cover)
+	if got := String(n); got != ".*(.1|1.)" {
+		t.Fatalf("FromCover = %q, want .*(.1|1.)", got)
+	}
+	// §4.5: language is any string whose last two bits are not 00.
+	for s, want := range map[string]bool{
+		"":      false,
+		"0":     false,
+		"1":     false,
+		"00":    false,
+		"01":    true,
+		"10":    true,
+		"11":    true,
+		"0000":  false,
+		"1100":  false,
+		"0001":  true,
+		"01010": true,
+	} {
+		if got := Matches(n, bitsOf(s)); got != want {
+			t.Errorf("Matches(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestFromCoverEmpty(t *testing.T) {
+	n := FromCover(nil)
+	for _, s := range []string{"", "0", "1", "0101"} {
+		if Matches(n, bitsOf(s)) {
+			t.Errorf("empty cover should match nothing, matched %q", s)
+		}
+	}
+}
+
+// TestFromCoverSemanticsQuick checks the central language property: a
+// string is in L(FromCover(cover)) iff it is at least Width long and its
+// trailing Width bits match some cube.
+func TestFromCoverSemanticsQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 60; trial++ {
+		width := rng.Intn(4) + 1
+		var cover []bitseq.Cube
+		for i := 0; i < rng.Intn(3)+1; i++ {
+			cover = append(cover, bitseq.NewCube(
+				rng.Uint32(), rng.Uint32()|1, width))
+		}
+		n := FromCover(cover)
+		for inputLen := 0; inputLen <= width+3; inputLen++ {
+			for v := 0; v < 1<<uint(inputLen); v++ {
+				input := make([]bool, inputLen)
+				for i := range input {
+					input[i] = v>>uint(inputLen-1-i)&1 == 1
+				}
+				want := false
+				if inputLen >= width {
+					var h uint32
+					for _, b := range input[inputLen-width:] {
+						h <<= 1
+						if b {
+							h |= 1
+						}
+					}
+					want = bitseq.CoverMatches(cover, h)
+				}
+				if got := Matches(n, input); got != want {
+					t.Fatalf("trial %d width %d input %v: Matches = %v, want %v (cover %v)",
+						trial, width, input, got, want, cover)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package simpoint
+
+import (
+	"math"
+	"testing"
+
+	"fsmpredict/internal/bpred"
+	"fsmpredict/internal/trace"
+	"fsmpredict/internal/workload"
+)
+
+// phasedTrace alternates long phases of two different benchmarks,
+// giving the trace a clear two-phase structure.
+func phasedTrace(t *testing.T, phaseLen, phases int) []trace.BranchEvent {
+	t.Helper()
+	a, err := workload.ByName("gs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := workload.ByName("vortex")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ea := a.Generate(workload.Train, phaseLen*phases)
+	eb := b.Generate(workload.Train, phaseLen*phases)
+	var out []trace.BranchEvent
+	for p := 0; p < phases; p++ {
+		src := ea
+		if p%2 == 1 {
+			src = eb
+		}
+		out = append(out, src[p*phaseLen:(p+1)*phaseLen]...)
+	}
+	return out
+}
+
+func TestAnalyzeSeparatesPhases(t *testing.T) {
+	const phaseLen = 10000
+	events := phasedTrace(t, phaseLen, 8)
+	res, err := Analyze(events, Options{IntervalLen: phaseLen, K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumIntervals() != 8 {
+		t.Fatalf("intervals = %d, want 8", res.NumIntervals())
+	}
+	// Even intervals (gs) and odd intervals (vortex) must land in
+	// different clusters, consistently.
+	for i := 2; i < 8; i++ {
+		if res.Assignments[i] != res.Assignments[i%2] {
+			t.Errorf("interval %d in cluster %d, want %d (phase structure missed)",
+				i, res.Assignments[i], res.Assignments[i%2])
+		}
+	}
+	if res.Assignments[0] == res.Assignments[1] {
+		t.Error("the two phases collapsed into one cluster")
+	}
+	// Two representatives with weight 1/2 each.
+	if len(res.Representatives) != 2 {
+		t.Fatalf("representatives = %v", res.Representatives)
+	}
+	for _, w := range res.Weights {
+		if math.Abs(w-0.5) > 1e-9 {
+			t.Errorf("weights = %v, want halves", res.Weights)
+		}
+	}
+}
+
+// TestSampledProfileMatchesFullProfile is the §5 methodological claim:
+// per-branch behaviour measured on the representatives matches the full
+// trace.
+func TestSampledProfileMatchesFullProfile(t *testing.T) {
+	prog, _ := workload.ByName("ijpeg")
+	events := prog.Generate(workload.Train, 160000)
+	res, err := Analyze(events, Options{IntervalLen: 8000, K: 4, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := res.Sample(events)
+	if len(sample) >= len(events) {
+		t.Fatalf("sample (%d) not smaller than trace (%d)", len(sample), len(events))
+	}
+	full := trace.Profile(events)
+	fullRate := map[uint64]float64{}
+	for _, p := range full {
+		fullRate[p.PC] = p.TakenRate()
+	}
+	for _, p := range trace.Profile(sample) {
+		if want, ok := fullRate[p.PC]; ok {
+			if math.Abs(p.TakenRate()-want) > 0.05 {
+				t.Errorf("branch %#x: sampled taken rate %.3f vs full %.3f",
+					p.PC, p.TakenRate(), want)
+			}
+		}
+	}
+}
+
+// TestSampledDesignMatchesFullDesign: custom predictors trained on the
+// SimPoint sample perform like predictors trained on the full trace.
+func TestSampledDesignMatchesFullDesign(t *testing.T) {
+	prog, _ := workload.ByName("vortex")
+	train := prog.Generate(workload.Train, 160000)
+	test := prog.Generate(workload.Test, 80000)
+
+	res, err := Analyze(train, Options{IntervalLen: 8000, K: 4, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sample := res.Sample(train)
+
+	opt := bpred.TrainOptions{MaxEntries: 6, Order: 9, MinExecutions: 64}
+	fullEntries, err := bpred.TrainCustom(train, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampleEntries, err := bpred.TrainCustom(sample, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullMiss := bpred.Run(bpred.NewCustom(fullEntries), test).MissRate()
+	sampleMiss := bpred.Run(bpred.NewCustom(sampleEntries), test).MissRate()
+	if sampleMiss > fullMiss+0.01 {
+		t.Errorf("sample-trained custom %.4f much worse than full-trained %.4f",
+			sampleMiss, fullMiss)
+	}
+}
+
+func TestAnalyzeValidation(t *testing.T) {
+	if _, err := Analyze(nil, Options{}); err == nil {
+		t.Error("expected error for empty trace")
+	}
+	events := make([]trace.BranchEvent, 100)
+	if _, err := Analyze(events, Options{IntervalLen: 1000}); err == nil {
+		t.Error("expected error for trace shorter than one interval")
+	}
+}
+
+func TestAnalyzeDeterministic(t *testing.T) {
+	prog, _ := workload.ByName("gsm")
+	events := prog.Generate(workload.Train, 60000)
+	opt := Options{IntervalLen: 5000, K: 3, Seed: 9}
+	a, err := Analyze(events, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Analyze(events, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Assignments {
+		if a.Assignments[i] != b.Assignments[i] {
+			t.Fatal("assignments not deterministic")
+		}
+	}
+	for i := range a.Representatives {
+		if a.Representatives[i] != b.Representatives[i] {
+			t.Fatal("representatives not deterministic")
+		}
+	}
+}
+
+func TestKClampedToIntervals(t *testing.T) {
+	prog, _ := workload.ByName("gs")
+	events := prog.Generate(workload.Train, 20000)
+	res, err := Analyze(events, Options{IntervalLen: 10000, K: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Representatives) > res.NumIntervals() {
+		t.Fatalf("more representatives (%d) than intervals (%d)",
+			len(res.Representatives), res.NumIntervals())
+	}
+	var total float64
+	for _, w := range res.Weights {
+		total += w
+	}
+	if math.Abs(total-1) > 1e-9 {
+		t.Errorf("weights sum to %v, want 1", total)
+	}
+}

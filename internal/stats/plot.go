@@ -1,0 +1,116 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// ScatterOptions controls ASCII scatter rendering.
+type ScatterOptions struct {
+	// Width and Height are the plot dimensions in characters
+	// (defaults 64x20).
+	Width, Height int
+	// XLabel and YLabel annotate the axes.
+	XLabel, YLabel string
+	// Line, when non-nil, is drawn over the points (Figure 4's trend).
+	Line *Fit
+}
+
+// Scatter renders points (and optionally a fitted line) as a plain-text
+// plot, for terminal output from the cmd tools.
+func Scatter(pts []Point, opt ScatterOptions) string {
+	if len(pts) == 0 {
+		return "(no points)\n"
+	}
+	if opt.Width <= 0 {
+		opt.Width = 64
+	}
+	if opt.Height <= 0 {
+		opt.Height = 20
+	}
+	minX, maxX := pts[0].X, pts[0].X
+	minY, maxY := pts[0].Y, pts[0].Y
+	for _, p := range pts {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, opt.Height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", opt.Width))
+	}
+	col := func(x float64) int {
+		c := int((x - minX) / (maxX - minX) * float64(opt.Width-1))
+		return clampInt(c, 0, opt.Width-1)
+	}
+	row := func(y float64) int {
+		r := int((maxY - y) / (maxY - minY) * float64(opt.Height-1))
+		return clampInt(r, 0, opt.Height-1)
+	}
+
+	if opt.Line != nil {
+		for c := 0; c < opt.Width; c++ {
+			x := minX + (maxX-minX)*float64(c)/float64(opt.Width-1)
+			y := opt.Line.At(x)
+			if y < minY || y > maxY {
+				continue
+			}
+			grid[row(y)][c] = '-'
+		}
+	}
+	for _, p := range pts {
+		grid[row(p.Y)][col(p.X)] = '*'
+	}
+
+	var sb strings.Builder
+	if opt.YLabel != "" {
+		fmt.Fprintf(&sb, "%s\n", opt.YLabel)
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%7.4g ", maxY)
+		case opt.Height - 1:
+			label = fmt.Sprintf("%7.4g ", minY)
+		}
+		sb.WriteString(label)
+		sb.WriteString("|")
+		sb.Write(line)
+		sb.WriteString("\n")
+	}
+	sb.WriteString("        +")
+	sb.WriteString(strings.Repeat("-", opt.Width))
+	sb.WriteString("\n")
+	fmt.Fprintf(&sb, "        %-.4g%s%.4g\n", minX,
+		strings.Repeat(" ", maxInt(1, opt.Width-len(fmt.Sprintf("%.4g", minX))-len(fmt.Sprintf("%.4g", maxX)))),
+		maxX)
+	if opt.XLabel != "" {
+		fmt.Fprintf(&sb, "        %s\n", opt.XLabel)
+	}
+	return sb.String()
+}
+
+func clampInt(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

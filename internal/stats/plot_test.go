@@ -1,0 +1,60 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterRendersPoints(t *testing.T) {
+	pts := []Point{{0, 0}, {10, 100}, {5, 50}}
+	out := Scatter(pts, ScatterOptions{Width: 40, Height: 10, XLabel: "states", YLabel: "area"})
+	if !strings.Contains(out, "*") {
+		t.Fatal("no points rendered")
+	}
+	if !strings.Contains(out, "states") || !strings.Contains(out, "area") {
+		t.Error("labels missing")
+	}
+	lines := strings.Split(out, "\n")
+	// Corner points: first grid row has the max-Y point, last has min-Y.
+	var gridLines []string
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines = append(gridLines, l)
+		}
+	}
+	if len(gridLines) != 10 {
+		t.Fatalf("grid has %d rows, want 10", len(gridLines))
+	}
+	if !strings.Contains(gridLines[0], "*") || !strings.Contains(gridLines[9], "*") {
+		t.Error("extreme points not on the first/last rows")
+	}
+	if !strings.HasPrefix(gridLines[0], "    100 ") {
+		t.Errorf("max-Y label wrong: %q", gridLines[0])
+	}
+}
+
+func TestScatterWithLine(t *testing.T) {
+	var pts []Point
+	for i := 0; i <= 10; i++ {
+		pts = append(pts, Point{float64(i), float64(2 * i)})
+	}
+	fit, err := LinearFit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := Scatter(pts, ScatterOptions{Width: 30, Height: 8, Line: &fit})
+	if !strings.Contains(out, "-") {
+		t.Error("fitted line not drawn")
+	}
+}
+
+func TestScatterEmptyAndDegenerate(t *testing.T) {
+	if out := Scatter(nil, ScatterOptions{}); !strings.Contains(out, "no points") {
+		t.Error("empty plot message missing")
+	}
+	// Single point (degenerate ranges) must not panic.
+	out := Scatter([]Point{{3, 4}}, ScatterOptions{Width: 10, Height: 5})
+	if !strings.Contains(out, "*") {
+		t.Error("single point not rendered")
+	}
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestTheilSenExactLine(t *testing.T) {
+	pts := []Point{{0, 1}, {1, 3}, {2, 5}, {5, 11}}
+	f, err := TheilSen(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 1e-12 || math.Abs(f.Intercept-1) > 1e-12 {
+		t.Errorf("fit = %+v, want slope 2 intercept 1", f)
+	}
+	if f.R2 < 0.999 {
+		t.Errorf("R2 = %v", f.R2)
+	}
+}
+
+func TestTheilSenRobustToOutliers(t *testing.T) {
+	// A clean line plus 25% wild low outliers (the regular machines of
+	// Figure 4): least squares bends, Theil–Sen should not.
+	var pts []Point
+	for i := 1; i <= 40; i++ {
+		x := float64(i * 5)
+		pts = append(pts, Point{x, 10 + 13*x})
+	}
+	for i := 0; i < 12; i++ {
+		pts = append(pts, Point{float64(100 + i*20), 30}) // far below
+	}
+	robust, err := TheilSen(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(robust.Slope-13) > 1.0 {
+		t.Errorf("Theil-Sen slope = %v, want ~13 despite outliers", robust.Slope)
+	}
+	ls, err := LinearFit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ls.Slope-13) < math.Abs(robust.Slope-13) {
+		t.Errorf("least squares (%v) should be more biased than Theil-Sen (%v)",
+			ls.Slope, robust.Slope)
+	}
+}
+
+func TestTheilSenErrors(t *testing.T) {
+	if _, err := TheilSen([]Point{{1, 1}}); err == nil {
+		t.Error("expected error for one point")
+	}
+	if _, err := TheilSen([]Point{{2, 1}, {2, 5}}); err == nil {
+		t.Error("expected error for degenerate x")
+	}
+}
+
+func TestTheilSenMatchesLeastSquaresOnCleanData(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var pts []Point
+	for i := 0; i < 100; i++ {
+		x := rng.Float64() * 50
+		pts = append(pts, Point{x, 2 + 3*x + rng.NormFloat64()*0.5})
+	}
+	ts, err := TheilSen(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, err := LinearFit(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ts.Slope-ls.Slope) > 0.1 || math.Abs(ts.Intercept-ls.Intercept) > 1 {
+		t.Errorf("clean data: Theil-Sen %+v vs least squares %+v", ts, ls)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if m := median([]float64{3, 1, 2}); m != 2 {
+		t.Errorf("median odd = %v", m)
+	}
+	if m := median([]float64{4, 1, 2, 3}); m != 2.5 {
+		t.Errorf("median even = %v", m)
+	}
+}

@@ -1,0 +1,259 @@
+// Package trace defines the behavioural event records the design flow
+// consumes — conditional branch outcomes and load values — together with
+// compact binary and human-readable text encodings, and the profiling
+// passes that turn event streams into Markov models (standing in for the
+// ATOM instrumentation used in the paper, §5).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sort"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/markov"
+)
+
+// BranchEvent is one dynamic conditional branch: its static address and
+// its resolved direction.
+type BranchEvent struct {
+	PC    uint64
+	Taken bool
+}
+
+// LoadEvent is one dynamic load: its static address and the value loaded.
+type LoadEvent struct {
+	PC    uint64
+	Value uint64
+}
+
+// Outcomes extracts the global direction stream from a branch trace.
+func Outcomes(events []BranchEvent) *bitseq.Bits {
+	b := &bitseq.Bits{}
+	for _, e := range events {
+		b.Append(e.Taken)
+	}
+	return b
+}
+
+// BranchProfile summarizes per-static-branch behaviour.
+type BranchProfile struct {
+	PC    uint64
+	Count int
+	Taken int
+}
+
+// TakenRate returns the fraction of executions that were taken.
+func (p BranchProfile) TakenRate() float64 {
+	if p.Count == 0 {
+		return 0
+	}
+	return float64(p.Taken) / float64(p.Count)
+}
+
+// Profile tallies the trace per static branch, ordered by descending
+// execution count (ties by PC).
+func Profile(events []BranchEvent) []BranchProfile {
+	byPC := map[uint64]*BranchProfile{}
+	for _, e := range events {
+		p := byPC[e.PC]
+		if p == nil {
+			p = &BranchProfile{PC: e.PC}
+			byPC[e.PC] = p
+		}
+		p.Count++
+		if e.Taken {
+			p.Taken++
+		}
+	}
+	out := make([]BranchProfile, 0, len(byPC))
+	for _, p := range byPC {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// GlobalMarkov builds, for each requested branch, an order-N Markov model
+// mapping the GLOBAL history (outcomes of the N most recent branches of
+// any address, the newest in bit 0) to the branch's outcome — the §7.3
+// training scheme for per-branch custom predictors. Branches executed
+// before N global outcomes exist are skipped.
+func GlobalMarkov(events []BranchEvent, targets map[uint64]bool, order int) map[uint64]*markov.Model {
+	models := make(map[uint64]*markov.Model, len(targets))
+	for pc := range targets {
+		models[pc] = markov.New(order)
+	}
+	h := bitseq.NewHistory(order)
+	for _, e := range events {
+		if m, ok := models[e.PC]; ok && h.Warm() {
+			m.Observe(h.Value(), e.Taken)
+		}
+		h.Push(e.Taken)
+	}
+	return models
+}
+
+// LocalMarkov builds, for each requested branch, an order-N Markov model
+// over the branch's own (local) history — the alternative training input
+// the paper examined and found less robust across inputs than global
+// correlation (§7.3).
+func LocalMarkov(events []BranchEvent, targets map[uint64]bool, order int) map[uint64]*markov.Model {
+	models := make(map[uint64]*markov.Model, len(targets))
+	hists := make(map[uint64]*bitseq.History, len(targets))
+	for pc := range targets {
+		models[pc] = markov.New(order)
+		hists[pc] = bitseq.NewHistory(order)
+	}
+	for _, e := range events {
+		h, ok := hists[e.PC]
+		if !ok {
+			continue
+		}
+		if h.Warm() {
+			models[e.PC].Observe(h.Value(), e.Taken)
+		}
+		h.Push(e.Taken)
+	}
+	return models
+}
+
+// --- encodings ---
+
+const (
+	branchMagic = "fsmp-branch-v1"
+	loadMagic   = "fsmp-load-v1"
+)
+
+// WriteBranches streams the trace in a compact binary form: a magic
+// header, the event count, then per event a uvarint PC and a direction
+// byte.
+func WriteBranches(w io.Writer, events []BranchEvent) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %d\n", branchMagic, len(events)); err != nil {
+		return err
+	}
+	var buf [binary.MaxVarintLen64 + 1]byte
+	for _, e := range events {
+		n := binary.PutUvarint(buf[:], e.PC)
+		if e.Taken {
+			buf[n] = 1
+		} else {
+			buf[n] = 0
+		}
+		if _, err := bw.Write(buf[:n+1]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBranches reads a trace written by WriteBranches.
+func ReadBranches(r io.Reader) ([]BranchEvent, error) {
+	br := bufio.NewReader(r)
+	var n int
+	if _, err := fmt.Fscanf(br, branchMagic+" %d\n", &n); err != nil {
+		return nil, fmt.Errorf("trace: bad branch header: %v", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("trace: negative event count %d", n)
+	}
+	events := make([]BranchEvent, 0, n)
+	for i := 0; i < n; i++ {
+		pc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %v", i, err)
+		}
+		dir, err := br.ReadByte()
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %v", i, err)
+		}
+		events = append(events, BranchEvent{PC: pc, Taken: dir != 0})
+	}
+	return events, nil
+}
+
+// WriteLoads streams a load-value trace in binary form.
+func WriteLoads(w io.Writer, events []LoadEvent) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%s %d\n", loadMagic, len(events)); err != nil {
+		return err
+	}
+	var buf [2 * binary.MaxVarintLen64]byte
+	for _, e := range events {
+		n := binary.PutUvarint(buf[:], e.PC)
+		n += binary.PutUvarint(buf[n:], e.Value)
+		if _, err := bw.Write(buf[:n]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadLoads reads a trace written by WriteLoads.
+func ReadLoads(r io.Reader) ([]LoadEvent, error) {
+	br := bufio.NewReader(r)
+	var n int
+	if _, err := fmt.Fscanf(br, loadMagic+" %d\n", &n); err != nil {
+		return nil, fmt.Errorf("trace: bad load header: %v", err)
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("trace: negative event count %d", n)
+	}
+	events := make([]LoadEvent, 0, n)
+	for i := 0; i < n; i++ {
+		pc, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %v", i, err)
+		}
+		v, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: event %d: %v", i, err)
+		}
+		events = append(events, LoadEvent{PC: pc, Value: v})
+	}
+	return events, nil
+}
+
+// WriteBranchesText renders the trace one "pc direction" pair per line —
+// the human-auditable form used by the command-line tools.
+func WriteBranchesText(w io.Writer, events []BranchEvent) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range events {
+		dir := 0
+		if e.Taken {
+			dir = 1
+		}
+		if _, err := fmt.Fprintf(bw, "%#x %d\n", e.PC, dir); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBranchesText parses the text form written by WriteBranchesText.
+func ReadBranchesText(r io.Reader) ([]BranchEvent, error) {
+	sc := bufio.NewScanner(r)
+	var events []BranchEvent
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Text()) == 0 {
+			continue
+		}
+		var pc uint64
+		var dir int
+		if _, err := fmt.Sscanf(sc.Text(), "%v %d", &pc, &dir); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		events = append(events, BranchEvent{PC: pc, Taken: dir != 0})
+	}
+	return events, sc.Err()
+}

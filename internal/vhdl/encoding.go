@@ -1,0 +1,198 @@
+package vhdl
+
+import (
+	"fmt"
+	"math/bits"
+
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/logic"
+)
+
+// Encoding assigns each state a binary code. The paper notes that
+// synthesis "includes finding a good encoding for the states and their
+// transitions" (§4.8); this file implements several classic encodings and
+// a search that picks whichever synthesizes smallest.
+type Encoding struct {
+	// Name identifies the strategy ("binary", "gray", "output", ...).
+	Name string
+	// Code[s] is the register value representing state s. Codes must be
+	// unique and fit in Bits.
+	Code []uint32
+	// Bits is the state register width.
+	Bits int
+}
+
+// Validate checks the encoding is injective and within width.
+func (e *Encoding) Validate(states int) error {
+	if len(e.Code) != states {
+		return fmt.Errorf("vhdl: encoding has %d codes for %d states", len(e.Code), states)
+	}
+	if e.Bits < 1 || e.Bits > 20 {
+		return fmt.Errorf("vhdl: encoding width %d out of range", e.Bits)
+	}
+	seen := map[uint32]bool{}
+	for s, c := range e.Code {
+		if c >= 1<<uint(e.Bits) {
+			return fmt.Errorf("vhdl: state %d code %#x exceeds %d bits", s, c, e.Bits)
+		}
+		if seen[c] {
+			return fmt.Errorf("vhdl: duplicate code %#x", c)
+		}
+		seen[c] = true
+	}
+	return nil
+}
+
+// BinaryEncoding numbers states in order — the baseline Synthesize uses.
+func BinaryEncoding(states int) *Encoding {
+	e := &Encoding{Name: "binary", Bits: widthFor(states)}
+	for s := 0; s < states; s++ {
+		e.Code = append(e.Code, uint32(s))
+	}
+	return e
+}
+
+// GrayEncoding numbers states along a Gray code, so states adjacent in
+// the numbering differ in one register bit.
+func GrayEncoding(states int) *Encoding {
+	e := &Encoding{Name: "gray", Bits: widthFor(states)}
+	for s := 0; s < states; s++ {
+		e.Code = append(e.Code, uint32(s)^uint32(s)>>1)
+	}
+	return e
+}
+
+// OutputEncoding dedicates register bit 0 to the machine's output, so
+// the prediction needs no logic at all; remaining bits distinguish
+// states within each output class.
+func OutputEncoding(m *fsm.Machine) *Encoding {
+	n := m.NumStates()
+	ones, zeros := 0, 0
+	for _, o := range m.Output {
+		if o {
+			ones++
+		} else {
+			zeros++
+		}
+	}
+	classBits := widthFor(max(ones, zeros))
+	e := &Encoding{Name: "output", Bits: classBits + 1}
+	var i1, i0 uint32
+	for s := 0; s < n; s++ {
+		if m.Output[s] {
+			e.Code = append(e.Code, i1<<1|1)
+			i1++
+		} else {
+			e.Code = append(e.Code, i0<<1)
+			i0++
+		}
+	}
+	return e
+}
+
+func widthFor(states int) int {
+	if states <= 1 {
+		return 1
+	}
+	return bits.Len(uint(states - 1))
+}
+
+// SynthesizeWith builds the gate-level model under a specific encoding.
+func SynthesizeWith(m *fsm.Machine, enc *Encoding) (*Synthesis, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.NumStates()
+	if n == 1 {
+		return &Synthesis{StateBits: 0, Area: geBase}, nil
+	}
+	if err := enc.Validate(n); err != nil {
+		return nil, err
+	}
+	stateBits := enc.Bits
+	inWidth := stateBits + 1
+
+	s := &Synthesis{StateBits: stateBits, Encoding: enc.Name}
+
+	// Codes not assigned to any state are don't cares everywhere.
+	used := map[uint32]int{}
+	for st, c := range enc.Code {
+		used[c] = st
+	}
+	var freeCodes []uint32
+	for c := uint32(0); c < 1<<uint(stateBits); c++ {
+		if _, ok := used[c]; !ok {
+			freeCodes = append(freeCodes, c)
+		}
+	}
+
+	for j := 0; j < stateBits; j++ {
+		p := logic.Problem{Width: inWidth}
+		for st := 0; st < n; st++ {
+			for b := 0; b < 2; b++ {
+				next := enc.Code[m.Next[st][b]]
+				minterm := enc.Code[st]<<1 | uint32(b)
+				if next>>uint(j)&1 == 1 {
+					p.On = append(p.On, minterm)
+				}
+			}
+		}
+		for _, c := range freeCodes {
+			p.DC = append(p.DC, c<<1, c<<1|1)
+		}
+		cover, err := logic.Minimize(p)
+		if err != nil {
+			return nil, fmt.Errorf("vhdl: %s encoding, next-state bit %d: %v", enc.Name, j, err)
+		}
+		s.NextCovers = append(s.NextCovers, cover)
+	}
+
+	op := logic.Problem{Width: stateBits}
+	for st := 0; st < n; st++ {
+		if m.Output[st] {
+			op.On = append(op.On, enc.Code[st])
+		}
+	}
+	op.DC = freeCodes
+	cover, err := logic.Minimize(op)
+	if err != nil {
+		return nil, fmt.Errorf("vhdl: %s encoding, output logic: %v", enc.Name, err)
+	}
+	s.OutputCover = cover
+
+	for _, c := range s.NextCovers {
+		s.Gates += countCover(c)
+	}
+	s.Gates += countCover(s.OutputCover)
+	s.Area = geBase + float64(stateBits)*geFlipFlop + float64(s.Gates)*geGate
+	return s, nil
+}
+
+// SynthesizeBest tries every implemented encoding and returns the
+// cheapest synthesis — the encoding-exploration step of a real synthesis
+// tool.
+func SynthesizeBest(m *fsm.Machine) (*Synthesis, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.NumStates()
+	if n == 1 {
+		return &Synthesis{StateBits: 0, Area: geBase, Encoding: "constant"}, nil
+	}
+	encodings := []*Encoding{
+		BinaryEncoding(n),
+		GrayEncoding(n),
+		OutputEncoding(m),
+	}
+	var best *Synthesis
+	for _, enc := range encodings {
+		syn, err := SynthesizeWith(m, enc)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || syn.Area < best.Area {
+			best = syn
+		}
+	}
+	return best, nil
+}

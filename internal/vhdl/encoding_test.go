@@ -1,0 +1,162 @@
+package vhdl
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/fsm"
+)
+
+func TestBinaryAndGrayEncodings(t *testing.T) {
+	b := BinaryEncoding(5)
+	if b.Bits != 3 || len(b.Code) != 5 || b.Code[4] != 4 {
+		t.Errorf("binary encoding = %+v", b)
+	}
+	if err := b.Validate(5); err != nil {
+		t.Error(err)
+	}
+	g := GrayEncoding(8)
+	if err := g.Validate(8); err != nil {
+		t.Error(err)
+	}
+	// Successive Gray codes differ in exactly one bit.
+	for i := 1; i < 8; i++ {
+		if d := g.Code[i] ^ g.Code[i-1]; d&(d-1) != 0 || d == 0 {
+			t.Errorf("gray codes %d,%d differ in more than one bit", i-1, i)
+		}
+	}
+}
+
+func TestOutputEncoding(t *testing.T) {
+	m := figure1Machine() // outputs: 0,1,1
+	e := OutputEncoding(m)
+	if err := e.Validate(3); err != nil {
+		t.Fatal(err)
+	}
+	for s, out := range m.Output {
+		if (e.Code[s]&1 == 1) != out {
+			t.Errorf("state %d: code %#x bit0 should equal output %v", s, e.Code[s], out)
+		}
+	}
+}
+
+func TestEncodingValidate(t *testing.T) {
+	bad := []*Encoding{
+		{Name: "short", Code: []uint32{0}, Bits: 1},    // wrong count for 2 states
+		{Name: "dup", Code: []uint32{1, 1}, Bits: 1},   // duplicate
+		{Name: "wide", Code: []uint32{0, 2}, Bits: 1},  // code exceeds width
+		{Name: "zero", Code: []uint32{0, 1}, Bits: 0},  // bad width
+		{Name: "huge", Code: []uint32{0, 1}, Bits: 21}, // bad width
+	}
+	for _, e := range bad {
+		if err := e.Validate(2); err == nil {
+			t.Errorf("%s: expected validation error", e.Name)
+		}
+	}
+}
+
+// TestEncodingsAreFunctionallyEquivalent replays every encoding's covers
+// and checks they implement the same machine.
+func TestEncodingsAreFunctionallyEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 15; trial++ {
+		m := randomPipelineMachine(rng, rng.Intn(4)+2)
+		if m.NumStates() == 1 {
+			continue
+		}
+		for _, enc := range []*Encoding{
+			BinaryEncoding(m.NumStates()),
+			GrayEncoding(m.NumStates()),
+			OutputEncoding(m),
+		} {
+			syn, err := SynthesizeWith(m, enc)
+			if err != nil {
+				t.Fatalf("trial %d %s: %v", trial, enc.Name, err)
+			}
+			for st := 0; st < m.NumStates(); st++ {
+				for b := 0; b < 2; b++ {
+					input := enc.Code[st]<<1 | uint32(b)
+					var got uint32
+					for j, cover := range syn.NextCovers {
+						if bitseq.CoverMatches(cover, input) {
+							got |= 1 << uint(j)
+						}
+					}
+					if want := enc.Code[m.Next[st][b]]; got != want {
+						t.Fatalf("trial %d %s: state %d on %d: next code %#x, want %#x",
+							trial, enc.Name, st, b, got, want)
+					}
+				}
+				if got := bitseq.CoverMatches(syn.OutputCover, enc.Code[st]); got != m.Output[st] {
+					t.Fatalf("trial %d %s: state %d output wrong", trial, enc.Name, st)
+				}
+			}
+		}
+	}
+}
+
+func TestSynthesizeBestNeverWorseThanBinary(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	improved := 0
+	for trial := 0; trial < 20; trial++ {
+		m := randomPipelineMachine(rng, rng.Intn(5)+2)
+		binary, err := Synthesize(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		best, err := SynthesizeBest(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if best.Area > binary.Area {
+			t.Errorf("trial %d: best (%s, %.1f) worse than binary (%.1f)",
+				trial, best.Encoding, best.Area, binary.Area)
+		}
+		if best.Area < binary.Area {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Log("no machine improved over binary encoding in this sample (acceptable)")
+	}
+}
+
+func TestSynthesizeBestConstant(t *testing.T) {
+	m := &fsm.Machine{Output: []bool{true}, Next: [][2]int{{0, 0}}, Start: 0}
+	s, err := SynthesizeBest(m)
+	if err != nil || s.Encoding != "constant" || s.Area != geBase {
+		t.Fatalf("constant synthesis = %+v, err %v", s, err)
+	}
+}
+
+func TestOutputEncodingRemovesOutputLogic(t *testing.T) {
+	// Under output encoding the prediction is register bit 0: the output
+	// cover must be the single cube testing that bit.
+	rng := rand.New(rand.NewSource(97))
+	for trial := 0; trial < 10; trial++ {
+		m := randomPipelineMachine(rng, 4)
+		if m.NumStates() < 2 {
+			continue
+		}
+		hasOne, hasZero := false, false
+		for _, o := range m.Output {
+			if o {
+				hasOne = true
+			} else {
+				hasZero = true
+			}
+		}
+		if !hasOne || !hasZero {
+			continue
+		}
+		syn, err := SynthesizeWith(m, OutputEncoding(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(syn.OutputCover) != 1 || syn.OutputCover[0].Literals() != 1 {
+			t.Errorf("trial %d: output cover = %v, want a single 1-literal cube",
+				trial, syn.OutputCover)
+		}
+	}
+}

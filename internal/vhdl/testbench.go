@@ -1,0 +1,88 @@
+package vhdl
+
+import (
+	"fmt"
+	"strings"
+
+	"fsmpredict/internal/fsm"
+)
+
+// GenerateTestbench renders a self-checking VHDL testbench for the
+// machine: it replays the given outcome trace through the entity produced
+// by Generate and asserts, cycle by cycle, that the hardware's prediction
+// matches the software model's. This is the hand-off artifact a hardware
+// team needs to trust the generated predictor.
+//
+// The trace is truncated to maxVectors entries (default 512 when 0) to
+// keep the file reviewable.
+func GenerateTestbench(m *fsm.Machine, trace []bool, maxVectors int) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	if maxVectors <= 0 {
+		maxVectors = 512
+	}
+	if len(trace) > maxVectors {
+		trace = trace[:maxVectors]
+	}
+	if len(trace) == 0 {
+		return "", fmt.Errorf("vhdl: testbench needs a non-empty trace")
+	}
+	name := sanitizeIdent(m.Name)
+	if name == "" {
+		name = "predictor"
+	}
+
+	// Compute the expected prediction BEFORE each outcome is applied,
+	// mirroring the predict-then-update protocol.
+	expected := make([]bool, len(trace))
+	r := m.NewRunner()
+	for i, outcome := range trace {
+		expected[i] = r.Predict()
+		r.Update(outcome)
+	}
+
+	bit := func(b bool) byte {
+		if b {
+			return '1'
+		}
+		return '0'
+	}
+	outcomes := make([]byte, len(trace))
+	expects := make([]byte, len(trace))
+	for i := range trace {
+		outcomes[i] = bit(trace[i])
+		expects[i] = bit(expected[i])
+	}
+
+	var sb strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&sb, format, args...) }
+	w("-- Self-checking testbench for %s (%d vectors).\n", name, len(trace))
+	w("library IEEE;\nuse IEEE.std_logic_1164.all;\n\n")
+	w("entity %s_tb is\nend %s_tb;\n\n", name, name)
+	w("architecture sim of %s_tb is\n", name)
+	w("  signal clk        : std_logic := '0';\n")
+	w("  signal reset      : std_logic := '1';\n")
+	w("  signal outcome    : std_logic := '0';\n")
+	w("  signal prediction : std_logic;\n")
+	w("  constant OUTCOMES : std_logic_vector(0 to %d) := \"%s\";\n", len(trace)-1, outcomes)
+	w("  constant EXPECTED : std_logic_vector(0 to %d) := \"%s\";\n", len(trace)-1, expects)
+	w("begin\n\n")
+	w("  dut : entity work.%s\n", name)
+	w("    port map (clk => clk, reset => reset, outcome => outcome, prediction => prediction);\n\n")
+	w("  clk <= not clk after 5 ns;\n\n")
+	w("  stimulus : process\n  begin\n")
+	w("    wait until rising_edge(clk);\n")
+	w("    reset <= '0';\n")
+	w("    for i in OUTCOMES'range loop\n")
+	w("      assert prediction = EXPECTED(i)\n")
+	w("        report \"prediction mismatch at vector \" & integer'image(i)\n")
+	w("        severity failure;\n")
+	w("      outcome <= OUTCOMES(i);\n")
+	w("      wait until rising_edge(clk);\n")
+	w("    end loop;\n")
+	w("    report \"%s testbench passed: %d vectors\" severity note;\n", name, len(trace))
+	w("    wait;\n")
+	w("  end process stimulus;\n\nend sim;\n")
+	return sb.String(), nil
+}

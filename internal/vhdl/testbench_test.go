@@ -1,0 +1,52 @@
+package vhdl
+
+import (
+	"strings"
+	"testing"
+
+	"fsmpredict/internal/fsm"
+)
+
+func TestGenerateTestbench(t *testing.T) {
+	m := figure1Machine()
+	trace := []bool{true, true, false, false, true}
+	tb, err := GenerateTestbench(m, trace, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"entity figure1_tb is",
+		"entity work.figure1",
+		`OUTCOMES : std_logic_vector(0 to 4) := "11001";`,
+		// Expected predictions: start 0 -> predict 0; after 1 -> 1;
+		// after 1,1 -> 1; after 1,1,0 -> 1; after 1,1,0,0 -> 0.
+		`EXPECTED : std_logic_vector(0 to 4) := "01110";`,
+		"assert prediction = EXPECTED(i)",
+		"severity failure",
+	} {
+		if !strings.Contains(tb, want) {
+			t.Errorf("testbench missing %q:\n%s", want, tb)
+		}
+	}
+}
+
+func TestGenerateTestbenchTruncates(t *testing.T) {
+	m := figure1Machine()
+	trace := make([]bool, 2000)
+	tb, err := GenerateTestbench(m, trace, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tb, "(0 to 99)") {
+		t.Error("trace not truncated to maxVectors")
+	}
+}
+
+func TestGenerateTestbenchErrors(t *testing.T) {
+	if _, err := GenerateTestbench(figure1Machine(), nil, 0); err == nil {
+		t.Error("expected error for empty trace")
+	}
+	if _, err := GenerateTestbench(&fsm.Machine{}, []bool{true}, 0); err == nil {
+		t.Error("expected error for invalid machine")
+	}
+}

@@ -1,0 +1,182 @@
+// Package vhdl performs the final step of the paper's design flow (§4.8):
+// translating a Moore-machine predictor into synthesizable VHDL, and — in
+// place of the Synopsys tool used in the paper — estimating the silicon
+// area of the machine with a gate-level synthesis model.
+//
+// The synthesis model binary-encodes the states, extracts the next-state
+// and output logic as two-level covers minimized by internal/logic, and
+// counts gate equivalents (GE): AND trees for product terms, OR trees per
+// function, and one flip-flop per state bit. The paper uses synthesis
+// results only to fit a linear area-versus-states bound (Figure 4), which
+// this model reproduces: area grows linearly with state count, while
+// highly regular machines minimize well and fall below the line.
+package vhdl
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/fsm"
+)
+
+// Gate-equivalent cost constants. The absolute values are arbitrary
+// units; all experiments compare areas computed with the same constants.
+const (
+	geFlipFlop = 5.0 // one state register bit
+	geGate     = 1.0 // one 2-input gate
+	geBase     = 2.0 // clock/reset overhead of any machine
+)
+
+// Synthesis is the outcome of synthesizing one machine.
+type Synthesis struct {
+	// Encoding names the state encoding used ("binary" unless an
+	// encoding exploration picked another; see SynthesizeBest).
+	Encoding string
+	// StateBits is the number of state register bits.
+	StateBits int
+	// NextCovers[j] is the minimized cover of next-state bit j over the
+	// inputs (outcome bit, then state bits).
+	NextCovers [][]bitseq.Cube
+	// OutputCover is the minimized cover of the prediction output over
+	// the state bits.
+	OutputCover []bitseq.Cube
+	// Gates is the total 2-input gate count of all covers.
+	Gates int
+	// Area is the estimated area in gate equivalents.
+	Area float64
+}
+
+// Synthesize builds the gate-level model of the machine under the
+// baseline binary state encoding. SynthesizeBest additionally explores
+// alternative encodings.
+func Synthesize(m *fsm.Machine) (*Synthesis, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	n := m.NumStates()
+	if n == 1 {
+		// Constant predictor: no state register, no logic.
+		return &Synthesis{Encoding: "constant", StateBits: 0, Area: geBase}, nil
+	}
+	return SynthesizeWith(m, BinaryEncoding(n))
+}
+
+// countCover estimates the 2-input gate cost of a sum-of-products cover:
+// an L-literal product term needs L-1 AND gates; a T-term function needs
+// T-1 OR gates; complemented literals share one inverter per input
+// actually used in complemented form.
+func countCover(cover []bitseq.Cube) int {
+	g := 0
+	var invMask uint32
+	for _, c := range cover {
+		if l := c.Literals(); l > 1 {
+			g += l - 1
+		}
+		invMask |= c.Care &^ c.Value
+	}
+	if len(cover) > 1 {
+		g += len(cover) - 1
+	}
+	g += bits.OnesCount32(invMask)
+	return g
+}
+
+// EstimateArea synthesizes the machine and returns its area in gate
+// equivalents.
+func EstimateArea(m *fsm.Machine) (float64, error) {
+	s, err := Synthesize(m)
+	if err != nil {
+		return 0, err
+	}
+	return s.Area, nil
+}
+
+// Generate renders the machine as a synthesizable VHDL entity in the
+// classic two-process style (synchronous state register plus combinational
+// next-state logic), the form consumed by the Synopsys flow in the paper.
+func Generate(m *fsm.Machine) (string, error) {
+	if err := m.Validate(); err != nil {
+		return "", err
+	}
+	name := sanitizeIdent(m.Name)
+	if name == "" {
+		name = "predictor"
+	}
+	var sb strings.Builder
+	w := func(format string, args ...any) { fmt.Fprintf(&sb, format, args...) }
+
+	w("-- Automatically generated FSM predictor (%d states).\n", m.NumStates())
+	w("library IEEE;\nuse IEEE.std_logic_1164.all;\n\n")
+	w("entity %s is\n", name)
+	w("  port (\n")
+	w("    clk        : in  std_logic;\n")
+	w("    reset      : in  std_logic;\n")
+	w("    outcome    : in  std_logic;\n")
+	w("    prediction : out std_logic\n")
+	w("  );\nend %s;\n\n", name)
+	w("architecture behavioral of %s is\n", name)
+	w("  type state_type is (")
+	for s := 0; s < m.NumStates(); s++ {
+		if s > 0 {
+			w(", ")
+		}
+		w("s%d", s)
+	}
+	w(");\n")
+	w("  signal state, next_state : state_type;\nbegin\n\n")
+
+	w("  sync_proc : process (clk, reset)\n  begin\n")
+	w("    if reset = '1' then\n      state <= s%d;\n", m.Start)
+	w("    elsif rising_edge(clk) then\n      state <= next_state;\n    end if;\n")
+	w("  end process sync_proc;\n\n")
+
+	w("  next_state_proc : process (state, outcome)\n  begin\n")
+	w("    case state is\n")
+	for s, row := range m.Next {
+		w("      when s%d =>\n", s)
+		if row[0] == row[1] {
+			w("        next_state <= s%d;\n", row[0])
+			continue
+		}
+		w("        if outcome = '1' then\n          next_state <= s%d;\n", row[1])
+		w("        else\n          next_state <= s%d;\n        end if;\n", row[0])
+	}
+	w("    end case;\n  end process next_state_proc;\n\n")
+
+	var ones []string
+	for s, out := range m.Output {
+		if out {
+			ones = append(ones, fmt.Sprintf("state = s%d", s))
+		}
+	}
+	switch {
+	case len(ones) == 0:
+		w("  prediction <= '0';\n")
+	case len(ones) == m.NumStates():
+		w("  prediction <= '1';\n")
+	default:
+		w("  prediction <= '1' when %s else '0';\n", strings.Join(ones, " or "))
+	}
+	w("\nend behavioral;\n")
+	return sb.String(), nil
+}
+
+// sanitizeIdent turns an arbitrary name into a valid VHDL identifier.
+func sanitizeIdent(s string) string {
+	var sb strings.Builder
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+			sb.WriteByte(c)
+		case c >= '0' && c <= '9', c == '_':
+			if sb.Len() == 0 {
+				sb.WriteByte('p') // identifiers cannot start with digits
+			}
+			sb.WriteByte(c)
+		}
+	}
+	return strings.Trim(sb.String(), "_")
+}

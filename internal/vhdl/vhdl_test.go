@@ -1,0 +1,239 @@
+package vhdl
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/dfa"
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/nfa"
+	"fsmpredict/internal/regex"
+)
+
+func figure1Machine() *fsm.Machine {
+	return &fsm.Machine{
+		Name:   "figure1",
+		Output: []bool{false, true, true},
+		Next:   [][2]int{{0, 1}, {2, 1}, {0, 1}},
+		Start:  0,
+	}
+}
+
+func randomPipelineMachine(rng *rand.Rand, width int) *fsm.Machine {
+	var cover []bitseq.Cube
+	for i := 0; i < rng.Intn(3)+1; i++ {
+		cover = append(cover, bitseq.NewCube(rng.Uint32(), rng.Uint32()|1, width))
+	}
+	d := dfa.FromNFA(nfa.Compile(regex.FromCover(cover))).Minimize().TrimStartup()
+	return fsm.FromDFA(d)
+}
+
+func TestGenerateStructure(t *testing.T) {
+	m := figure1Machine()
+	src, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"entity figure1 is",
+		"architecture behavioral of figure1 is",
+		"type state_type is (s0, s1, s2);",
+		"state <= s0;", // reset to start
+		"when s0 =>",
+		"when s1 =>",
+		"when s2 =>",
+		"prediction <= '1' when state = s1 or state = s2 else '0';",
+		"rising_edge(clk)",
+		"end behavioral;",
+	} {
+		if !strings.Contains(src, want) {
+			t.Errorf("VHDL missing %q:\n%s", want, src)
+		}
+	}
+	// Balanced processes.
+	if strings.Count(src, "process") != 4 { // 2 process headers + 2 end process
+		t.Errorf("expected 2 processes, got:\n%s", src)
+	}
+}
+
+func TestGenerateConstantOutputs(t *testing.T) {
+	all1 := &fsm.Machine{Output: []bool{true, true}, Next: [][2]int{{0, 1}, {0, 1}}, Start: 0}
+	src, err := Generate(all1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "prediction <= '1';") {
+		t.Error("all-accepting machine should emit constant 1")
+	}
+	all0 := &fsm.Machine{Output: []bool{false}, Next: [][2]int{{0, 0}}, Start: 0}
+	src, err = Generate(all0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(src, "prediction <= '0';") {
+		t.Error("all-rejecting machine should emit constant 0")
+	}
+}
+
+func TestGenerateMergedEdges(t *testing.T) {
+	m := &fsm.Machine{Output: []bool{false, true}, Next: [][2]int{{1, 1}, {0, 0}}, Start: 0}
+	src, err := Generate(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(src, "outcome = '1'") {
+		t.Error("states with identical successors should not test outcome")
+	}
+}
+
+func TestGenerateDefaultNameAndSanitize(t *testing.T) {
+	m := figure1Machine()
+	m.Name = ""
+	src, _ := Generate(m)
+	if !strings.Contains(src, "entity predictor is") {
+		t.Error("empty name should become 'predictor'")
+	}
+	m.Name = "branch@0x12003/2C"
+	src, _ = Generate(m)
+	if !strings.Contains(src, "entity branch0x120032C is") {
+		t.Errorf("sanitized name wrong:\n%s", src)
+	}
+	m.Name = "0x12"
+	src, _ = Generate(m)
+	if !strings.Contains(src, "entity p0x12 is") {
+		t.Errorf("digit-leading name should gain a prefix:\n%s", src)
+	}
+}
+
+func TestGenerateInvalid(t *testing.T) {
+	if _, err := Generate(&fsm.Machine{}); err == nil {
+		t.Fatal("expected error for invalid machine")
+	}
+}
+
+func TestSynthesizeFigure1(t *testing.T) {
+	s, err := Synthesize(figure1Machine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StateBits != 2 {
+		t.Errorf("StateBits = %d, want 2", s.StateBits)
+	}
+	if len(s.NextCovers) != 2 {
+		t.Errorf("NextCovers = %d functions, want 2", len(s.NextCovers))
+	}
+	if s.Area <= 0 {
+		t.Errorf("Area = %v, want positive", s.Area)
+	}
+}
+
+func TestSynthesizeConstantMachine(t *testing.T) {
+	m := &fsm.Machine{Output: []bool{true}, Next: [][2]int{{0, 0}}, Start: 0}
+	s, err := Synthesize(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.StateBits != 0 || s.Gates != 0 || s.Area != geBase {
+		t.Errorf("constant machine synthesis = %+v", s)
+	}
+}
+
+// TestSynthesizedLogicImplementsMachine replays the covers as logic and
+// checks they compute exactly the machine's transition and output
+// functions — the synthesis model must be functionally faithful.
+func TestSynthesizedLogicImplementsMachine(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 25; trial++ {
+		m := randomPipelineMachine(rng, rng.Intn(4)+2)
+		s, err := Synthesize(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumStates() == 1 {
+			continue
+		}
+		for st := 0; st < m.NumStates(); st++ {
+			for b := 0; b < 2; b++ {
+				wantNext := m.Next[st][b]
+				input := uint32(st)<<1 | uint32(b)
+				var gotNext int
+				for j, cover := range s.NextCovers {
+					if bitseq.CoverMatches(cover, input) {
+						gotNext |= 1 << uint(j)
+					}
+				}
+				if gotNext != wantNext {
+					t.Fatalf("trial %d: state %d outcome %d: logic next = %d, machine next = %d",
+						trial, st, b, gotNext, wantNext)
+				}
+			}
+			if got := bitseq.CoverMatches(s.OutputCover, uint32(st)); got != m.Output[st] {
+				t.Fatalf("trial %d: state %d: logic output = %v, machine output = %v",
+					trial, st, got, m.Output[st])
+			}
+		}
+	}
+}
+
+// TestAreaGrowsWithStates checks the Figure 4 premise: larger machines
+// cost more, roughly linearly, and area never exceeds a generous linear
+// bound in the state count.
+func TestAreaGrowsWithStates(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	type point struct {
+		states int
+		area   float64
+	}
+	var pts []point
+	for trial := 0; trial < 40; trial++ {
+		m := randomPipelineMachine(rng, rng.Intn(6)+2)
+		a, err := EstimateArea(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pts = append(pts, point{m.NumStates(), a})
+	}
+	for _, p := range pts {
+		if p.area < geBase {
+			t.Errorf("area %v below base cost", p.area)
+		}
+		bound := geBase + 8*geFlipFlop + 14*float64(p.states)*geGate
+		if p.area > bound {
+			t.Errorf("area %v for %d states exceeds linear bound %v", p.area, p.states, bound)
+		}
+	}
+	// Average area of large machines must exceed that of small ones.
+	var small, large []float64
+	for _, p := range pts {
+		if p.states <= 4 {
+			small = append(small, p.area)
+		} else if p.states >= 10 {
+			large = append(large, p.area)
+		}
+	}
+	if len(small) > 0 && len(large) > 0 {
+		if mean(large) <= mean(small) {
+			t.Errorf("mean area of large machines (%v) not above small ones (%v)",
+				mean(large), mean(small))
+		}
+	}
+}
+
+func mean(xs []float64) float64 {
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	m := randomPipelineMachine(rand.New(rand.NewSource(5)), 5)
+	a1, _ := EstimateArea(m)
+	a2, _ := EstimateArea(m)
+	if a1 != a2 {
+		t.Fatalf("EstimateArea not deterministic: %v vs %v", a1, a2)
+	}
+}

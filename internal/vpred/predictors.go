@@ -1,0 +1,246 @@
+package vpred
+
+import "fmt"
+
+// This file implements the other value predictor families the paper
+// surveys in §6.1 before settling on two-delta stride: last-value
+// prediction (Lipasti et al.), context-based prediction (the finite
+// context method of Sazeides & Smith), and a hybrid that combines them
+// with per-component selection (Wang & Franklin style). They exist so
+// confidence estimation can be studied against the full §6.1 design
+// space, not only the stride predictor.
+
+// ValuePredictor is the common interface of all load value predictors.
+type ValuePredictor interface {
+	// Name identifies the configuration.
+	Name() string
+	// Access predicts for the load at pc, checks against the actual
+	// value, trains, and reports what happened.
+	Access(pc, actual uint64) Access
+}
+
+// Access implementations for the families. StridePredictor (two-delta)
+// already satisfies ValuePredictor via its Access method.
+
+// Name identifies the two-delta stride predictor.
+func (p *StridePredictor) Name() string {
+	return fmt.Sprintf("stride2d-%d", len(p.entries))
+}
+
+// LastValuePredictor predicts that a load returns the same value it
+// returned last time (Lipasti, Wilkerson & Shen).
+type LastValuePredictor struct {
+	entries []lvEntry
+	mask    uint64
+}
+
+type lvEntry struct {
+	valid bool
+	tag   uint64
+	value uint64
+}
+
+// NewLastValue returns a last-value predictor with 2^log2Size entries.
+func NewLastValue(log2Size int) *LastValuePredictor {
+	if log2Size < 1 || log2Size > 24 {
+		panic(fmt.Sprintf("vpred: table size 2^%d out of range", log2Size))
+	}
+	return &LastValuePredictor{
+		entries: make([]lvEntry, 1<<uint(log2Size)),
+		mask:    uint64(1)<<uint(log2Size) - 1,
+	}
+}
+
+// Name identifies the predictor.
+func (p *LastValuePredictor) Name() string {
+	return fmt.Sprintf("lastvalue-%d", len(p.entries))
+}
+
+// Access predicts the previously seen value.
+func (p *LastValuePredictor) Access(pc, actual uint64) Access {
+	idx := int((pc >> 2) & p.mask)
+	e := &p.entries[idx]
+	if !e.valid || e.tag != pc {
+		*e = lvEntry{valid: true, tag: pc, value: actual}
+		return Access{Entry: idx}
+	}
+	acc := Access{Entry: idx, Valid: true, Predicted: e.value}
+	acc.Correct = e.value == actual
+	e.value = actual
+	return acc
+}
+
+// ContextPredictor is a finite context method (FCM) predictor: a
+// first-level table records each load's recent value history (hashed);
+// a second-level table maps that context to the predicted next value
+// (Sazeides & Smith).
+type ContextPredictor struct {
+	order  int
+	level1 []fcmEntry
+	level2 []fcmValue
+	l1Mask uint64
+	l2Mask uint64
+}
+
+type fcmEntry struct {
+	valid bool
+	tag   uint64
+	hash  uint64
+}
+
+type fcmValue struct {
+	valid bool
+	value uint64
+}
+
+// NewContext returns an order-N FCM predictor with 2^log2Size entries in
+// each level.
+func NewContext(log2Size, order int) *ContextPredictor {
+	if log2Size < 1 || log2Size > 24 {
+		panic(fmt.Sprintf("vpred: table size 2^%d out of range", log2Size))
+	}
+	if order < 1 || order > 8 {
+		panic(fmt.Sprintf("vpred: fcm order %d out of range [1,8]", order))
+	}
+	return &ContextPredictor{
+		order:  order,
+		level1: make([]fcmEntry, 1<<uint(log2Size)),
+		level2: make([]fcmValue, 1<<uint(log2Size)),
+		l1Mask: uint64(1)<<uint(log2Size) - 1,
+		l2Mask: uint64(1)<<uint(log2Size) - 1,
+	}
+}
+
+// Name identifies the configuration.
+func (p *ContextPredictor) Name() string {
+	return fmt.Sprintf("fcm%d-%d", p.order, len(p.level1))
+}
+
+// bitsPerValue is how many hashed bits of each recent value the context
+// keeps; older values shift out after `order` updates (select-fold-shift
+// hashing with a finite window).
+func (p *ContextPredictor) bitsPerValue() uint {
+	b := uint(48 / p.order)
+	if b > 16 {
+		b = 16
+	}
+	return b
+}
+
+// foldValue shifts a hashed fingerprint of v into the bounded context.
+func (p *ContextPredictor) foldValue(hash, v uint64) uint64 {
+	b := p.bitsPerValue()
+	fp := (v * 0x9e3779b97f4a7c15) >> (64 - b)
+	window := uint64(1)<<(b*uint(p.order)) - 1
+	return (hash<<b | fp) & window
+}
+
+func (p *ContextPredictor) l2Index(pc, hash uint64) uint64 {
+	return (hash*0x2545f4914f6cdd1d ^ pc>>2) & p.l2Mask
+}
+
+// Access predicts the value that last followed the current context.
+func (p *ContextPredictor) Access(pc, actual uint64) Access {
+	idx := int((pc >> 2) & p.l1Mask)
+	e := &p.level1[idx]
+	if !e.valid || e.tag != pc {
+		*e = fcmEntry{valid: true, tag: pc, hash: p.foldValue(0, actual)}
+		return Access{Entry: idx}
+	}
+	l2 := &p.level2[p.l2Index(pc, e.hash)]
+	acc := Access{Entry: idx}
+	if l2.valid {
+		acc.Valid = true
+		acc.Predicted = l2.value
+		acc.Correct = l2.value == actual
+	}
+	// Train: current context now predicts this value; fold the value
+	// into the context.
+	*l2 = fcmValue{valid: true, value: actual}
+	e.hash = p.foldValue(e.hash, actual)
+	return acc
+}
+
+// HybridPredictor combines stride, last-value and context components
+// with per-component saturating selectors, in the spirit of the hybrid
+// schemes of §6.1: the component with the highest selector confidence
+// makes the prediction; all components train on every access.
+type HybridPredictor struct {
+	stride  *StridePredictor
+	last    *LastValuePredictor
+	context *ContextPredictor
+	// sel[i] scores component i per table entry.
+	sel  [3][]int8
+	mask uint64
+}
+
+// NewHybrid builds a hybrid over 2^log2Size-entry components.
+func NewHybrid(log2Size, fcmOrder int) *HybridPredictor {
+	h := &HybridPredictor{
+		stride:  New(log2Size),
+		last:    NewLastValue(log2Size),
+		context: NewContext(log2Size, fcmOrder),
+		mask:    uint64(1)<<uint(log2Size) - 1,
+	}
+	for i := range h.sel {
+		h.sel[i] = make([]int8, 1<<uint(log2Size))
+	}
+	return h
+}
+
+// Name identifies the configuration.
+func (h *HybridPredictor) Name() string {
+	return fmt.Sprintf("hybrid-%d", len(h.sel[0]))
+}
+
+// Access asks every component, predicts with the best-scoring one, and
+// trains all selectors with each component's correctness.
+func (h *HybridPredictor) Access(pc, actual uint64) Access {
+	idx := int((pc >> 2) & h.mask)
+	accs := [3]Access{
+		h.stride.Access(pc, actual),
+		h.last.Access(pc, actual),
+		h.context.Access(pc, actual),
+	}
+	best, bestScore := -1, int8(-1)
+	for i, a := range accs {
+		if a.Valid && h.sel[i][idx] > bestScore {
+			best, bestScore = i, h.sel[i][idx]
+		}
+	}
+	out := Access{Entry: idx}
+	if best >= 0 {
+		out.Valid = true
+		out.Predicted = accs[best].Predicted
+		out.Correct = accs[best].Correct
+	}
+	for i, a := range accs {
+		if !a.Valid {
+			continue
+		}
+		if a.Correct {
+			if h.sel[i][idx] < 7 {
+				h.sel[i][idx]++
+			}
+		} else if h.sel[i][idx] > 0 {
+			h.sel[i][idx]--
+		}
+	}
+	return out
+}
+
+// CorrectRate runs a predictor over (pc, value) pairs and returns the
+// fraction of accesses with correct predictions — the quick comparison
+// metric used by tests and benchmarks.
+func CorrectRate(p ValuePredictor, pcs, values []uint64) float64 {
+	if len(pcs) != len(values) || len(pcs) == 0 {
+		return 0
+	}
+	correct := 0
+	for i := range pcs {
+		if p.Access(pcs[i], values[i]).Correct {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(pcs))
+}

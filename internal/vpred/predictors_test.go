@@ -1,0 +1,182 @@
+package vpred
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsmpredict/internal/trace"
+	"fsmpredict/internal/workload"
+)
+
+func seq(pc uint64, values []uint64) (pcs, vals []uint64) {
+	pcs = make([]uint64, len(values))
+	for i := range pcs {
+		pcs[i] = pc
+	}
+	return pcs, values
+}
+
+func repeating(pattern []uint64, n int) []uint64 {
+	out := make([]uint64, n)
+	for i := range out {
+		out[i] = pattern[i%len(pattern)]
+	}
+	return out
+}
+
+func TestLastValuePredictor(t *testing.T) {
+	p := NewLastValue(4)
+	pcs, vals := seq(0x40, repeating([]uint64{7}, 50))
+	if rate := CorrectRate(p, pcs, vals); rate < 0.95 {
+		t.Errorf("constant value rate = %v, want ~1", rate)
+	}
+	// Strided values defeat last-value prediction.
+	var strided []uint64
+	for i := 0; i < 50; i++ {
+		strided = append(strided, uint64(i*8))
+	}
+	pcs, vals = seq(0x80, strided)
+	if rate := CorrectRate(NewLastValue(4), pcs, vals); rate > 0.05 {
+		t.Errorf("strided rate = %v, want ~0 for last-value", rate)
+	}
+}
+
+func TestContextPredictorLearnsValueCycle(t *testing.T) {
+	// Values cycling A,B,C are invisible to stride and last-value but
+	// trivial for an FCM with order >= 1.
+	p := NewContext(8, 3)
+	pcs, vals := seq(0x40, repeating([]uint64{100, 250, 999}, 400))
+	if rate := CorrectRate(p, pcs, vals); rate < 0.9 {
+		t.Errorf("fcm rate on value cycle = %v, want > 0.9", rate)
+	}
+	pcs, vals = seq(0x40, repeating([]uint64{100, 250, 999}, 400))
+	if rate := CorrectRate(New(8), pcs, vals); rate > 0.2 {
+		t.Errorf("stride rate on value cycle = %v, expected low", rate)
+	}
+}
+
+func TestHybridCombinesStrengths(t *testing.T) {
+	// A workload mixing a strided load, a constant load and a cyclic
+	// load: the hybrid must approach the best component on each.
+	type site struct {
+		pc   uint64
+		vals []uint64
+	}
+	var strided []uint64
+	for i := 0; i < 600; i++ {
+		strided = append(strided, uint64(i*16))
+	}
+	sites := []site{
+		{0x100, strided},
+		{0x200, repeating([]uint64{42}, 600)},
+		{0x300, repeating([]uint64{5, 17, 99, 3}, 600)},
+	}
+	h := NewHybrid(8, 3)
+	correct, total := 0, 0
+	for i := 0; i < 600; i++ {
+		for _, s := range sites {
+			acc := h.Access(s.pc, s.vals[i])
+			total++
+			if acc.Correct {
+				correct++
+			}
+		}
+	}
+	if rate := float64(correct) / float64(total); rate < 0.85 {
+		t.Errorf("hybrid rate = %v, want > 0.85 across mixed sites", rate)
+	}
+}
+
+func TestHybridBeatsComponentsOnMixedWorkload(t *testing.T) {
+	prog, _ := workload.LoadByName("gcc")
+	events := prog.Generate(workload.Train, 40000)
+	run := func(p ValuePredictor) float64 {
+		correct := 0
+		for _, e := range events {
+			if p.Access(e.PC, e.Value).Correct {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(events))
+	}
+	hybrid := run(NewHybrid(11, 3))
+	stride := run(New(11))
+	last := run(NewLastValue(11))
+	if hybrid < stride-0.02 || hybrid < last-0.02 {
+		t.Errorf("hybrid %.3f should not trail components (stride %.3f, last %.3f)",
+			hybrid, stride, last)
+	}
+}
+
+func TestPredictorNames(t *testing.T) {
+	for _, c := range []struct {
+		p    ValuePredictor
+		want string
+	}{
+		{New(4), "stride2d-16"},
+		{NewLastValue(4), "lastvalue-16"},
+		{NewContext(4, 2), "fcm2-16"},
+		{NewHybrid(4, 2), "hybrid-16"},
+	} {
+		if got := c.p.Name(); got != c.want {
+			t.Errorf("Name = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestPredictorValidation(t *testing.T) {
+	for _, f := range []func(){
+		func() { NewLastValue(0) },
+		func() { NewContext(0, 2) },
+		func() { NewContext(8, 0) },
+		func() { NewContext(8, 9) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestCorrectRateEdgeCases(t *testing.T) {
+	if CorrectRate(New(4), nil, nil) != 0 {
+		t.Error("empty input should give 0")
+	}
+	if CorrectRate(New(4), []uint64{1}, []uint64{1, 2}) != 0 {
+		t.Error("mismatched input should give 0")
+	}
+}
+
+func TestAllPredictorsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	events := make([]trace.LoadEvent, 5000)
+	for i := range events {
+		events[i] = trace.LoadEvent{
+			PC:    0x100 + uint64(rng.Intn(16))*4,
+			Value: rng.Uint64() >> 32,
+		}
+	}
+	for _, mk := range []func() ValuePredictor{
+		func() ValuePredictor { return New(6) },
+		func() ValuePredictor { return NewLastValue(6) },
+		func() ValuePredictor { return NewContext(6, 3) },
+		func() ValuePredictor { return NewHybrid(6, 3) },
+	} {
+		run := func(p ValuePredictor) int {
+			c := 0
+			for _, e := range events {
+				if p.Access(e.PC, e.Value).Correct {
+					c++
+				}
+			}
+			return c
+		}
+		if run(mk()) != run(mk()) {
+			t.Errorf("%s not deterministic", mk().Name())
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Package vpred implements the value-prediction substrate of §6.1: a
+// tagged two-delta stride value predictor for load instructions. The
+// paper uses a 2K-entry table; each access produces a prediction whose
+// correctness feeds the confidence estimators of §6.2–6.4.
+package vpred
+
+import "fmt"
+
+// Access describes the outcome of one load passing through the predictor.
+type Access struct {
+	// Entry is the table index the load mapped to; confidence counters
+	// are maintained per entry (§6.1).
+	Entry int
+	// Valid reports whether a prediction was made (tag hit). A missing
+	// entry makes no prediction; the access allocates and trains.
+	Valid bool
+	// Predicted is the predicted value (meaningful when Valid).
+	Predicted uint64
+	// Correct reports Valid && Predicted == actual.
+	Correct bool
+}
+
+type entry struct {
+	valid      bool
+	tag        uint64
+	lastValue  uint64
+	stride     uint64
+	lastStride uint64
+}
+
+// StridePredictor is a two-delta stride value predictor: the predicted
+// stride is replaced only after the same new stride is observed twice in
+// a row (§6.1, Eickemeyer & Vassiliadis / Sazeides & Smith).
+type StridePredictor struct {
+	entries []entry
+	mask    uint64
+}
+
+// TableLog2Default is the paper's table size: 2K entries.
+const TableLog2Default = 11
+
+// New returns a predictor with 2^log2Size entries.
+func New(log2Size int) *StridePredictor {
+	if log2Size < 1 || log2Size > 24 {
+		panic(fmt.Sprintf("vpred: table size 2^%d out of range", log2Size))
+	}
+	return &StridePredictor{
+		entries: make([]entry, 1<<uint(log2Size)),
+		mask:    uint64(1)<<uint(log2Size) - 1,
+	}
+}
+
+// Size returns the number of table entries.
+func (p *StridePredictor) Size() int { return len(p.entries) }
+
+// Access performs one load: predicts (on a tag hit), checks against the
+// actual value, and trains the entry. On a tag miss the entry is
+// reallocated for this PC with no prediction made.
+func (p *StridePredictor) Access(pc, actual uint64) Access {
+	idx := int((pc >> 2) & p.mask)
+	e := &p.entries[idx]
+	if !e.valid || e.tag != pc {
+		*e = entry{valid: true, tag: pc, lastValue: actual}
+		return Access{Entry: idx}
+	}
+	acc := Access{
+		Entry:     idx,
+		Valid:     true,
+		Predicted: e.lastValue + e.stride,
+	}
+	acc.Correct = acc.Predicted == actual
+
+	newStride := actual - e.lastValue
+	if newStride == e.lastStride {
+		e.stride = newStride
+	}
+	e.lastStride = newStride
+	e.lastValue = actual
+	return acc
+}

@@ -1,0 +1,122 @@
+package vpred
+
+import (
+	"testing"
+
+	"fsmpredict/internal/workload"
+)
+
+func TestLinearStrideLocksOn(t *testing.T) {
+	p := New(4)
+	pc := uint64(0x40)
+	// Values 0, 8, 16, 24, ...: first access allocates, second trains the
+	// stride once, third confirms it (two-delta), fourth predicts right.
+	var results []Access
+	for i := 0; i < 10; i++ {
+		results = append(results, p.Access(pc, uint64(i*8)))
+	}
+	if results[0].Valid {
+		t.Error("first access should be a table miss")
+	}
+	for i := 3; i < 10; i++ {
+		if !results[i].Correct {
+			t.Errorf("access %d should be correct (predicted %d)", i, results[i].Predicted)
+		}
+	}
+}
+
+func TestTwoDeltaResistsOneOffStride(t *testing.T) {
+	p := New(4)
+	pc := uint64(0x40)
+	vals := []uint64{0, 8, 16, 24, 1000, 1008, 1016}
+	var accs []Access
+	for _, v := range vals {
+		accs = append(accs, p.Access(pc, v))
+	}
+	// The jump to 1000 is wrong, but the predicted stride must stay 8
+	// (976 was seen only once), so 1008 predicts correctly.
+	if accs[4].Correct {
+		t.Error("jump access should mispredict")
+	}
+	if !accs[5].Correct {
+		t.Errorf("post-jump access should still use stride 8 (predicted %d)", accs[5].Predicted)
+	}
+}
+
+func TestTwoDeltaAdoptsRepeatedStride(t *testing.T) {
+	p := New(4)
+	pc := uint64(0x40)
+	// Stride 8 twice, then stride 16 repeatedly: after two 16s the
+	// predictor must switch.
+	vals := []uint64{0, 8, 16, 32, 48, 64, 80}
+	var accs []Access
+	for _, v := range vals {
+		accs = append(accs, p.Access(pc, v))
+	}
+	if !accs[5].Correct || !accs[6].Correct {
+		t.Errorf("predictor failed to adopt the repeated stride: %+v", accs[4:])
+	}
+}
+
+func TestConstantLoadCorrectAfterWarmup(t *testing.T) {
+	p := New(4)
+	for i := 0; i < 5; i++ {
+		acc := p.Access(0x80, 42)
+		if i >= 1 && !acc.Correct {
+			t.Errorf("access %d: constant value should predict correctly", i)
+		}
+	}
+}
+
+func TestTagConflictEvicts(t *testing.T) {
+	p := New(2) // 4 entries; PCs 0x10 and 0x50 collide (index bits 2..3)
+	a, b := uint64(0x10), uint64(0x10+4*4)
+	p.Access(a, 0)
+	p.Access(a, 8)
+	p.Access(a, 16)
+	if acc := p.Access(b, 5); acc.Valid {
+		t.Error("conflicting PC should miss and reallocate")
+	}
+	if acc := p.Access(a, 24); acc.Valid {
+		t.Error("evicted PC should miss on return")
+	}
+}
+
+func TestSizeAndValidation(t *testing.T) {
+	if New(TableLog2Default).Size() != 2048 {
+		t.Error("default table should have 2K entries")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for bad size")
+		}
+	}()
+	New(0)
+}
+
+func TestStridePatternCorrectnessCycle(t *testing.T) {
+	// Strides 8,8,40: after warm-up the correctness stream follows a
+	// strict period-3 pattern with exactly two corrects per period.
+	prog := &workload.StridePattern{Addr: 0x100, Strides: []uint64{8, 8, 40}}
+	env := &workload.LoadEnv{}
+	p := New(4)
+	var bits []bool
+	for i := 0; i < 300; i++ {
+		acc := p.Access(0x100, prog.NextValue(env))
+		bits = append(bits, acc.Valid && acc.Correct)
+	}
+	warm := 12
+	correct := 0
+	for i := warm; i < len(bits); i++ {
+		if bits[i] {
+			correct++
+		}
+		if bits[i] != bits[i-3] {
+			t.Fatalf("correctness not period-3 at %d", i)
+		}
+	}
+	want := (len(bits) - warm) * 2 / 3
+	if correct < want-2 || correct > want+2 {
+		t.Errorf("correct = %d, want ~%d (2 of every 3)", correct, want)
+	}
+}

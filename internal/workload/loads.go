@@ -1,0 +1,161 @@
+package workload
+
+import "math/rand"
+
+// LoadSuite returns the five value-prediction benchmarks of §6.4, named
+// after the programs whose confidence behaviour they model (gcc, go,
+// groff, li, perl — the suite of [4]). Each mixes load classes whose
+// stride-prediction correctness streams have different structure:
+//
+//   - StridePattern / short RowWalk loads: correctness follows short
+//     repeating patterns (e.g. 110110…) that a history FSM captures
+//     perfectly and a saturating counter cannot — the coverage gap of
+//     Figure 2.
+//   - long RowWalk / PhasedLoad: long correct runs with occasional
+//     misses; counters and FSMs do comparably well.
+//   - ChaseLoad / FlakyWalk: unpredictable, should be marked
+//     unconfident by everything.
+//
+// The class mixture varies per program, but the pattern *shapes* recur
+// across programs, which is what makes the paper's cross-training (§6.3)
+// effective.
+func LoadSuite() []*LoadProgram {
+	return []*LoadProgram{
+		gccLoads(),
+		goLoads(),
+		groffLoads(),
+		liLoads(),
+		perlLoads(),
+	}
+}
+
+// FlakyWalk continues a linear walk with probability PGood and jumps to a
+// random address otherwise — stride correctness is genuinely random.
+type FlakyWalk struct {
+	Addr  uint64
+	PGood float64
+
+	cur uint64
+}
+
+// PC returns the site address.
+func (f *FlakyWalk) PC() uint64 { return f.Addr }
+
+// NextValue advances or jumps.
+func (f *FlakyWalk) NextValue(e *LoadEnv) uint64 {
+	if e.Rng.Float64() < f.PGood {
+		f.cur += 8
+	} else {
+		f.cur = uint64(e.Rng.Int63())
+	}
+	return f.cur
+}
+
+func gccLoads() *LoadProgram {
+	const base = 0x40001000
+	return &LoadProgram{
+		Name: "gcc",
+		Seed: 2001,
+		Build: func(v Variant, rng *rand.Rand) []LoadSite {
+			rowA, rowB := 6, 8
+			if v == Test {
+				rowA, rowB = 7, 8
+			}
+			return []LoadSite{
+				&StridePattern{Addr: pcAt(base, 0), Strides: []uint64{8, 8, 40}},
+				&StridePattern{Addr: pcAt(base, 1), Strides: []uint64{4, 4, 4, 12}},
+				&RowWalk{Addr: pcAt(base, 2), Stride: 8, Row: rowA},
+				&RowWalk{Addr: pcAt(base, 3), Stride: 16, Row: rowB},
+				&ChaseLoad{Addr: pcAt(base, 4)},
+				&FlakyWalk{Addr: pcAt(base, 5), PGood: v.jitter(0.3, rng)},
+				&ConstantLoad{Addr: pcAt(base, 6), Value: 0xdead},
+				&StridePattern{Addr: pcAt(base, 7), Strides: []uint64{8, 8, 8, 40}},
+			}
+		},
+	}
+}
+
+func goLoads() *LoadProgram {
+	const base = 0x40002000
+	return &LoadProgram{
+		Name: "go",
+		Seed: 2002,
+		Build: func(v Variant, rng *rand.Rand) []LoadSite {
+			return []LoadSite{
+				// go is pointer-heavy: plenty of unpredictable loads.
+				&ChaseLoad{Addr: pcAt(base, 0)},
+				&ChaseLoad{Addr: pcAt(base, 1)},
+				&FlakyWalk{Addr: pcAt(base, 2), PGood: v.jitter(0.25, rng)},
+				&StridePattern{Addr: pcAt(base, 3), Strides: []uint64{8, 8, 24}},
+				&RowWalk{Addr: pcAt(base, 4), Stride: 8, Row: 6},
+				&FlakyWalk{Addr: pcAt(base, 5), PGood: v.jitter(0.35, rng)},
+				&ConstantLoad{Addr: pcAt(base, 6), Value: 42},
+				&RowWalk{Addr: pcAt(base, 7), Stride: 4, Row: 5},
+			}
+		},
+	}
+}
+
+func groffLoads() *LoadProgram {
+	const base = 0x40003000
+	return &LoadProgram{
+		Name: "groff",
+		Seed: 2003,
+		Build: func(v Variant, rng *rand.Rand) []LoadSite {
+			good := 30
+			if v == Test {
+				good = 26
+			}
+			return []LoadSite{
+				&PhasedLoad{Addr: pcAt(base, 0), GoodLen: good, BadLen: 5, Stride: 8},
+				&StridePattern{Addr: pcAt(base, 1), Strides: []uint64{8, 8, 40}},
+				&RowWalk{Addr: pcAt(base, 2), Stride: 8, Row: 7},
+				&ConstantLoad{Addr: pcAt(base, 3), Value: 7},
+				&FlakyWalk{Addr: pcAt(base, 4), PGood: v.jitter(0.3, rng)},
+				&StridePattern{Addr: pcAt(base, 5), Strides: []uint64{16, 16, 16, 48}},
+				&RowWalk{Addr: pcAt(base, 6), Stride: 24, Row: 9},
+			}
+		},
+	}
+}
+
+func liLoads() *LoadProgram {
+	const base = 0x40004000
+	return &LoadProgram{
+		Name: "li",
+		Seed: 2004,
+		Build: func(v Variant, rng *rand.Rand) []LoadSite {
+			return []LoadSite{
+				// Lisp interpreter: cons-cell chasing plus small hot
+				// arrays.
+				&ChaseLoad{Addr: pcAt(base, 0)},
+				&StridePattern{Addr: pcAt(base, 1), Strides: []uint64{8, 8, 16}},
+				&RowWalk{Addr: pcAt(base, 2), Stride: 8, Row: 4},
+				&ConstantLoad{Addr: pcAt(base, 3), Value: 1},
+				&ConstantLoad{Addr: pcAt(base, 4), Value: 0},
+				&FlakyWalk{Addr: pcAt(base, 5), PGood: v.jitter(0.2, rng)},
+				&RowWalk{Addr: pcAt(base, 6), Stride: 16, Row: 6},
+			}
+		},
+	}
+}
+
+func perlLoads() *LoadProgram {
+	const base = 0x40005000
+	return &LoadProgram{
+		Name: "perl",
+		Seed: 2005,
+		Build: func(v Variant, rng *rand.Rand) []LoadSite {
+			return []LoadSite{
+				&StridePattern{Addr: pcAt(base, 0), Strides: []uint64{8, 8, 40}},
+				&StridePattern{Addr: pcAt(base, 1), Strides: []uint64{4, 4, 4, 4, 20}},
+				&PhasedLoad{Addr: pcAt(base, 2), GoodLen: 20, BadLen: 4, Stride: 8},
+				&RowWalk{Addr: pcAt(base, 3), Stride: 8, Row: 8},
+				&ChaseLoad{Addr: pcAt(base, 4)},
+				&FlakyWalk{Addr: pcAt(base, 5), PGood: v.jitter(0.4, rng)},
+				&RowWalk{Addr: pcAt(base, 6), Stride: 32, Row: 5},
+				&ConstantLoad{Addr: pcAt(base, 7), Value: 0x5f5f},
+			}
+		},
+	}
+}

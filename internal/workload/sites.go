@@ -1,0 +1,231 @@
+package workload
+
+// Branch site implementations. Each models one class of static branch
+// behaviour observed in the paper's benchmarks.
+
+// Biased is a branch taken with a fixed probability, independent of
+// history — the common easy case a per-branch 2-bit counter handles.
+type Biased struct {
+	Addr uint64
+	P    float64
+}
+
+// PC returns the site address.
+func (b *Biased) PC() uint64 { return b.Addr }
+
+// Emit draws one outcome.
+func (b *Biased) Emit(e *Env, out []bool) []bool {
+	return append(out, e.Rng.Float64() < b.P)
+}
+
+// Loop is a backward loop branch: taken Trip-1 times, then not-taken once
+// per activation, like a counted inner loop.
+type Loop struct {
+	Addr uint64
+	Trip int
+	// Inline controls whether all Trip outcomes are emitted in one body
+	// pass (a true inner loop) or one outcome per pass (an outer loop
+	// observed once per iteration).
+	Inline bool
+
+	i int
+}
+
+// PC returns the site address.
+func (l *Loop) PC() uint64 { return l.Addr }
+
+// Emit produces the loop branch outcomes for one body pass.
+func (l *Loop) Emit(e *Env, out []bool) []bool {
+	if l.Inline {
+		for k := 0; k < l.Trip-1; k++ {
+			out = append(out, true)
+		}
+		return append(out, false)
+	}
+	l.i++
+	if l.i >= l.Trip {
+		l.i = 0
+		return append(out, false)
+	}
+	return append(out, true)
+}
+
+// PatternSite replays a fixed repeating outcome pattern, modelling a
+// deterministic periodic branch.
+type PatternSite struct {
+	Addr    uint64
+	Pattern []bool
+
+	i int
+}
+
+// PC returns the site address.
+func (p *PatternSite) PC() uint64 { return p.Addr }
+
+// Emit produces the next pattern element.
+func (p *PatternSite) Emit(e *Env, out []bool) []bool {
+	v := p.Pattern[p.i]
+	p.i = (p.i + 1) % len(p.Pattern)
+	return append(out, v)
+}
+
+// Corr is a branch whose outcome is a function of the global history —
+// the globally correlated branches the custom FSM predictors capture
+// (§7.6). Noise flips the outcome with the given probability, modelling
+// data-dependent exceptions.
+type Corr struct {
+	Addr  uint64
+	Fn    func(e *Env) bool
+	Noise float64
+}
+
+// PC returns the site address.
+func (c *Corr) PC() uint64 { return c.Addr }
+
+// Emit evaluates the correlation function, possibly flipped by noise.
+func (c *Corr) Emit(e *Env, out []bool) []bool {
+	v := c.Fn(e)
+	if c.Noise > 0 && e.Rng.Float64() < c.Noise {
+		v = !v
+	}
+	return append(out, v)
+}
+
+// RunLength is a branch that stays taken for a run, goes not-taken once,
+// then starts the next run, with run lengths cycling through Runs. Its
+// behaviour is predictable from its own (local) history but looks
+// irregular in the global stream — the compress case (§7.5).
+type RunLength struct {
+	Addr uint64
+	Runs []int
+
+	run int // index into Runs
+	i   int // position within the current run
+}
+
+// PC returns the site address.
+func (r *RunLength) PC() uint64 { return r.Addr }
+
+// Emit produces the next run-length outcome.
+func (r *RunLength) Emit(e *Env, out []bool) []bool {
+	if r.i < r.Runs[r.run] {
+		r.i++
+		return append(out, true)
+	}
+	r.i = 0
+	r.run = (r.run + 1) % len(r.Runs)
+	return append(out, false)
+}
+
+// Load site implementations for the value-prediction benchmarks. What
+// matters for confidence estimation is the *pattern of stride-prediction
+// correctness* each class induces in a two-delta stride predictor.
+
+// RowWalk walks an array with a fixed stride, jumping to a random new
+// base every Row elements — stride prediction is correct inside a row and
+// wrong at the jump (and while re-acquiring the stride).
+type RowWalk struct {
+	Addr   uint64
+	Stride uint64
+	Row    int
+
+	cur uint64
+	i   int
+}
+
+// PC returns the site address.
+func (r *RowWalk) PC() uint64 { return r.Addr }
+
+// NextValue advances the walk.
+func (r *RowWalk) NextValue(e *LoadEnv) uint64 {
+	if r.i == 0 {
+		r.cur = uint64(e.Rng.Int63())
+	}
+	v := r.cur
+	r.cur += r.Stride
+	r.i++
+	if r.i >= r.Row {
+		r.i = 0
+	}
+	return v
+}
+
+// StridePattern produces values whose successive strides cycle through
+// Strides. A two-delta predictor locks onto the most persistent stride,
+// making correctness follow a repeating pattern — exactly the structure a
+// history-based confidence FSM captures and a saturating counter cannot.
+type StridePattern struct {
+	Addr    uint64
+	Strides []uint64
+
+	cur uint64
+	i   int
+}
+
+// PC returns the site address.
+func (s *StridePattern) PC() uint64 { return s.Addr }
+
+// NextValue applies the next stride in the cycle.
+func (s *StridePattern) NextValue(e *LoadEnv) uint64 {
+	v := s.cur
+	s.cur += s.Strides[s.i]
+	s.i = (s.i + 1) % len(s.Strides)
+	return v
+}
+
+// ChaseLoad models pointer chasing: values are effectively random, so
+// stride prediction almost never succeeds.
+type ChaseLoad struct {
+	Addr uint64
+}
+
+// PC returns the site address.
+func (c *ChaseLoad) PC() uint64 { return c.Addr }
+
+// NextValue draws a fresh pseudo-random value.
+func (c *ChaseLoad) NextValue(e *LoadEnv) uint64 {
+	return uint64(e.Rng.Int63())
+}
+
+// PhasedLoad alternates between a predictable linear phase and a chaotic
+// phase, with the given phase lengths — confidence should ramp up and
+// down with the phases.
+type PhasedLoad struct {
+	Addr    uint64
+	GoodLen int
+	BadLen  int
+	Stride  uint64
+
+	cur uint64
+	i   int
+}
+
+// PC returns the site address.
+func (p *PhasedLoad) PC() uint64 { return p.Addr }
+
+// NextValue advances the phase machine.
+func (p *PhasedLoad) NextValue(e *LoadEnv) uint64 {
+	period := p.GoodLen + p.BadLen
+	pos := p.i % period
+	p.i++
+	if pos < p.GoodLen {
+		v := p.cur
+		p.cur += p.Stride
+		return v
+	}
+	p.cur = uint64(e.Rng.Int63())
+	return p.cur
+}
+
+// ConstantLoad always loads the same value; stride prediction (stride 0)
+// is correct after warm-up. The trivially confident case.
+type ConstantLoad struct {
+	Addr  uint64
+	Value uint64
+}
+
+// PC returns the site address.
+func (c *ConstantLoad) PC() uint64 { return c.Addr }
+
+// NextValue returns the constant.
+func (c *ConstantLoad) NextValue(e *LoadEnv) uint64 { return c.Value }
