@@ -7,9 +7,14 @@
 package fsmpredict_test
 
 import (
+	"context"
+	"sync/atomic"
+	"time"
+
 	"testing"
 
 	"fsmpredict"
+	"fsmpredict/internal/bitseq"
 	"fsmpredict/internal/bpred"
 	"fsmpredict/internal/confidence"
 	"fsmpredict/internal/counters"
@@ -18,6 +23,7 @@ import (
 	"fsmpredict/internal/gating"
 	"fsmpredict/internal/simpoint"
 	"fsmpredict/internal/stats"
+	"fsmpredict/internal/trace"
 	"fsmpredict/internal/vhdl"
 	"fsmpredict/internal/workload"
 )
@@ -461,4 +467,52 @@ func BenchmarkSimPointSampling(b *testing.B) {
 	b.ReportMetric(fullMiss, "full-miss")
 	b.ReportMetric(sampleMiss, "sample-miss")
 	b.ReportMetric(ratio, "sample-frac")
+}
+
+// BenchmarkServiceThroughput drives the predictor-design service with a
+// mixed workload of per-program outcome traces from many goroutines,
+// reporting end-to-end designs per second and the cache hit rate — the
+// headline numbers for the fsmserved daemon under load.
+func BenchmarkServiceThroughput(b *testing.B) {
+	var traces []*bitseq.Bits
+	for _, prog := range []string{"compress", "gs", "gsm", "g721", "ijpeg", "vortex"} {
+		p, err := workload.ByName(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		all := trace.Outcomes(p.Generate(workload.Train, 16_000)).Bools()
+		// Four distinct windows per program: 24 distinct cache keys total.
+		const window = 3000
+		for i := 0; i+window <= len(all) && i < 4*window; i += window {
+			traces = append(traces, bitseq.FromBools(all[i:i+window]))
+		}
+	}
+	svc := fsmpredict.NewService(fsmpredict.ServiceConfig{QueueDepth: 1 << 16})
+	defer svc.Close()
+	opt := fsmpredict.Options{Order: 6}
+
+	var designs, hits atomic.Uint64
+	b.ResetTimer()
+	start := time.Now()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			_, hit, err := svc.Design(context.Background(), traces[i%len(traces)], opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			designs.Add(1)
+			if hit {
+				hits.Add(1)
+			}
+			i++
+		}
+	})
+	elapsed := time.Since(start).Seconds()
+	if elapsed > 0 {
+		b.ReportMetric(float64(designs.Load())/elapsed, "designs/s")
+	}
+	if n := designs.Load(); n > 0 {
+		b.ReportMetric(float64(hits.Load())/float64(n), "hit-rate")
+	}
 }

@@ -1,12 +1,31 @@
 package fsmpredict_test
 
 import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
+	"time"
 )
+
+// buildTool compiles one cmd/ binary into dir and returns its path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
 
 // TestCommandLineWorkflow builds the command-line tools and exercises the
 // documented end-to-end workflow: generate a benchmark trace with
@@ -17,17 +36,8 @@ func TestCommandLineWorkflow(t *testing.T) {
 		t.Skip("builds binaries")
 	}
 	dir := t.TempDir()
-	build := func(name string) string {
-		bin := filepath.Join(dir, name)
-		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
-		out, err := cmd.CombinedOutput()
-		if err != nil {
-			t.Fatalf("building %s: %v\n%s", name, err, out)
-		}
-		return bin
-	}
-	tracegen := build("tracegen")
-	fsmgen := build("fsmgen")
+	tracegen := buildTool(t, dir, "tracegen")
+	fsmgen := buildTool(t, dir, "fsmgen")
 
 	run := func(bin string, args ...string) string {
 		cmd := exec.Command(bin, args...)
@@ -82,5 +92,205 @@ func TestCommandLineWorkflow(t *testing.T) {
 	out := run(tracegen, "-bench", "vortex", "-n", "100000", "-simpoint", "-o", sampled)
 	if !strings.Contains(out, "representatives") {
 		t.Errorf("simpoint summary missing:\n%s", out)
+	}
+}
+
+// TestCommandLineBadFlagsExitTwo asserts the unified flag-validation
+// convention: every tool rejects an invalid or missing flag value with
+// usage on stderr and exit status 2, the same status the flag package
+// uses for unknown flags.
+func TestCommandLineBadFlagsExitTwo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	cases := []struct {
+		tool string
+		args []string
+	}{
+		{"fsmgen", []string{"-trace", "0101", "-order", "99"}},
+		{"fsmgen", []string{"-trace", "0101", "-order", "0"}},
+		{"fsmgen", []string{"-trace", "0101", "-threshold", "1.5"}},
+		{"fsmgen", []string{}}, // no trace source at all
+		{"fsmgen", []string{"-branch-trace", "x.btrc", "-pc", "zzz"}},
+		{"fsmgen", []string{"-trace", "0101", "stray-arg"}},
+		{"tracegen", []string{}}, // missing -bench
+		{"tracegen", []string{"-bench", "ijpeg", "-variant", "bogus"}},
+		{"tracegen", []string{"-bench", "nosuchbench"}},
+		{"tracegen", []string{"-bench", "ijpeg", "-n", "-5"}},
+		{"tracegen", []string{"-bench", "gcc", "-loads", "-simpoint"}},
+		{"areabench", []string{"-sample", "2.0"}},
+		{"areabench", []string{"-n", "0"}},
+		{"branchbench", []string{"-prog", "nosuch"}},
+		{"branchbench", []string{"-n", "-1"}},
+		{"confbench", []string{"-prog", "nosuch"}},
+		{"confbench", []string{"-n", "0"}},
+		{"fsmserved", []string{"-workers", "-3"}},
+		{"fsmserved", []string{"-timeout", "-1s"}},
+		// The flag package's own unknown-flag path must agree.
+		{"fsmgen", []string{"-no-such-flag"}},
+	}
+	built := map[string]string{}
+	for _, c := range cases {
+		bin, ok := built[c.tool]
+		if !ok {
+			bin = buildTool(t, dir, c.tool)
+			built[c.tool] = bin
+		}
+		t.Run(c.tool+"_"+strings.Join(c.args, "_"), func(t *testing.T) {
+			var stderr bytes.Buffer
+			cmd := exec.Command(bin, c.args...)
+			cmd.Stderr = &stderr
+			err := cmd.Run()
+			ee, ok := err.(*exec.ExitError)
+			if !ok {
+				t.Fatalf("%s %v: err = %v, want exit error", c.tool, c.args, err)
+			}
+			if code := ee.ExitCode(); code != 2 {
+				t.Errorf("%s %v: exit code = %d, want 2\nstderr:\n%s", c.tool, c.args, code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), "Usage") && !strings.Contains(stderr.String(), "-") {
+				t.Errorf("%s %v: stderr lacks usage text:\n%s", c.tool, c.args, stderr.String())
+			}
+		})
+	}
+}
+
+// TestFSMServedEndToEnd boots the design daemon on a random port,
+// designs the paper's Figure 1 trace over HTTP, verifies the metrics
+// endpoint reflects the request, and shuts the daemon down with SIGTERM.
+func TestFSMServedEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "fsmserved")
+
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs "listening on 127.0.0.1:PORT" once the socket is
+	// bound; everything after that line is kept flowing to avoid
+	// blocking the child on a full pipe.
+	sc := bufio.NewScanner(stderr)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = "http://" + strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never reported its address: %v", sc.Err())
+	}
+	drained := make(chan string, 1)
+	go func() {
+		var rest strings.Builder
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteByte('\n')
+		}
+		drained <- rest.String()
+	}()
+
+	// Design the Figure 1 trace (N=2): the paper's 3-state machine.
+	body, err := json.Marshal(map[string]any{
+		"trace":   "000010001011110111101111",
+		"options": map[string]any{"order": 2, "name": "fig1"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(base+"/v1/design", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/design: %v", err)
+	}
+	var design struct {
+		States   int             `json:"states"`
+		Machine  json.RawMessage `json:"machine"`
+		VHDL     string          `json:"vhdl"`
+		AreaGE   float64         `json:"area_ge"`
+		CacheHit bool            `json:"cache_hit"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&design); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || design.States != 3 {
+		t.Fatalf("design: status %d, states %d, want 200 and the paper's 3 states", resp.StatusCode, design.States)
+	}
+	if !strings.Contains(design.VHDL, "entity fig1 is") || design.AreaGE <= 0 {
+		t.Errorf("design payload incomplete: area=%v vhdl=%q...", design.AreaGE, design.VHDL[:min(60, len(design.VHDL))])
+	}
+
+	// Simulate the designed machine on its own trace.
+	simBody := fmt.Sprintf(`{"machine":%s,"trace":"000010001011110111101111","skip":2}`, design.Machine)
+	resp, err = http.Post(base+"/v1/simulate", "application/json", strings.NewReader(simBody))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sim struct {
+		Total   int `json:"total"`
+		Correct int `json:"correct"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sim); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if sim.Total != 22 || sim.Correct == 0 {
+		t.Errorf("simulate = %+v", sim)
+	}
+
+	// Health and metrics must reflect the served design.
+	resp, err = http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v status %v", err, resp)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics strings.Builder
+	msc := bufio.NewScanner(resp.Body)
+	for msc.Scan() {
+		metrics.WriteString(msc.Text())
+		metrics.WriteByte('\n')
+	}
+	resp.Body.Close()
+	for _, want := range []string{
+		"fsmpredict_design_requests_total 1",
+		"fsmpredict_designs_completed_total 1",
+		"fsmpredict_simulate_requests_total 1",
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Errorf("metrics missing %q:\n%s", want, metrics.String())
+		}
+	}
+
+	// SIGTERM: the daemon must drain and exit 0. Read stderr to EOF
+	// before Wait — Wait closes the pipe and would race the scanner.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	var rest string
+	select {
+	case rest = <-drained:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit within 15s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited with %v after SIGTERM\nstderr:\n%s", err, rest)
+	}
+	if !strings.Contains(rest, "shut down cleanly") {
+		t.Errorf("daemon log missing clean-shutdown line:\n%s", rest)
 	}
 }

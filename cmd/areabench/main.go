@@ -16,6 +16,7 @@ import (
 	"log"
 	"sort"
 
+	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/experiments"
 	"fsmpredict/internal/stats"
 )
@@ -28,6 +29,13 @@ func main() {
 		csv    = flag.Bool("csv", false, "emit CSV points instead of a table")
 	)
 	flag.Parse()
+	if *sample <= 0 || *sample > 1 {
+		cliutil.BadUsage("areabench: -sample %v out of range (0,1]", *sample)
+	}
+	cliutil.CheckPositive("n", *events)
+	if flag.NArg() > 0 {
+		cliutil.BadUsage("areabench: unexpected arguments %v", flag.Args())
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.BranchEvents = *events

@@ -15,6 +15,7 @@ import (
 	"log"
 
 	"fsmpredict/internal/bpred"
+	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/experiments"
 	"fsmpredict/internal/stats"
 	"fsmpredict/internal/workload"
@@ -29,6 +30,13 @@ func main() {
 		ppm    = flag.Bool("ppm", false, "also run the Chen et al. PPM baseline (§3.2)")
 	)
 	flag.Parse()
+	cliutil.CheckPositive("n", *events)
+	if *prog != "" {
+		cliutil.CheckOneOf("prog", *prog, "compress", "gs", "gsm", "g721", "ijpeg", "vortex")
+	}
+	if flag.NArg() > 0 {
+		cliutil.BadUsage("branchbench: unexpected arguments %v", flag.Args())
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.BranchEvents = *events

@@ -16,6 +16,7 @@ import (
 	"log"
 	"sort"
 
+	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/experiments"
 	"fsmpredict/internal/stats"
 )
@@ -28,6 +29,13 @@ func main() {
 		csv    = flag.Bool("csv", false, "emit CSV series instead of tables")
 	)
 	flag.Parse()
+	cliutil.CheckPositive("n", *events)
+	if *prog != "" {
+		cliutil.CheckOneOf("prog", *prog, "gcc", "go", "groff", "li", "perl")
+	}
+	if flag.NArg() > 0 {
+		cliutil.BadUsage("confbench: unexpected arguments %v", flag.Args())
+	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.LoadEvents = *events

@@ -24,8 +24,10 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"fsmpredict"
+	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/core"
 	"fsmpredict/internal/regex"
 	"fsmpredict/internal/trace"
@@ -46,8 +48,22 @@ func main() {
 		vhdlOut   = flag.Bool("vhdl", false, "print the generated VHDL")
 		btrc      = flag.String("branch-trace", "", "binary branch trace from tracegen (per-branch mode)")
 		pcFlag    = flag.String("pc", "", "branch address to design for (with -branch-trace)")
+		verbose   = flag.Bool("v", false, "report per-stage design-flow timings to stderr")
 	)
 	flag.Parse()
+	cliutil.CheckRange("order", *order, 1, 16)
+	if *threshold <= 0 || *threshold > 1 {
+		cliutil.BadUsage("fsmgen: -threshold %v out of range (0,1]", *threshold)
+	}
+	if *dcBudget > 1 {
+		cliutil.BadUsage("fsmgen: -dc %v is a fraction of observations, must be <= 1", *dcBudget)
+	}
+	if *btrc == "" && strings.TrimSpace(*traceStr) == "" && *traceFile == "" {
+		cliutil.BadUsage("fsmgen: provide -trace, -file, or -branch-trace")
+	}
+	if flag.NArg() > 0 {
+		cliutil.BadUsage("fsmgen: unexpected arguments %v", flag.Args())
+	}
 
 	opts := fsmpredict.Options{
 		Order:          *order,
@@ -56,12 +72,25 @@ func main() {
 		KeepStartup:    *keepStart,
 		Name:           *name,
 	}
+	if *verbose {
+		opts.StageObserver = func(stage string, d time.Duration) {
+			fmt.Fprintf(os.Stderr, "stage %-9s %12v\n", stage, d)
+		}
+	}
 
 	var design *fsmpredict.Design
 	var err error
 	switch {
 	case *btrc != "":
-		design, err = designFromBranchTrace(*btrc, *pcFlag, opts)
+		var pc uint64
+		havePC := *pcFlag != ""
+		if havePC {
+			pc, err = strconv.ParseUint(strings.TrimPrefix(*pcFlag, "0x"), 16, 64)
+			if err != nil {
+				cliutil.BadUsage("fsmgen: bad -pc %q: %v", *pcFlag, err)
+			}
+		}
+		design, err = designFromBranchTrace(*btrc, pc, havePC, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,7 +107,7 @@ func main() {
 			src = string(data)
 		}
 		if strings.TrimSpace(src) == "" {
-			log.Fatal("fsmgen: provide -trace, -file, or -branch-trace")
+			cliutil.BadUsage("fsmgen: the trace is empty")
 		}
 		design, err = fsmpredict.DesignFromTrace(src, opts)
 		if err != nil {
@@ -121,9 +150,9 @@ func main() {
 
 // designFromBranchTrace runs the §7.3 per-branch flow on a recorded
 // branch trace: build the target branch's global-history Markov model and
-// design from it. With no -pc it prints the branch profile and returns
-// (nil, nil) so the user can choose a target.
-func designFromBranchTrace(path, pcStr string, opts fsmpredict.Options) (*fsmpredict.Design, error) {
+// design from it. Without a target PC it prints the branch profile and
+// returns (nil, nil) so the user can choose one.
+func designFromBranchTrace(path string, pc uint64, havePC bool, opts fsmpredict.Options) (*fsmpredict.Design, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -133,7 +162,7 @@ func designFromBranchTrace(path, pcStr string, opts fsmpredict.Options) (*fsmpre
 	if err != nil {
 		return nil, err
 	}
-	if pcStr == "" {
+	if !havePC {
 		fmt.Printf("%d events; per-branch profile (pass -pc to design):\n", len(events))
 		for i, p := range trace.Profile(events) {
 			if i >= 20 {
@@ -143,10 +172,6 @@ func designFromBranchTrace(path, pcStr string, opts fsmpredict.Options) (*fsmpre
 			fmt.Printf("  %#x  execs=%d  taken=%.1f%%\n", p.PC, p.Count, 100*p.TakenRate())
 		}
 		return nil, nil
-	}
-	pc, err := strconv.ParseUint(strings.TrimPrefix(pcStr, "0x"), 16, 64)
-	if err != nil {
-		return nil, fmt.Errorf("fsmgen: bad -pc %q: %v", pcStr, err)
 	}
 	models := trace.GlobalMarkov(events, map[uint64]bool{pc: true}, opts.Order)
 	model := models[pc]

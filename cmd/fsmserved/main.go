@@ -1,0 +1,102 @@
+// Command fsmserved serves the automated FSM predictor design flow (§4)
+// over HTTP: a concurrent daemon with a content-addressed design cache,
+// request deduplication, a bounded worker pool that sheds load when
+// saturated, and a metrics endpoint.
+//
+// Usage:
+//
+//	fsmserved -addr :8080 -workers 8 -queue 64 -cache 1024
+//
+// Endpoints:
+//
+//	POST /v1/design   {"trace":"0000 1000 ...","options":{"order":2}}
+//	POST /v1/simulate {"machine":{...},"trace":"0101...","skip":2}
+//	GET  /healthz
+//	GET  /metrics
+//
+// The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight
+// requests first. Each request is bounded by -timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"fsmpredict/internal/cliutil"
+	"fsmpredict/internal/service"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("fsmserved: ")
+	var (
+		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers = flag.Int("workers", 0, "concurrent design pipelines (0 = GOMAXPROCS)")
+		queue   = flag.Int("queue", 0, "design queue depth before shedding load (0 = 8x workers)")
+		cache   = flag.Int("cache", 0, "design cache entries (0 = 1024, negative disables)")
+		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+	)
+	flag.Parse()
+	if *workers < 0 {
+		cliutil.BadUsage("fsmserved: -workers must be >= 0, got %d", *workers)
+	}
+	if *queue < 0 {
+		cliutil.BadUsage("fsmserved: -queue must be >= 0, got %d", *queue)
+	}
+	if *timeout <= 0 {
+		cliutil.BadUsage("fsmserved: -timeout must be positive, got %v", *timeout)
+	}
+	if flag.NArg() > 0 {
+		cliutil.BadUsage("fsmserved: unexpected arguments %v", flag.Args())
+	}
+
+	svc := service.New(service.Config{
+		Workers:      *workers,
+		QueueDepth:   *queue,
+		CacheEntries: *cache,
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// http.TimeoutHandler also cancels the request context, which
+	// releases the service-side wait for a worker slot.
+	srv := &http.Server{
+		Handler:           http.TimeoutHandler(service.NewHandler(svc), *timeout, "request timed out\n"),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	log.Printf("listening on %s", ln.Addr())
+
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	svc.Close()
+	log.Printf("shut down cleanly")
+}

@@ -16,6 +16,7 @@ import (
 	"log"
 	"os"
 
+	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/simpoint"
 	"fsmpredict/internal/trace"
 	"fsmpredict/internal/workload"
@@ -48,16 +49,21 @@ func main() {
 		return
 	}
 	if *bench == "" {
-		log.Fatal("tracegen: provide -bench (or -list)")
+		cliutil.BadUsage("tracegen: provide -bench (or -list)")
+	}
+	cliutil.CheckPositive("n", *n)
+	cliutil.CheckOneOf("variant", *variant, "train", "test")
+	cliutil.CheckPositive("simpoint-k", *sampleK)
+	if *loads && (*sample || *text) {
+		cliutil.BadUsage("tracegen: -simpoint and -text apply to branch traces only")
+	}
+	if flag.NArg() > 0 {
+		cliutil.BadUsage("tracegen: unexpected arguments %v", flag.Args())
 	}
 
 	v := workload.Train
-	switch *variant {
-	case "train":
-	case "test":
+	if *variant == "test" {
 		v = workload.Test
-	default:
-		log.Fatalf("tracegen: unknown variant %q", *variant)
 	}
 
 	w := os.Stdout
@@ -77,7 +83,7 @@ func main() {
 	if *loads {
 		prog, err := workload.LoadByName(*bench)
 		if err != nil {
-			log.Fatal(err)
+			cliutil.BadUsage("tracegen: %v", err)
 		}
 		events := prog.Generate(v, *n)
 		if err := trace.WriteLoads(w, events); err != nil {
@@ -89,7 +95,7 @@ func main() {
 
 	prog, err := workload.ByName(*bench)
 	if err != nil {
-		log.Fatal(err)
+		cliutil.BadUsage("tracegen: %v", err)
 	}
 	events := prog.Generate(v, *n)
 	if *sample {

@@ -31,6 +31,7 @@ import (
 	"fsmpredict/internal/core"
 	"fsmpredict/internal/fsm"
 	"fsmpredict/internal/markov"
+	"fsmpredict/internal/service"
 	"fsmpredict/internal/vhdl"
 )
 
@@ -118,3 +119,29 @@ func ParseCube(s string) (Cube, error) { return bitseq.ParseCube(s) }
 func MachineForCover(cover []Cube, order int) (*Machine, error) {
 	return core.DirectMachine(cover, order)
 }
+
+// Service is a concurrent design server around the §4 flow: a
+// content-addressed result cache, deduplication of identical in-flight
+// requests, and a bounded worker pool that sheds load with
+// service.ErrOverloaded when saturated. cmd/fsmserved exposes one over
+// HTTP.
+type Service = service.Service
+
+// ServiceConfig sizes a Service; the zero value uses GOMAXPROCS workers
+// and a 1024-entry cache.
+type ServiceConfig = service.Config
+
+// ServiceResult is the immutable outcome of one served design: machine
+// JSON, VHDL, area, and pipeline statistics.
+type ServiceResult = service.Result
+
+// ErrOverloaded is returned by a saturated Service instead of queueing
+// without bound.
+var ErrOverloaded = service.ErrOverloaded
+
+// NewService starts a design service. Callers must Close it when done:
+//
+//	svc := fsmpredict.NewService(fsmpredict.ServiceConfig{})
+//	defer svc.Close()
+//	res, cached, err := svc.DesignString(ctx, "0000 1000 1011 ...", fsmpredict.Options{Order: 2})
+func NewService(cfg ServiceConfig) *Service { return service.New(cfg) }

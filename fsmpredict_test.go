@@ -1,6 +1,7 @@
 package fsmpredict_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -129,5 +130,26 @@ func TestPublicSynthesisSurface(t *testing.T) {
 	}
 	if !strings.Contains(tb, "entity surface_tb is") {
 		t.Errorf("testbench missing entity:\n%s", tb)
+	}
+}
+
+func TestServiceFacade(t *testing.T) {
+	svc := fsmpredict.NewService(fsmpredict.ServiceConfig{Workers: 2})
+	defer svc.Close()
+	ctx := context.Background()
+	res, cached, err := svc.DesignString(ctx, "0000 1000 1011 1101 1110 1111",
+		fsmpredict.Options{Order: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cached {
+		t.Error("first request reported cached")
+	}
+	if res.States != 3 {
+		t.Errorf("states = %d, want 3", res.States)
+	}
+	if _, cached, err = svc.DesignString(ctx, "0000 1000 1011 1101 1110 1111",
+		fsmpredict.Options{Order: 2}); err != nil || !cached {
+		t.Errorf("repeat: cached=%v err=%v, want cache hit", cached, err)
 	}
 }

@@ -1,0 +1,55 @@
+// Package cliutil holds the shared command-line conventions of the
+// cmd/* tools: a bad flag value prints the error and the usage text to
+// stderr and exits with status 2 (the same status the flag package uses
+// for unknown flags), while runtime failures exit 1 via log.Fatal.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// exit is swapped out by tests.
+var exit = os.Exit
+
+// BadUsage reports a command-line usage error — an invalid or missing
+// flag value — to stderr, prints the flag usage, and exits 2.
+func BadUsage(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	flag.Usage()
+	exit(2)
+}
+
+// CheckRange exits with a usage error unless lo <= v <= hi.
+func CheckRange(name string, v, lo, hi int) {
+	if v < lo || v > hi {
+		BadUsage("%s: -%s %d out of range [%d,%d]", progName(), name, v, lo, hi)
+	}
+}
+
+// CheckPositive exits with a usage error unless v > 0.
+func CheckPositive(name string, v int) {
+	if v <= 0 {
+		BadUsage("%s: -%s must be positive, got %d", progName(), name, v)
+	}
+}
+
+// CheckOneOf exits with a usage error unless v is one of the allowed
+// values.
+func CheckOneOf(name, v string, allowed ...string) {
+	for _, a := range allowed {
+		if v == a {
+			return
+		}
+	}
+	BadUsage("%s: -%s %q must be one of %v", progName(), name, v, allowed)
+}
+
+func progName() string {
+	if len(os.Args) > 0 {
+		return filepath.Base(os.Args[0])
+	}
+	return "cmd"
+}

@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"fsmpredict/internal/bitseq"
 	"fsmpredict/internal/dfa"
@@ -53,6 +54,31 @@ type Options struct {
 	KeepStartup bool
 	// Name is attached to the resulting machine.
 	Name string
+	// StageObserver, when non-nil, is called once per pipeline stage with
+	// the stage name and its wall-clock duration, in execution order:
+	// "profile" (trace → Markov model, trace entry points only),
+	// "partition" (§4.3), "minimize" (§4.4), "regex" (§4.5), "nfa"
+	// (§4.6), "dfa" (§4.6), "hopcroft", and "reduce" (§4.7 plus machine
+	// construction). It must not retain the design; it exists so servers
+	// and verbose CLIs can report where design time goes. Nil means no
+	// observation and no overhead.
+	StageObserver func(stage string, d time.Duration) `json:"-"`
+}
+
+// observe reports one finished stage to the observer, if any.
+func (o *Options) observe(stage string, start time.Time) {
+	if o.StageObserver != nil {
+		o.StageObserver(stage, time.Since(start))
+	}
+}
+
+// now returns the current time only when someone is observing, avoiding
+// clock reads on the common unobserved path.
+func (o *Options) now() (t time.Time) {
+	if o.StageObserver != nil {
+		t = time.Now()
+	}
+	return
 }
 
 // withDefaults fills in the paper's default parameters. It is idempotent:
@@ -74,6 +100,16 @@ func (o Options) validate() error {
 	}
 	return nil
 }
+
+// Canonical returns the options with the paper's defaults filled in —
+// the form under which two option values describe the same design. The
+// serving layer hashes this so a request with an explicit 0.5 bias
+// threshold and one relying on the default share a cache entry.
+func (o Options) Canonical() Options { return o.withDefaults() }
+
+// Validate reports whether the options describe a runnable design
+// (currently: the order must be in [1,16]).
+func (o Options) Validate() error { return o.validate() }
 
 // Design records every artifact of one run of the flow, so tools and
 // experiments can inspect intermediate stages.
@@ -107,6 +143,7 @@ func FromModel(m *markov.Model, opt Options) (*Design, error) {
 	if dcBudget < 0 {
 		dcBudget = 0
 	}
+	start := opt.now()
 	part, err := m.Partition(markov.PartitionOptions{
 		BiasThreshold:  opt.BiasThreshold,
 		DontCareBudget: dcBudget,
@@ -115,29 +152,42 @@ func FromModel(m *markov.Model, opt Options) (*Design, error) {
 	if err != nil {
 		return nil, err
 	}
+	opt.observe("partition", start)
+	start = opt.now()
 	cover, err := logic.Minimize(logic.FromPartition(m.Order(), part.PredictOne, part.DontCare))
 	if err != nil {
 		return nil, err
 	}
+	opt.observe("minimize", start)
 	d := &Design{
 		Options:   opt,
 		Model:     m,
 		Partition: part,
 		Cover:     cover,
-		Expr:      regex.FromCover(cover),
 	}
+	start = opt.now()
+	d.Expr = regex.FromCover(cover)
+	opt.observe("regex", start)
+	start = opt.now()
 	n := nfa.Compile(d.Expr)
 	d.NFAStates = n.NumStates()
+	opt.observe("nfa", start)
+	start = opt.now()
 	raw := dfa.FromNFA(n)
 	d.DFAStates = raw.NumStates()
+	opt.observe("dfa", start)
+	start = opt.now()
 	min := raw.Minimize()
 	d.MinimizedStates = min.NumStates()
+	opt.observe("hopcroft", start)
+	start = opt.now()
 	final := min
 	if !opt.KeepStartup {
 		final = normalizeStart(min.TrimStartup(), opt.Order)
 	}
 	d.Machine = fsm.FromDFA(final)
 	d.Machine.Name = opt.Name
+	opt.observe("reduce", start)
 	return d, nil
 }
 
@@ -148,8 +198,10 @@ func FromTrace(trace *bitseq.Bits, opt Options) (*Design, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	start := opt.now()
 	m := markov.New(opt.Order)
 	m.AddTrace(trace)
+	opt.observe("profile", start)
 	return FromModel(m, opt)
 }
 
@@ -159,8 +211,10 @@ func FromBools(trace []bool, opt Options) (*Design, error) {
 	if err := opt.validate(); err != nil {
 		return nil, err
 	}
+	start := opt.now()
 	m := markov.New(opt.Order)
 	m.AddBools(trace)
+	opt.observe("profile", start)
 	return FromModel(m, opt)
 }
 

@@ -2,7 +2,9 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
+	"time"
 
 	"fsmpredict/internal/bitseq"
 	"fsmpredict/internal/fsm"
@@ -385,5 +387,39 @@ func TestWideOrderDesign(t *testing.T) {
 	res := d.Machine.Simulate(trace, 12)
 	if got := uint64(res.Total - res.Correct); got != optimal {
 		t.Errorf("order-12 machine misses %d, model optimum %d", got, optimal)
+	}
+}
+
+func TestStageObserver(t *testing.T) {
+	var stages []string
+	total := time.Duration(0)
+	d, err := FromTrace(bitseq.MustFromString(paperTrace), Options{
+		Order: 2,
+		StageObserver: func(stage string, dur time.Duration) {
+			if dur < 0 {
+				t.Errorf("stage %s reported negative duration %v", stage, dur)
+			}
+			stages = append(stages, stage)
+			total += dur
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"profile", "partition", "minimize", "regex", "nfa", "dfa", "hopcroft", "reduce"}
+	if !reflect.DeepEqual(stages, want) {
+		t.Errorf("observed stages %v, want %v", stages, want)
+	}
+	if d.Machine.NumStates() != 3 {
+		t.Errorf("observer changed the design: %s", d.Machine)
+	}
+
+	// Nil observer must be safe and produce the identical machine.
+	plain, err := FromTrace(bitseq.MustFromString(paperTrace), Options{Order: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fsm.Isomorphic(d.Machine, plain.Machine) {
+		t.Errorf("observed and unobserved designs differ")
 	}
 }

@@ -1,0 +1,72 @@
+package fsm
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// machineJSON is the wire form of a Machine: each state is a compact
+// [output, next0, next1] triple, so the paper's 3-state worked example
+// serializes to {"start":0,"states":[[1,1,2],[0,1,2],[1,1,0]]}-style
+// JSON. The encoding is deterministic (field order and number formatting
+// are fixed), which lets the design service cache and compare machines
+// byte-for-byte.
+type machineJSON struct {
+	Name   string  `json:"name,omitempty"`
+	Start  int     `json:"start"`
+	States [][]int `json:"states"`
+}
+
+// MarshalJSON encodes the machine in the compact states-triple form.
+// Marshalling an invalid machine is an error, so malformed machines can
+// never reach the wire.
+func (m *Machine) MarshalJSON() ([]byte, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	enc := machineJSON{
+		Name:   m.Name,
+		Start:  m.Start,
+		States: make([][]int, len(m.Next)),
+	}
+	for s, row := range m.Next {
+		out := 0
+		if m.Output[s] {
+			out = 1
+		}
+		enc.States[s] = []int{out, row[0], row[1]}
+	}
+	return json.Marshal(enc)
+}
+
+// UnmarshalJSON decodes the compact form and validates the result: state
+// outputs must be 0 or 1, successors must be in range, and the machine
+// must be structurally sound. A failed decode leaves the receiver
+// unmodified.
+func (m *Machine) UnmarshalJSON(data []byte) error {
+	var enc machineJSON
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return err
+	}
+	dec := Machine{
+		Name:   enc.Name,
+		Start:  enc.Start,
+		Output: make([]bool, len(enc.States)),
+		Next:   make([][2]int, len(enc.States)),
+	}
+	for s, st := range enc.States {
+		if len(st) != 3 {
+			return fmt.Errorf("fsm: state %d has %d fields, want [output, next0, next1]", s, len(st))
+		}
+		if st[0] != 0 && st[0] != 1 {
+			return fmt.Errorf("fsm: state %d output %d is not 0 or 1", s, st[0])
+		}
+		dec.Output[s] = st[0] == 1
+		dec.Next[s] = [2]int{st[1], st[2]}
+	}
+	if err := dec.Validate(); err != nil {
+		return err
+	}
+	*m = dec
+	return nil
+}

@@ -1,0 +1,139 @@
+package fsm
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func testMachine() *Machine {
+	return &Machine{
+		Name:   "fig1",
+		Output: []bool{true, false, true},
+		Next:   [][2]int{{1, 2}, {1, 2}, {1, 0}},
+		Start:  0,
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	m := testMachine()
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"name":"fig1","start":0,"states":[[1,1,2],[0,1,2],[1,1,0]]}`
+	if string(data) != want {
+		t.Errorf("encoding = %s, want %s", data, want)
+	}
+	var back Machine
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !Isomorphic(m, &back) || back.Name != m.Name || back.Start != m.Start {
+		t.Errorf("round trip changed machine: %s -> %s", m, &back)
+	}
+	// The encoding must be deterministic: cache hits compare bytes.
+	again, err := json.Marshal(&back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(data, again) {
+		t.Errorf("re-encoding differs: %s vs %s", data, again)
+	}
+}
+
+func TestJSONOmitsEmptyName(t *testing.T) {
+	m := testMachine()
+	m.Name = ""
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "name") {
+		t.Errorf("empty name not omitted: %s", data)
+	}
+	var back Machine
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "" {
+		t.Errorf("name = %q, want empty", back.Name)
+	}
+}
+
+func TestJSONRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+	}{
+		{"not json", `{{`},
+		{"no states", `{"start":0,"states":[]}`},
+		{"start out of range", `{"start":3,"states":[[0,0,0]]}`},
+		{"negative start", `{"start":-1,"states":[[0,0,0]]}`},
+		{"successor out of range", `{"start":0,"states":[[0,0,7]]}`},
+		{"negative successor", `{"start":0,"states":[[0,-1,0]]}`},
+		{"non-binary output", `{"start":0,"states":[[2,0,0]]}`},
+		{"wrong arity", `{"start":0,"states":[[0,0]]}`},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			m := testMachine()
+			if err := json.Unmarshal([]byte(c.in), m); err == nil {
+				t.Fatalf("decode of %s succeeded: %s", c.in, m)
+			}
+			// A failed decode must leave the receiver untouched.
+			if !Isomorphic(m, testMachine()) {
+				t.Errorf("failed decode modified receiver: %s", m)
+			}
+		})
+	}
+}
+
+func TestMarshalRejectsInvalidMachine(t *testing.T) {
+	m := &Machine{Output: []bool{false}, Next: [][2]int{{0, 9}}}
+	if _, err := json.Marshal(m); err == nil {
+		t.Error("marshalling an invalid machine succeeded")
+	}
+}
+
+// FuzzUnmarshalJSON checks the decoder never panics and never yields an
+// invalid machine, and that accepted machines survive an encode/decode
+// round trip byte-identically.
+func FuzzUnmarshalJSON(f *testing.F) {
+	seed, err := json.Marshal(testMachine())
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(string(seed))
+	f.Add(`{"start":0,"states":[[1,0,0]]}`)
+	f.Add(`{"start":0,"states":[[1,1,2],[0,1,2],[1,1,0]]}`)
+	f.Add(`{"start":99,"states":[[1,0,0]]}`)
+	f.Add(`{"states":null}`)
+	f.Add(`[]`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, s string) {
+		var m Machine
+		if err := json.Unmarshal([]byte(s), &m); err != nil {
+			return
+		}
+		if err := m.Validate(); err != nil {
+			t.Fatalf("decode of %q returned invalid machine: %v", s, err)
+		}
+		data, err := json.Marshal(&m)
+		if err != nil {
+			t.Fatalf("re-encoding %s: %v", &m, err)
+		}
+		var back Machine
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("decoding re-encoded %s: %v", data, err)
+		}
+		data2, err := json.Marshal(&back)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, data2) {
+			t.Fatalf("round trip not stable: %s vs %s", data, data2)
+		}
+	})
+}

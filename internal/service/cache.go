@@ -1,0 +1,106 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/trace"
+)
+
+// cacheKey is the content address of a design request: the SHA-256 of
+// the canonical trace bytes plus a canonical rendering of the options
+// that influence the result. Two requests share a key iff the design
+// flow is guaranteed to produce the identical artifact for both.
+type cacheKey [sha256.Size]byte
+
+// String returns the key in hex, the form exposed on the wire.
+func (k cacheKey) String() string { return fmt.Sprintf("%x", k[:]) }
+
+// requestKey hashes a (trace, options) pair. Options are canonicalized
+// first so that an explicit bias threshold of 0.5 and the zero-value
+// default address the same entry; StageObserver is observational only
+// and is deliberately excluded.
+func requestKey(bits *bitseq.Bits, opt core.Options) cacheKey {
+	opt = opt.Canonical()
+	h := sha256.New()
+	h.Write(trace.CanonicalBits(bits))
+	fmt.Fprintf(h, "order=%d bias=%v dc=%v keepUnseen=%t keepStartup=%t name=%q\n",
+		opt.Order, opt.BiasThreshold, opt.DontCareBudget,
+		opt.KeepUnseen, opt.KeepStartup, opt.Name)
+	var k cacheKey
+	h.Sum(k[:0])
+	return k
+}
+
+// designCache is a bounded LRU of finished design results, keyed by
+// content address. Results are immutable once inserted, so a cached
+// *Result is shared by all readers.
+type designCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recently used; values are *cacheEntry
+	byKey map[cacheKey]*list.Element
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *Result
+}
+
+func newDesignCache(max int) *designCache {
+	return &designCache{
+		max:   max,
+		order: list.New(),
+		byKey: make(map[cacheKey]*list.Element),
+	}
+}
+
+// get returns the cached result for the key, refreshing its recency.
+func (c *designCache) get(k cacheKey) (*Result, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// put inserts a result, evicting the least recently used entry when the
+// bound is exceeded.
+func (c *designCache) put(k cacheKey, res *Result) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[k]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.order.PushFront(&cacheEntry{key: k, res: res})
+	for c.order.Len() > c.max {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+// len reports the number of cached designs.
+func (c *designCache) len() int {
+	if c == nil {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,171 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/fsm"
+)
+
+// maxBodyBytes bounds request bodies; the largest legitimate payload is
+// a long trace (one byte per outcome in text form).
+const maxBodyBytes = 64 << 20
+
+// DesignRequest is the wire form of POST /v1/design.
+type DesignRequest struct {
+	// Trace is the outcome string ('0'/'1'; whitespace and underscores
+	// are ignored).
+	Trace string `json:"trace"`
+	// Options selects the design parameters; see OptionsJSON.
+	Options OptionsJSON `json:"options"`
+}
+
+// OptionsJSON is the wire form of core.Options. Zero values mean the
+// paper defaults (bias threshold 0.5, 1% don't-care budget); a negative
+// don't-care budget disables the budget, as in the library.
+type OptionsJSON struct {
+	Order          int     `json:"order"`
+	BiasThreshold  float64 `json:"bias_threshold,omitempty"`
+	DontCareBudget float64 `json:"dont_care_budget,omitempty"`
+	KeepUnseen     bool    `json:"keep_unseen,omitempty"`
+	KeepStartup    bool    `json:"keep_startup,omitempty"`
+	Name           string  `json:"name,omitempty"`
+}
+
+// Options converts the wire form to core options.
+func (o OptionsJSON) Options() core.Options {
+	return core.Options{
+		Order:          o.Order,
+		BiasThreshold:  o.BiasThreshold,
+		DontCareBudget: o.DontCareBudget,
+		KeepUnseen:     o.KeepUnseen,
+		KeepStartup:    o.KeepStartup,
+		Name:           o.Name,
+	}
+}
+
+// DesignResponse is the wire form of a successful design.
+type DesignResponse struct {
+	*Result
+	CacheHit bool `json:"cache_hit"`
+}
+
+// SimulateRequest is the wire form of POST /v1/simulate.
+type SimulateRequest struct {
+	// Machine is a predictor in the canonical JSON encoding (as returned
+	// by /v1/design).
+	Machine *fsm.Machine `json:"machine"`
+	// Trace is the outcome string to replay.
+	Trace string `json:"trace"`
+	// Skip is the number of warm-up outcomes consumed without scoring.
+	Skip int `json:"skip,omitempty"`
+}
+
+// SimulateResponse is the wire form of a simulation result.
+type SimulateResponse struct {
+	Total    int     `json:"total"`
+	Correct  int     `json:"correct"`
+	Accuracy float64 `json:"accuracy"`
+	MissRate float64 `json:"miss_rate"`
+}
+
+// errorResponse is the wire form of any failure.
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+// NewHandler exposes the service over HTTP:
+//
+//	POST /v1/design   — trace + options → machine JSON, VHDL, area, stats
+//	POST /v1/simulate — machine + trace → prediction accuracy
+//	GET  /healthz     — liveness probe
+//	GET  /metrics     — text metrics exposition
+//
+// Request bodies and responses are JSON except /healthz and /metrics.
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/design", func(w http.ResponseWriter, r *http.Request) {
+		var req DesignRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeError(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+			return
+		}
+		res, hit, err := s.DesignString(r.Context(), req.Trace, req.Options.Options())
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, DesignResponse{Result: res, CacheHit: hit})
+	})
+	mux.HandleFunc("POST /v1/simulate", func(w http.ResponseWriter, r *http.Request) {
+		var req SimulateRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeError(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+			return
+		}
+		bits, err := bitseq.FromString(req.Trace)
+		if err != nil {
+			writeError(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+			return
+		}
+		res, err := s.Simulate(req.Machine, bits, req.Skip)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, SimulateResponse{
+			Total:    res.Total,
+			Correct:  res.Correct,
+			Accuracy: res.Accuracy(),
+			MissRate: res.MissRate(),
+		})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		s.Metrics().WriteTo(w)
+	})
+	return mux
+}
+
+// decodeJSON reads one JSON document from the body, rejecting oversized
+// bodies and trailing garbage.
+func decodeJSON(w http.ResponseWriter, r *http.Request, dst any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		return err
+	}
+	if dec.More() {
+		return errors.New("trailing data after JSON document")
+	}
+	return nil
+}
+
+// writeError maps service errors onto HTTP statuses: invalid requests
+// are the client's fault (400), shedding and shutdown are capacity
+// signals (503), anything else is a server fault (500).
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, ErrInvalid):
+		status = http.StatusBadRequest
+	case errors.Is(err, ErrOverloaded), errors.Is(err, ErrClosed):
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, errorResponse{Error: err.Error()})
+}
+
+// writeJSON renders one JSON response.
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}

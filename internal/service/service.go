@@ -1,0 +1,366 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/vhdl"
+)
+
+// ErrOverloaded is returned when the design queue is full: the request
+// was shed immediately instead of queueing without bound. Callers should
+// back off and retry.
+var ErrOverloaded = errors.New("service: overloaded, design queue full")
+
+// ErrClosed is returned for requests submitted after Close.
+var ErrClosed = errors.New("service: closed")
+
+// ErrInvalid wraps request validation failures so transports can map
+// them to client errors (HTTP 400) rather than server faults.
+var ErrInvalid = errors.New("invalid request")
+
+// Config sizes a Service. The zero value picks sensible defaults.
+type Config struct {
+	// Workers is the number of design pipelines allowed to run
+	// concurrently. 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds how many accepted designs may wait for a worker.
+	// A request arriving with the queue full fails fast with
+	// ErrOverloaded. 0 means 8× Workers.
+	QueueDepth int
+	// CacheEntries bounds the content-addressed result cache. 0 means
+	// 1024; negative disables caching (every request runs or joins an
+	// in-flight run).
+	CacheEntries int
+	// Metrics receives the service's counters and histograms. Nil means
+	// a fresh registry, retrievable via Metrics().
+	Metrics *Metrics
+}
+
+// Stats carries the per-design pipeline record sent back on the wire:
+// model size, intermediate machine sizes, and per-stage wall time.
+type Stats struct {
+	Observations      uint64      `json:"observations"`
+	DistinctHistories int         `json:"distinct_histories"`
+	CoverCubes        int         `json:"cover_cubes"`
+	NFAStates         int         `json:"nfa_states"`
+	DFAStates         int         `json:"dfa_states"`
+	MinimizedStates   int         `json:"minimized_states"`
+	Stages            []StageTime `json:"stages"`
+	ElapsedNanos      int64       `json:"elapsed_nanos"`
+}
+
+// StageTime is one pipeline stage's wall-clock duration.
+type StageTime struct {
+	Stage string `json:"stage"`
+	Nanos int64  `json:"nanos"`
+}
+
+// Result is the immutable outcome of one design: the machine in its
+// canonical JSON encoding (byte-identical across cache hits), the VHDL,
+// the estimated area, and the pipeline stats of the run that produced
+// it. Results are shared between cache readers and must not be mutated.
+type Result struct {
+	// Key is the request's content address (hex SHA-256).
+	Key string `json:"key"`
+	// Machine is the canonical JSON encoding of the predictor.
+	Machine json.RawMessage `json:"machine"`
+	// States is the final machine size.
+	States int `json:"states"`
+	// VHDL is the synthesizable entity for the machine.
+	VHDL string `json:"vhdl"`
+	// AreaGE is the estimated area in gate equivalents.
+	AreaGE float64 `json:"area_ge"`
+	// Stats records the pipeline run that produced this result.
+	Stats Stats `json:"stats"`
+}
+
+// call is one in-flight design execution that concurrent identical
+// requests join instead of re-running the pipeline (singleflight).
+type call struct {
+	key   cacheKey
+	trace *bitseq.Bits
+	opt   core.Options
+	done  chan struct{} // closed when res/err are final
+	res   *Result
+	err   error
+}
+
+// serviceMetrics resolves the service's metric handles once.
+type serviceMetrics struct {
+	designRequests *Counter // Design() calls accepted for processing
+	started        *Counter // pipeline executions begun
+	completed      *Counter // pipeline executions finished OK
+	designErrors   *Counter // pipeline executions failed
+	cacheHits      *Counter
+	cacheMisses    *Counter
+	dedupJoined    *Counter // requests that joined an in-flight run
+	shed           *Counter // requests rejected with ErrOverloaded
+	simulations    *Counter
+	designSeconds  *Histogram
+}
+
+func newServiceMetrics(m *Metrics) serviceMetrics {
+	return serviceMetrics{
+		designRequests: m.Counter("fsmpredict_design_requests_total"),
+		started:        m.Counter("fsmpredict_designs_started_total"),
+		completed:      m.Counter("fsmpredict_designs_completed_total"),
+		designErrors:   m.Counter("fsmpredict_design_errors_total"),
+		cacheHits:      m.Counter("fsmpredict_design_cache_hits_total"),
+		cacheMisses:    m.Counter("fsmpredict_design_cache_misses_total"),
+		dedupJoined:    m.Counter("fsmpredict_design_dedup_joined_total"),
+		shed:           m.Counter("fsmpredict_design_shed_total"),
+		simulations:    m.Counter("fsmpredict_simulate_requests_total"),
+		designSeconds:  m.Histogram("fsmpredict_design_seconds"),
+	}
+}
+
+// Service runs the design flow behind a cache, request deduplication and
+// a bounded worker pool. It is safe for concurrent use. Construct with
+// New and release with Close.
+type Service struct {
+	registry *Metrics
+	met      serviceMetrics
+	cache    *designCache
+	// designFn is the pipeline entry point; tests substitute it to
+	// observe and gate executions.
+	designFn func(*bitseq.Bits, core.Options) (*core.Design, error)
+
+	mu       sync.Mutex
+	closed   bool
+	inflight map[cacheKey]*call
+
+	work chan *call
+	wg   sync.WaitGroup
+}
+
+// New starts a service with cfg's worker pool and cache.
+func New(cfg Config) *Service {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 8 * cfg.Workers
+	}
+	var cache *designCache
+	if cfg.CacheEntries >= 0 {
+		if cfg.CacheEntries == 0 {
+			cfg.CacheEntries = 1024
+		}
+		cache = newDesignCache(cfg.CacheEntries)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = NewMetrics()
+	}
+	s := &Service{
+		registry: reg,
+		met:      newServiceMetrics(reg),
+		cache:    cache,
+		designFn: core.FromTrace,
+		inflight: make(map[cacheKey]*call),
+		work:     make(chan *call, cfg.QueueDepth),
+	}
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Metrics returns the registry the service reports into.
+func (s *Service) Metrics() *Metrics { return s.registry }
+
+// CacheLen reports the number of cached designs.
+func (s *Service) CacheLen() int { return s.cache.len() }
+
+// Close stops accepting work, waits for queued and running designs to
+// finish (their waiters still receive results), and releases the
+// workers. Close is idempotent.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	close(s.work)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// DesignString is Design on a textual 0/1 trace (whitespace and
+// underscores ignored, as everywhere in the module).
+func (s *Service) DesignString(ctx context.Context, trace string, opt core.Options) (*Result, bool, error) {
+	bits, err := bitseq.FromString(trace)
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	return s.Design(ctx, bits, opt)
+}
+
+// Design returns the predictor for (trace, opt), running the §4 pipeline
+// at most once per distinct request: a content-addressed cache serves
+// repeats, concurrent identical requests coalesce onto one execution,
+// and a full queue sheds the request with ErrOverloaded instead of
+// blocking. The boolean reports whether the result came from cache. The
+// context cancels the caller's wait, not the shared execution (its
+// result still lands in the cache for future requests).
+func (s *Service) Design(ctx context.Context, trace *bitseq.Bits, opt core.Options) (*Result, bool, error) {
+	if trace == nil || trace.Len() == 0 {
+		return nil, false, fmt.Errorf("%w: empty trace", ErrInvalid)
+	}
+	if err := opt.Validate(); err != nil {
+		return nil, false, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if trace.Len() <= opt.Order {
+		return nil, false, fmt.Errorf("%w: trace of %d bits is too short for order %d",
+			ErrInvalid, trace.Len(), opt.Order)
+	}
+	s.met.designRequests.Inc()
+	key := requestKey(trace, opt)
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, false, ErrClosed
+	}
+	if res, ok := s.cache.get(key); ok {
+		s.mu.Unlock()
+		s.met.cacheHits.Inc()
+		return res, true, nil
+	}
+	s.met.cacheMisses.Inc()
+	if c, ok := s.inflight[key]; ok {
+		s.mu.Unlock()
+		s.met.dedupJoined.Inc()
+		return s.wait(ctx, c)
+	}
+	c := &call{key: key, trace: trace, opt: opt, done: make(chan struct{})}
+	select {
+	case s.work <- c:
+		s.inflight[key] = c
+		s.mu.Unlock()
+	default:
+		s.mu.Unlock()
+		s.met.shed.Inc()
+		return nil, false, ErrOverloaded
+	}
+	return s.wait(ctx, c)
+}
+
+// wait blocks until the call completes or the caller's context ends.
+func (s *Service) wait(ctx context.Context, c *call) (*Result, bool, error) {
+	select {
+	case <-c.done:
+		return c.res, false, c.err
+	case <-ctx.Done():
+		return nil, false, ctx.Err()
+	}
+}
+
+// worker drains the queue until Close.
+func (s *Service) worker() {
+	defer s.wg.Done()
+	for c := range s.work {
+		s.run(c)
+	}
+}
+
+// run executes one design, publishes the result to the cache, and wakes
+// every request waiting on the call.
+func (s *Service) run(c *call) {
+	s.met.started.Inc()
+	start := time.Now()
+	opt := c.opt
+	var stages []StageTime
+	caller := opt.StageObserver
+	opt.StageObserver = func(stage string, d time.Duration) {
+		stages = append(stages, StageTime{Stage: stage, Nanos: int64(d)})
+		s.registry.Histogram("fsmpredict_stage_" + stage + "_seconds").Observe(d)
+		if caller != nil {
+			caller(stage, d)
+		}
+	}
+	c.res, c.err = s.build(c, opt, &stages, start)
+	if c.err != nil {
+		s.met.designErrors.Inc()
+	} else {
+		s.met.completed.Inc()
+	}
+	s.met.designSeconds.Observe(time.Since(start))
+
+	s.mu.Lock()
+	if c.err == nil {
+		s.cache.put(c.key, c.res)
+	}
+	delete(s.inflight, c.key)
+	s.mu.Unlock()
+	close(c.done)
+}
+
+// build runs the pipeline and assembles the immutable Result.
+func (s *Service) build(c *call, opt core.Options, stages *[]StageTime, start time.Time) (*Result, error) {
+	d, err := s.designFn(c.trace, opt)
+	if err != nil {
+		return nil, err
+	}
+	machineJSON, err := json.Marshal(d.Machine)
+	if err != nil {
+		return nil, fmt.Errorf("service: encoding machine: %v", err)
+	}
+	src, err := vhdl.Generate(d.Machine)
+	if err != nil {
+		return nil, fmt.Errorf("service: generating VHDL: %v", err)
+	}
+	area, err := vhdl.EstimateArea(d.Machine)
+	if err != nil {
+		return nil, fmt.Errorf("service: estimating area: %v", err)
+	}
+	return &Result{
+		Key:     c.key.String(),
+		Machine: machineJSON,
+		States:  d.Machine.NumStates(),
+		VHDL:    src,
+		AreaGE:  area,
+		Stats: Stats{
+			Observations:      d.Model.Total(),
+			DistinctHistories: d.Model.Distinct(),
+			CoverCubes:        len(d.Cover),
+			NFAStates:         d.NFAStates,
+			DFAStates:         d.DFAStates,
+			MinimizedStates:   d.MinimizedStates,
+			Stages:            *stages,
+			ElapsedNanos:      int64(time.Since(start)),
+		},
+	}, nil
+}
+
+// Simulate replays a trace through a machine and tallies prediction
+// correctness — the serving-side counterpart of Machine.Simulate. It
+// runs inline: simulation is a linear scan, orders of magnitude cheaper
+// than a design, so it does not compete for design workers.
+func (s *Service) Simulate(m *fsm.Machine, trace *bitseq.Bits, skip int) (fsm.SimResult, error) {
+	if m == nil {
+		return fsm.SimResult{}, fmt.Errorf("%w: missing machine", ErrInvalid)
+	}
+	if err := m.Validate(); err != nil {
+		return fsm.SimResult{}, fmt.Errorf("%w: %v", ErrInvalid, err)
+	}
+	if trace == nil || trace.Len() == 0 {
+		return fsm.SimResult{}, fmt.Errorf("%w: empty trace", ErrInvalid)
+	}
+	if skip < 0 {
+		return fsm.SimResult{}, fmt.Errorf("%w: negative skip %d", ErrInvalid, skip)
+	}
+	s.met.simulations.Inc()
+	return m.Simulate(trace.Bools(), skip), nil
+}

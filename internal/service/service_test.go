@@ -1,0 +1,441 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/fsm"
+)
+
+const paperTrace = "0000 1000 1011 1101 1110 1111"
+
+func figure1Options() core.Options { return core.Options{Order: 2} }
+
+func TestDesignPaperWorkedExample(t *testing.T) {
+	s := New(Config{Workers: 2})
+	defer s.Close()
+	res, hit, err := s.DesignString(context.Background(), paperTrace, figure1Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Error("first request reported as cache hit")
+	}
+	if res.States != 3 {
+		t.Errorf("states = %d, want the paper's 3", res.States)
+	}
+	var m fsm.Machine
+	if err := m.UnmarshalJSON(res.Machine); err != nil {
+		t.Fatalf("machine JSON invalid: %v", err)
+	}
+	if res.AreaGE <= 0 {
+		t.Errorf("area = %v, want > 0", res.AreaGE)
+	}
+	if len(res.VHDL) == 0 {
+		t.Error("empty VHDL")
+	}
+	if len(res.Stats.Stages) == 0 {
+		t.Error("no stage timings recorded")
+	}
+	if res.Stats.Observations == 0 || res.Stats.CoverCubes == 0 {
+		t.Errorf("stats not populated: %+v", res.Stats)
+	}
+
+	// Second identical request: cache hit, byte-identical machine JSON.
+	res2, hit2, err := s.DesignString(context.Background(), paperTrace, figure1Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit2 {
+		t.Error("repeat request missed the cache")
+	}
+	if !bytes.Equal(res.Machine, res2.Machine) {
+		t.Errorf("cache hit returned different machine JSON: %s vs %s", res.Machine, res2.Machine)
+	}
+	if s.met.started.Value() != 1 {
+		t.Errorf("pipeline ran %d times for identical sequential requests", s.met.started.Value())
+	}
+}
+
+func TestDesignValidation(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	ctx := context.Background()
+	cases := []struct {
+		name  string
+		trace string
+		opt   core.Options
+	}{
+		{"empty trace", "", core.Options{Order: 2}},
+		{"bad characters", "0102", core.Options{Order: 2}},
+		{"order too small", "0101", core.Options{Order: 0}},
+		{"order too large", "0101", core.Options{Order: 17}},
+		{"trace shorter than order", "0101", core.Options{Order: 8}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, _, err := s.DesignString(ctx, c.trace, c.opt)
+			if !errors.Is(err, ErrInvalid) {
+				t.Errorf("err = %v, want ErrInvalid", err)
+			}
+		})
+	}
+}
+
+// gateDesign wraps the real pipeline so tests can hold executions open
+// and count them.
+type gateDesign struct {
+	mu      sync.Mutex
+	started int64
+	release chan struct{}
+}
+
+func (g *gateDesign) fn(b *bitseq.Bits, opt core.Options) (*core.Design, error) {
+	g.mu.Lock()
+	g.started++
+	g.mu.Unlock()
+	if g.release != nil {
+		<-g.release
+	}
+	return core.FromTrace(b, opt)
+}
+
+func (g *gateDesign) count() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.started
+}
+
+// TestConcurrentIdenticalRequestsRunOnce is the dedup guarantee: many
+// goroutines asking for the same design while it is in flight must share
+// exactly one pipeline execution and one result.
+func TestConcurrentIdenticalRequestsRunOnce(t *testing.T) {
+	g := &gateDesign{release: make(chan struct{})}
+	s := New(Config{Workers: 4, QueueDepth: 64})
+	defer s.Close()
+	s.designFn = g.fn
+
+	const waiters = 16
+	var wg sync.WaitGroup
+	results := make([]*Result, waiters)
+	errs := make([]error, waiters)
+	var inFlight sync.WaitGroup
+	inFlight.Add(waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			inFlight.Done()
+			results[i], _, errs[i] = s.DesignString(context.Background(), paperTrace, figure1Options())
+		}(i)
+	}
+	// Release the single execution only after every request has had a
+	// chance to be submitted; stragglers that arrive later still join the
+	// in-flight call or hit the cache — neither re-runs the pipeline.
+	inFlight.Wait()
+	time.Sleep(10 * time.Millisecond)
+	close(g.release)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("request %d: %v", i, err)
+		}
+	}
+	if n := g.count(); n != 1 {
+		t.Errorf("pipeline executed %d times for %d identical concurrent requests", n, waiters)
+	}
+	for i := 1; i < waiters; i++ {
+		if !bytes.Equal(results[0].Machine, results[i].Machine) {
+			t.Errorf("request %d got different machine JSON", i)
+		}
+	}
+}
+
+// TestOverloadSheds is the queue-limit guarantee: once the pool and the
+// queue are saturated, a new distinct request fails fast with
+// ErrOverloaded instead of blocking.
+func TestOverloadSheds(t *testing.T) {
+	g := &gateDesign{release: make(chan struct{})}
+	s := New(Config{Workers: 1, QueueDepth: 1})
+	defer s.Close()
+	s.designFn = g.fn
+
+	traces := []string{"0000 1111 0000 1111", "0101 0101 0101 0101", "0011 0011 0011 0011", "0001 0001 0001 0001"}
+	type outcome struct {
+		i   int
+		err error
+	}
+	outcomes := make(chan outcome, len(traces))
+	var wg sync.WaitGroup
+	for i, tr := range traces {
+		wg.Add(1)
+		go func(i int, tr string) {
+			defer wg.Done()
+			_, _, err := s.DesignString(context.Background(), tr, figure1Options())
+			outcomes <- outcome{i, err}
+		}(i, tr)
+		// Give each request time to claim its slot before the next, so
+		// the saturation order is deterministic: one running, one queued,
+		// the rest shed.
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// With one worker holding one design open and one design queued, at
+	// least the fourth request must have been shed already.
+	var shedEarly int
+	deadline := time.After(2 * time.Second)
+	for shedEarly == 0 {
+		select {
+		case o := <-outcomes:
+			if !errors.Is(o.err, ErrOverloaded) {
+				t.Fatalf("request %d finished with %v while pool was blocked", o.i, o.err)
+			}
+			shedEarly++
+		case <-deadline:
+			t.Fatal("no request was shed: queue-full path is blocking")
+		}
+	}
+	if got := s.met.shed.Value(); got == 0 {
+		t.Error("shed counter not incremented")
+	}
+	close(g.release)
+	wg.Wait()
+	close(outcomes)
+	for o := range outcomes {
+		if o.err != nil && !errors.Is(o.err, ErrOverloaded) {
+			t.Errorf("request %d: %v", o.i, o.err)
+		}
+	}
+}
+
+// TestServiceStress is the acceptance stress test: 8+ goroutines fire
+// 100+ mixed requests each at a small pool. Every non-shed response must
+// be correct and byte-identical per key, identical concurrent requests
+// must coalesce, and the run must terminate (no deadlock) under -race.
+func TestServiceStress(t *testing.T) {
+	g := &gateDesign{}
+	s := New(Config{Workers: 4, QueueDepth: 256, CacheEntries: 64})
+	defer s.Close()
+	s.designFn = g.fn
+
+	// A mixed workload: 10 distinct (trace, options) requests.
+	type req struct {
+		trace string
+		opt   core.Options
+	}
+	var reqs []req
+	for i := 0; i < 5; i++ {
+		tr := fmt.Sprintf("%04b %04b 1011 1101 1110 1111", i, 15-i)
+		reqs = append(reqs, req{tr, core.Options{Order: 2}})
+		reqs = append(reqs, req{tr, core.Options{Order: 3, BiasThreshold: 0.7}})
+	}
+
+	const goroutines = 8
+	const perG = 100
+	var shed, served atomic.Int64
+	golden := make([]atomic.Pointer[Result], len(reqs))
+	var wg sync.WaitGroup
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				which := (gi + i) % len(reqs)
+				r := reqs[which]
+				res, _, err := s.DesignString(context.Background(), r.trace, r.opt)
+				if errors.Is(err, ErrOverloaded) {
+					shed.Add(1)
+					continue
+				}
+				if err != nil {
+					t.Errorf("goroutine %d request %d: %v", gi, i, err)
+					return
+				}
+				served.Add(1)
+				if prev := golden[which].Swap(res); prev != nil && !bytes.Equal(prev.Machine, res.Machine) {
+					t.Errorf("request class %d returned differing machine JSON", which)
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+
+	if served.Load() == 0 {
+		t.Fatal("no requests served")
+	}
+	// The pipeline must have run at most once per distinct request: every
+	// other request was a cache hit or joined an in-flight execution.
+	if n := g.count(); n > int64(len(reqs)) {
+		t.Errorf("pipeline executed %d times for %d distinct requests", n, len(reqs))
+	}
+	total := s.met.cacheHits.Value() + s.met.cacheMisses.Value()
+	if want := uint64(goroutines * perG); total != want {
+		t.Errorf("cache hit+miss = %d, want %d", total, want)
+	}
+	t.Logf("stress: %d served, %d shed, %d pipeline runs, %d cache hits",
+		served.Load(), shed.Load(), g.count(), s.met.cacheHits.Value())
+}
+
+func TestCacheEviction(t *testing.T) {
+	s := New(Config{Workers: 2, CacheEntries: 2})
+	defer s.Close()
+	ctx := context.Background()
+	traces := []string{"0000 1111 0101", "1111 0000 1010", "0011 1100 0110"}
+	for _, tr := range traces {
+		if _, _, err := s.DesignString(ctx, tr, figure1Options()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.CacheLen(); got != 2 {
+		t.Errorf("cache holds %d entries, want the bound 2", got)
+	}
+	// The oldest entry was evicted; re-requesting it must re-run the
+	// pipeline (a miss), while the newest is still a hit.
+	if _, hit, err := s.DesignString(ctx, traces[2], figure1Options()); err != nil || !hit {
+		t.Errorf("newest entry: hit=%v err=%v, want cache hit", hit, err)
+	}
+	if _, hit, err := s.DesignString(ctx, traces[0], figure1Options()); err != nil || hit {
+		t.Errorf("evicted entry: hit=%v err=%v, want miss", hit, err)
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	s := New(Config{Workers: 1, CacheEntries: -1})
+	defer s.Close()
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, hit, err := s.DesignString(ctx, paperTrace, figure1Options()); err != nil || hit {
+			t.Fatalf("run %d: hit=%v err=%v, want uncached success", i, hit, err)
+		}
+	}
+	if got := s.met.started.Value(); got != 2 {
+		t.Errorf("pipeline ran %d times with cache disabled, want 2", got)
+	}
+	if s.CacheLen() != 0 {
+		t.Errorf("disabled cache holds %d entries", s.CacheLen())
+	}
+}
+
+func TestRequestKeyCanonicalization(t *testing.T) {
+	a := bitseq.MustFromString("0000 1000 1011 1101")
+	b := bitseq.MustFromString("0000100010111101")
+	if requestKey(a, core.Options{Order: 2}) != requestKey(b, core.Options{Order: 2}) {
+		t.Error("whitespace changed the content address")
+	}
+	// Defaulted and explicit paper parameters share an address.
+	if requestKey(a, core.Options{Order: 2}) != requestKey(a, core.Options{Order: 2, BiasThreshold: 0.5, DontCareBudget: 0.01}) {
+		t.Error("canonical defaults not applied to the content address")
+	}
+	distinct := []core.Options{
+		{Order: 2},
+		{Order: 3},
+		{Order: 2, BiasThreshold: 0.9},
+		{Order: 2, DontCareBudget: -1},
+		{Order: 2, KeepUnseen: true},
+		{Order: 2, KeepStartup: true},
+		{Order: 2, Name: "x"},
+	}
+	seen := map[cacheKey]int{}
+	for i, opt := range distinct {
+		k := requestKey(a, opt)
+		if j, ok := seen[k]; ok {
+			t.Errorf("options %d and %d collide", j, i)
+		}
+		seen[k] = i
+	}
+	// The observer must not influence the address.
+	withObs := core.Options{Order: 2, StageObserver: func(string, time.Duration) {}}
+	if requestKey(a, withObs) != requestKey(a, core.Options{Order: 2}) {
+		t.Error("StageObserver leaked into the content address")
+	}
+}
+
+func TestContextCancellationDoesNotKillSharedRun(t *testing.T) {
+	g := &gateDesign{release: make(chan struct{})}
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	s.designFn = g.fn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, _, err := s.DesignString(ctx, paperTrace, figure1Options())
+		errc <- err
+	}()
+	// Wait until the pipeline is actually running, then abandon the wait.
+	for g.count() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	close(g.release)
+	// The abandoned execution must still complete and populate the cache.
+	deadline := time.Now().Add(2 * time.Second)
+	for s.CacheLen() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned run never reached the cache")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	res, hit, err := s.DesignString(context.Background(), paperTrace, figure1Options())
+	if err != nil || !hit {
+		t.Fatalf("hit=%v err=%v, want cache hit from abandoned run", hit, err)
+	}
+	if res.States != 3 {
+		t.Errorf("states = %d, want 3", res.States)
+	}
+}
+
+func TestDesignAfterClose(t *testing.T) {
+	s := New(Config{Workers: 1})
+	s.Close()
+	s.Close() // idempotent
+	if _, _, err := s.DesignString(context.Background(), paperTrace, figure1Options()); !errors.Is(err, ErrClosed) {
+		t.Errorf("err = %v, want ErrClosed", err)
+	}
+}
+
+func TestSimulate(t *testing.T) {
+	s := New(Config{Workers: 1})
+	defer s.Close()
+	res, _, err := s.DesignString(context.Background(), paperTrace, figure1Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m fsm.Machine
+	if err := m.UnmarshalJSON(res.Machine); err != nil {
+		t.Fatal(err)
+	}
+	sim, err := s.Simulate(&m, bitseq.MustFromString(paperTrace), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Total != 22 {
+		t.Errorf("scored %d outcomes, want 22", sim.Total)
+	}
+	if sim.Accuracy() <= 0.5 {
+		t.Errorf("designed predictor scores %.2f on its training trace", sim.Accuracy())
+	}
+	if _, err := s.Simulate(nil, bitseq.MustFromString("01"), 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("nil machine: err = %v, want ErrInvalid", err)
+	}
+	bad := &fsm.Machine{Output: []bool{false}, Next: [][2]int{{0, 5}}}
+	if _, err := s.Simulate(bad, bitseq.MustFromString("01"), 0); !errors.Is(err, ErrInvalid) {
+		t.Errorf("invalid machine: err = %v, want ErrInvalid", err)
+	}
+	if _, err := s.Simulate(&m, bitseq.MustFromString("01"), -1); !errors.Is(err, ErrInvalid) {
+		t.Errorf("negative skip: err = %v, want ErrInvalid", err)
+	}
+}

@@ -130,7 +130,38 @@ func LocalMarkov(events []BranchEvent, targets map[uint64]bool, order int) map[u
 const (
 	branchMagic = "fsmp-branch-v1"
 	loadMagic   = "fsmp-load-v1"
+	bitsMagic   = "fsmp-bits-v1"
 )
+
+// CanonicalBits renders a binary outcome sequence in its canonical byte
+// form: a versioned header carrying the exact bit count, followed by the
+// bits packed eight per byte (bit i of the sequence in bit i%8 of byte
+// i/8). Two sequences produce the same bytes iff they contain the same
+// bits in the same order, regardless of how they were built or what
+// whitespace the textual source contained — which makes the encoding a
+// sound input for content addressing (the design service hashes it to
+// key its cache). The header's length field disambiguates sequences that
+// differ only by trailing zero bits.
+func CanonicalBits(b *bitseq.Bits) []byte {
+	n := b.Len()
+	header := fmt.Sprintf("%s %d\n", bitsMagic, n)
+	out := make([]byte, len(header), len(header)+(n+7)/8)
+	copy(out, header)
+	var cur byte
+	for i := 0; i < n; i++ {
+		if b.At(i) {
+			cur |= 1 << uint(i%8)
+		}
+		if i%8 == 7 {
+			out = append(out, cur)
+			cur = 0
+		}
+	}
+	if n%8 != 0 {
+		out = append(out, cur)
+	}
+	return out
+}
 
 // WriteBranches streams the trace in a compact binary form: a magic
 // header, the event count, then per event a uvarint PC and a direction

@@ -203,3 +203,36 @@ func TestEmptyTraces(t *testing.T) {
 		t.Fatalf("empty round trip: %v, %v", got, err)
 	}
 }
+
+func TestCanonicalBits(t *testing.T) {
+	// Construction route and source formatting must not matter.
+	a := bitseq.MustFromString("0000 1000_1011 1101")
+	b := bitseq.FromBools(a.Bools())
+	ca, cb := CanonicalBits(a), CanonicalBits(b)
+	if !bytes.Equal(ca, cb) {
+		t.Errorf("same bits, different canonical form: %q vs %q", ca, cb)
+	}
+	if !bytes.HasPrefix(ca, []byte("fsmp-bits-v1 16\n")) {
+		t.Errorf("bad header: %q", ca)
+	}
+
+	// Different content, lengths, and trailing zeros must all be distinct.
+	distinct := []string{
+		"", "0", "1", "00", "01", "10", "0000", "00000000", "000000000",
+		"0000 1000 1011 1101", "0000 1000 1011 1100", "1111 1111",
+	}
+	seen := map[string]string{}
+	for _, s := range distinct {
+		key := string(CanonicalBits(bitseq.MustFromString(s)))
+		if prev, ok := seen[key]; ok {
+			t.Errorf("traces %q and %q share canonical form %q", prev, s, key)
+		}
+		seen[key] = s
+	}
+
+	// Packing is LSB-first within each byte: "1000 0000" -> 0x01.
+	c := CanonicalBits(bitseq.MustFromString("1000 0000"))
+	if payload := c[len(c)-1]; payload != 0x01 {
+		t.Errorf("payload byte = %#x, want 0x01", payload)
+	}
+}
