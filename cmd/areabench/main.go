@@ -24,21 +24,26 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		sample = flag.Float64("sample", 1.0, "fraction of generated machines to synthesize")
-		events = flag.Int("n", 250_000, "branch events per benchmark")
-		csv    = flag.Bool("csv", false, "emit CSV points instead of a table")
+		sample  = flag.Float64("sample", 1.0, "fraction of generated machines to synthesize")
+		events  = flag.Int("n", 250_000, "branch events per benchmark")
+		csv     = flag.Bool("csv", false, "emit CSV points instead of a table")
+		workers = flag.Int("workers", 0, "parallel design/synthesis workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	if *sample <= 0 || *sample > 1 {
 		cliutil.BadUsage("areabench: -sample %v out of range (0,1]", *sample)
 	}
 	cliutil.CheckPositive("n", *events)
+	if *workers < 0 {
+		cliutil.BadUsage("areabench: -workers must be >= 0, got %d", *workers)
+	}
 	if flag.NArg() > 0 {
 		cliutil.BadUsage("areabench: unexpected arguments %v", flag.Args())
 	}
 
 	cfg := experiments.DefaultConfig()
 	cfg.BranchEvents = *events
+	cfg.Workers = *workers
 
 	res, err := experiments.Figure4(cfg, *sample)
 	if err != nil {

@@ -24,15 +24,19 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		prog   = flag.String("prog", "", "single benchmark (default: all six)")
-		events = flag.Int("n", 250_000, "branch events per trace")
-		csv    = flag.Bool("csv", false, "emit CSV series instead of tables")
-		ppm    = flag.Bool("ppm", false, "also run the Chen et al. PPM baseline (§3.2)")
+		prog    = flag.String("prog", "", "single benchmark (default: all six)")
+		events  = flag.Int("n", 250_000, "branch events per trace")
+		csv     = flag.Bool("csv", false, "emit CSV series instead of tables")
+		ppm     = flag.Bool("ppm", false, "also run the Chen et al. PPM baseline (§3.2)")
+		workers = flag.Int("workers", 0, "parallel design/simulation workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	cliutil.CheckPositive("n", *events)
 	if *prog != "" {
 		cliutil.CheckOneOf("prog", *prog, "compress", "gs", "gsm", "g721", "ijpeg", "vortex")
+	}
+	if *workers < 0 {
+		cliutil.BadUsage("branchbench: -workers must be >= 0, got %d", *workers)
 	}
 	if flag.NArg() > 0 {
 		cliutil.BadUsage("branchbench: unexpected arguments %v", flag.Args())
@@ -40,6 +44,7 @@ func main() {
 
 	cfg := experiments.DefaultConfig()
 	cfg.BranchEvents = *events
+	cfg.Workers = *workers
 
 	// One shared Figure 4 area model, as in the paper.
 	f4, err := experiments.Figure4(cfg, 1.0)

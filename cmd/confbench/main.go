@@ -24,14 +24,18 @@ import (
 func main() {
 	log.SetFlags(0)
 	var (
-		prog   = flag.String("prog", "", "single program (default: all five)")
-		events = flag.Int("n", 120_000, "load events per program")
-		csv    = flag.Bool("csv", false, "emit CSV series instead of tables")
+		prog    = flag.String("prog", "", "single program (default: all five)")
+		events  = flag.Int("n", 120_000, "load events per program")
+		csv     = flag.Bool("csv", false, "emit CSV series instead of tables")
+		workers = flag.Int("workers", 0, "parallel design/simulation workers (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 	cliutil.CheckPositive("n", *events)
 	if *prog != "" {
 		cliutil.CheckOneOf("prog", *prog, "gcc", "go", "groff", "li", "perl")
+	}
+	if *workers < 0 {
+		cliutil.BadUsage("confbench: -workers must be >= 0, got %d", *workers)
 	}
 	if flag.NArg() > 0 {
 		cliutil.BadUsage("confbench: unexpected arguments %v", flag.Args())
@@ -39,6 +43,7 @@ func main() {
 
 	cfg := experiments.DefaultConfig()
 	cfg.LoadEvents = *events
+	cfg.Workers = *workers
 
 	programs := []string{"gcc", "go", "groff", "li", "perl"}
 	if *prog != "" {

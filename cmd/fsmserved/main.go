@@ -14,6 +14,10 @@
 //	GET  /healthz
 //	GET  /metrics
 //
+// Passing -pprof host:port additionally serves the net/http/pprof
+// endpoints (/debug/pprof/...) on that address, on a mux separate from the
+// public listener so profiling is never exposed to API clients.
+//
 // The daemon exits cleanly on SIGINT/SIGTERM, draining in-flight
 // requests first. Each request is bounded by -timeout.
 package main
@@ -25,6 +29,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,15 +39,39 @@ import (
 	"fsmpredict/internal/service"
 )
 
+// pprofServer serves the runtime profiling endpoints on their own mux and
+// listener, keeping /debug/pprof off the public API surface. It returns
+// the bound address (useful with port 0).
+func pprofServer(addr string) (net.Addr, error) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("pprof server: %v", err)
+		}
+	}()
+	return ln.Addr(), nil
+}
+
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fsmserved: ")
 	var (
-		addr    = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		workers = flag.Int("workers", 0, "concurrent design pipelines (0 = GOMAXPROCS)")
-		queue   = flag.Int("queue", 0, "design queue depth before shedding load (0 = 8x workers)")
-		cache   = flag.Int("cache", 0, "design cache entries (0 = 1024, negative disables)")
-		timeout = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers   = flag.Int("workers", 0, "concurrent design pipelines (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "design queue depth before shedding load (0 = 8x workers)")
+		cache     = flag.Int("cache", 0, "design cache entries (0 = 1024, negative disables)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty disables)")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -56,6 +85,14 @@ func main() {
 	}
 	if flag.NArg() > 0 {
 		cliutil.BadUsage("fsmserved: unexpected arguments %v", flag.Args())
+	}
+
+	if *pprofAddr != "" {
+		pa, err := pprofServer(*pprofAddr)
+		if err != nil {
+			log.Fatalf("pprof listener: %v", err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", pa)
 	}
 
 	svc := service.New(service.Config{

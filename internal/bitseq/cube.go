@@ -172,6 +172,33 @@ func (c Cube) Minterms() []uint32 {
 	return out
 }
 
+// EachMinterm calls fn for every history the cube matches, in ascending
+// order, stopping early (and returning false) if fn returns false. It is
+// the allocation-free counterpart of Minterms for hot paths that only
+// need to scan.
+func (c Cube) EachMinterm(fn func(m uint32) bool) bool {
+	mask := uint32(1)<<uint(c.Width) - 1
+	freeMask := mask &^ c.Care
+	count := uint32(1) << uint(c.FreeCount())
+	for k := uint32(0); k < count; k++ {
+		// Deposit k's bits into the free positions, lowest first; the
+		// mapping is monotonic, so enumeration is ascending.
+		h := c.Value
+		rem := freeMask
+		for kk := k; kk != 0; kk >>= 1 {
+			pos := rem & -rem // lowest remaining free position
+			rem &^= pos
+			if kk&1 == 1 {
+				h |= pos
+			}
+		}
+		if !fn(h) {
+			return false
+		}
+	}
+	return true
+}
+
 // Combine attempts the Quine–McCluskey merge: if c and d constrain the same
 // positions and differ in exactly one bit value, the merged cube with that
 // bit freed is returned.

@@ -304,12 +304,12 @@ func (l *LGC) Area() float64 {
 // --- customized architecture ---
 
 // CustomEntry is one hard-wired predictor slot: a branch address tag and
-// a custom FSM (Figure 3).
+// a custom FSM (Figure 3). Entries carry no mutable simulation state, so
+// one trained entry set can back many Custom instances simulating
+// concurrently (the Figure 5 area sweep fans out one instance per point).
 type CustomEntry struct {
 	Tag     uint64
 	Machine *fsm.Machine
-
-	runner *fsm.Runner
 }
 
 // Custom is the paper's customized branch architecture: the XScale
@@ -319,7 +319,9 @@ type CustomEntry struct {
 type Custom struct {
 	base    *XScale
 	entries []*CustomEntry
-	byTag   map[uint64]*CustomEntry
+	// runners[i] is this instance's execution state for entries[i].
+	runners []*fsm.Runner
+	byTag   map[uint64]int // entry tag -> slot index
 	// FSMArea estimates a machine's area from its state count; Figure 5
 	// uses the linear model fitted in Figure 4. The default charges
 	// nothing, so callers supply the fitted model for area studies.
@@ -335,13 +337,14 @@ type Custom struct {
 // NewCustom assembles the architecture from per-branch machines.
 func NewCustom(entries []*CustomEntry) *Custom {
 	c := &Custom{
-		base:  NewXScale(),
-		byTag: make(map[uint64]*CustomEntry, len(entries)),
+		base:    NewXScale(),
+		entries: append([]*CustomEntry(nil), entries...),
+		runners: make([]*fsm.Runner, len(entries)),
+		byTag:   make(map[uint64]int, len(entries)),
 	}
-	for _, e := range entries {
-		e.runner = e.Machine.NewRunner()
-		c.entries = append(c.entries, e)
-		c.byTag[e.Tag] = e
+	for i, e := range c.entries {
+		c.runners[i] = e.Machine.NewRunner()
+		c.byTag[e.Tag] = i
 	}
 	return c
 }
@@ -351,8 +354,8 @@ func (c *Custom) Name() string { return fmt.Sprintf("custom-%d", len(c.entries))
 
 // Predict uses the custom FSM on a tag match, otherwise the XScale base.
 func (c *Custom) Predict(pc uint64) bool {
-	if e, ok := c.byTag[pc]; ok {
-		return e.runner.Predict()
+	if i, ok := c.byTag[pc]; ok {
+		return c.runners[i].Predict()
 	}
 	return c.base.Predict(pc)
 }
@@ -361,12 +364,12 @@ func (c *Custom) Predict(pc uint64) bool {
 // policy) and trains the base predictor.
 func (c *Custom) Update(pc uint64, taken bool) {
 	if c.UpdateMatchedOnly {
-		if e, ok := c.byTag[pc]; ok {
-			e.runner.Update(taken)
+		if i, ok := c.byTag[pc]; ok {
+			c.runners[i].Update(taken)
 		}
 	} else {
-		for _, e := range c.entries {
-			e.runner.Update(taken)
+		for _, r := range c.runners {
+			r.Update(taken)
 		}
 	}
 	c.base.Update(pc, taken)

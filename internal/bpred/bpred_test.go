@@ -2,6 +2,7 @@ package bpred
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"fsmpredict/internal/fsm"
@@ -261,5 +262,39 @@ func TestResultMissRate(t *testing.T) {
 	}
 	if (Result{Total: 10, Misses: 3}).MissRate() != 0.3 {
 		t.Error("miss rate arithmetic wrong")
+	}
+}
+
+// TestTrainCustomParallelDeterministic pins the fan-out guarantee: the
+// designed entry set must be bit-identical for any worker count, since
+// per-branch designs are independent and ordered by rank.
+func TestTrainCustomParallelDeterministic(t *testing.T) {
+	prog, _ := workload.ByName("vortex")
+	train := prog.Generate(workload.Train, 80000)
+
+	var covers [][]*CustomEntry
+	for _, workers := range []int{1, 4, 0} {
+		entries, err := TrainCustom(train, TrainOptions{
+			MaxEntries: 6, Order: 9, MinExecutions: 64, Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		covers = append(covers, entries)
+	}
+	want := covers[0]
+	for i, got := range covers[1:] {
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d entries, want %d", i+1, len(got), len(want))
+		}
+		for j := range want {
+			if got[j].Tag != want[j].Tag {
+				t.Fatalf("run %d entry %d: tag %#x, want %#x", i+1, j, got[j].Tag, want[j].Tag)
+			}
+			if !reflect.DeepEqual(got[j].Machine, want[j].Machine) {
+				t.Fatalf("run %d entry %d (%#x): machines differ:\n%v\n%v",
+					i+1, j, got[j].Tag, got[j].Machine, want[j].Machine)
+			}
+		}
 	}
 }

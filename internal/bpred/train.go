@@ -1,10 +1,12 @@
 package bpred
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"fsmpredict/internal/core"
+	"fsmpredict/internal/par"
 	"fsmpredict/internal/trace"
 )
 
@@ -21,6 +23,10 @@ type TrainOptions struct {
 	// MinExecutions skips branches executed fewer times in the profile,
 	// avoiding machines built from statistically meaningless models.
 	MinExecutions int
+	// Workers bounds how many per-branch designs run concurrently; each
+	// branch's design is independent, so the batch parallelizes freely.
+	// 0 means GOMAXPROCS; the result is bit-identical for any value.
+	Workers int
 }
 
 // DefaultTrainOptions mirror the paper's setup.
@@ -94,16 +100,18 @@ func TrainCustom(events []trace.BranchEvent, opt TrainOptions) ([]*CustomEntry, 
 	}
 	models := trace.GlobalMarkov(events, targets, opt.Order)
 
-	entries := make([]*CustomEntry, 0, len(chosen))
-	for _, r := range chosen {
-		design, err := core.FromModel(models[r.PC], core.Options{
-			DontCareBudget: opt.DontCareBudget,
-			Name:           fmt.Sprintf("branch_%#x", r.PC),
+	// Each branch's design is an independent run of the §4 pipeline, so
+	// the batch fans out across workers; output order follows rank order
+	// regardless of scheduling.
+	return par.MapSlice(context.Background(), opt.Workers, chosen,
+		func(_ int, r Ranked) (*CustomEntry, error) {
+			design, err := core.FromModel(models[r.PC], core.Options{
+				DontCareBudget: opt.DontCareBudget,
+				Name:           fmt.Sprintf("branch_%#x", r.PC),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("bpred: designing FSM for %#x: %v", r.PC, err)
+			}
+			return &CustomEntry{Tag: r.PC, Machine: design.Machine}, nil
 		})
-		if err != nil {
-			return nil, fmt.Errorf("bpred: designing FSM for %#x: %v", r.PC, err)
-		}
-		entries = append(entries, &CustomEntry{Tag: r.PC, Machine: design.Machine})
-	}
-	return entries, nil
 }

@@ -3,14 +3,19 @@
 // from an NFA, Hopcroft's partition-refinement minimization, and
 // start-state (transient state) reduction, which removes the states only
 // used while the input history is still undefined.
+//
+// The kernels run on dense bitsets (bitseq.Set) rather than map-of-int
+// sets: subsets are interned by their packed-word key, the Hopcroft
+// splitter sets are word-wise unions, and the recurrent-state iteration
+// unions whole sets at once. The original map-based implementations are
+// kept in the package tests as differential oracles.
 package dfa
 
 import (
 	"fmt"
 	"sort"
-	"strconv"
-	"strings"
 
+	"fsmpredict/internal/bitseq"
 	"fsmpredict/internal/nfa"
 )
 
@@ -74,54 +79,66 @@ func (d *DFA) Step(s int, bit bool) int {
 }
 
 // FromNFA performs subset construction. The resulting DFA is complete: a
-// dead state is materialized if some subset has no successor.
+// dead state is materialized if some subset has no successor. Subsets are
+// bitsets over the NFA states, interned by their packed-word key; the
+// ε-closure runs in place on the bitset with a reused stack.
 func FromNFA(m *nfa.NFA) *DFA {
+	nn := m.NumStates()
 	d := &DFA{}
 	ids := map[string]int{}
+	var sets []*bitseq.Set
 
-	key := func(set []int) string {
-		var sb strings.Builder
-		for i, s := range set {
-			if i > 0 {
-				sb.WriteByte(',')
+	stack := make([]int, 0, nn)
+	// closure expands s in place with everything ε-reachable.
+	closure := func(s *bitseq.Set) {
+		stack = stack[:0]
+		s.ForEach(func(u int) { stack = append(stack, u) })
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, t := range m.Eps[u] {
+				if !s.Has(t) {
+					s.Add(t)
+					stack = append(stack, t)
+				}
 			}
-			sb.WriteString(strconv.Itoa(s))
 		}
-		return sb.String()
 	}
-	accepts := func(set []int) bool {
-		for _, s := range set {
-			if s == m.Accept {
-				return true
-			}
-		}
-		return false
-	}
-
-	var sets [][]int
-	intern := func(set []int) int {
-		k := key(set)
+	intern := func(s *bitseq.Set) int {
+		k := s.Key()
 		if id, ok := ids[k]; ok {
 			return id
 		}
 		id := len(sets)
 		ids[k] = id
-		sets = append(sets, set)
+		sets = append(sets, s.Clone())
 		d.Next = append(d.Next, [2]int{})
-		d.Accept = append(d.Accept, accepts(set))
+		d.Accept = append(d.Accept, s.Has(m.Accept))
 		return id
 	}
 
-	start := intern(m.EpsilonClosure([]int{m.Start}))
-	d.Start = start
-	for work := []int{start}; len(work) > 0; {
+	cur := bitseq.NewSet(nn)
+	cur.Add(m.Start)
+	closure(cur)
+	d.Start = intern(cur)
+	for work := []int{d.Start}; len(work) > 0; {
 		id := work[0]
 		work = work[1:]
 		set := sets[id]
 		for b := 0; b < 2; b++ {
-			succ := m.EpsilonClosure(m.Move(set, b == 1))
+			table := m.On0
+			if b == 1 {
+				table = m.On1
+			}
+			cur.Reset(nn)
+			set.ForEach(func(u int) {
+				for _, t := range table[u] {
+					cur.Add(t)
+				}
+			})
+			closure(cur)
 			before := len(sets)
-			sid := intern(succ)
+			sid := intern(cur)
 			if sid == before {
 				work = append(work, sid)
 			}
@@ -177,7 +194,9 @@ func (d *DFA) Minimize() *DFA {
 	t := d.trimUnreachable()
 	n := t.NumStates()
 
-	// Initial partition: accepting vs non-accepting.
+	// Initial partition: accepting vs non-accepting. Blocks hold their
+	// states in ascending order (splits preserve it), so blocks[i][0] is
+	// the block minimum used for the final canonical ordering.
 	block := make([]int, n)
 	var blocks [][]int
 	var accSt, rejSt []int
@@ -215,15 +234,17 @@ func (d *DFA) Minimize() *DFA {
 		}
 	}
 
-	// Worklist of (block id, symbol).
+	// Worklist of (block id, symbol); membership tracked per symbol in a
+	// dense array (block ids never exceed the state count).
 	type work struct{ blk, sym int }
 	var wl []work
-	inWL := map[work]bool{}
+	var inWL [2][]bool
+	inWL[0] = make([]bool, n)
+	inWL[1] = make([]bool, n)
 	push := func(blk, sym int) {
-		w := work{blk, sym}
-		if !inWL[w] {
-			inWL[w] = true
-			wl = append(wl, w)
+		if !inWL[sym][blk] {
+			inWL[sym][blk] = true
+			wl = append(wl, work{blk, sym})
 		}
 	}
 	for b := range blocks {
@@ -231,37 +252,36 @@ func (d *DFA) Minimize() *DFA {
 		push(b, 1)
 	}
 
+	inX := bitseq.NewSet(n)     // states with a w.sym-edge into w.blk
+	touched := bitseq.NewSet(n) // block ids crossed by inX
 	for len(wl) > 0 {
 		w := wl[len(wl)-1]
 		wl = wl[:len(wl)-1]
-		inWL[w] = false
+		inWL[w.sym][w.blk] = false
 
-		// X = states with a transition on w.sym into block w.blk.
-		inX := map[int]bool{}
+		inX.Reset(n)
 		for _, s := range blocks[w.blk] {
 			for _, p := range rev[w.sym][s] {
-				inX[p] = true
+				inX.Add(p)
 			}
 		}
-		if len(inX) == 0 {
+		if inX.Empty() {
 			continue
 		}
-		// Split every block crossed by X.
-		touched := map[int]bool{}
-		for p := range inX {
-			touched[block[p]] = true
-		}
-		for blk := range touched {
+		// Split every block crossed by inX.
+		touched.Reset(n)
+		inX.ForEach(func(p int) { touched.Add(block[p]) })
+		touched.ForEach(func(blk int) {
 			var inside, outside []int
 			for _, s := range blocks[blk] {
-				if inX[s] {
+				if inX.Has(s) {
 					inside = append(inside, s)
 				} else {
 					outside = append(outside, s)
 				}
 			}
 			if len(inside) == 0 || len(outside) == 0 {
-				continue
+				return
 			}
 			// Keep the larger part in place, move the smaller to a new
 			// block (Hopcroft's trick).
@@ -276,12 +296,12 @@ func (d *DFA) Minimize() *DFA {
 			for sym := 0; sym < 2; sym++ {
 				push(newID, sym)
 			}
-		}
+		})
 	}
 
-	// Build the quotient automaton.
+	// Build the quotient automaton, blocks ordered by their least state.
 	sort.Slice(blocks, func(i, j int) bool {
-		return minOf(blocks[i]) < minOf(blocks[j])
+		return blocks[i][0] < blocks[j][0]
 	})
 	for id, states := range blocks {
 		for _, s := range states {
@@ -302,66 +322,37 @@ func (d *DFA) Minimize() *DFA {
 	return out.trimUnreachable()
 }
 
-func minOf(xs []int) int {
-	m := xs[0]
-	for _, x := range xs[1:] {
-		if x < m {
-			m = x
-		}
-	}
-	return m
-}
-
 // RecurrentStates returns the steady-state set of §4.7: the states the
 // machine can occupy after arbitrarily many inputs. It iterates the image
 // of the reachable set until the set sequence cycles and returns the union
-// over the cycle.
+// over the cycle. Sets are bitsets keyed by their packed words, so one
+// iteration is two table lookups per member and the cycle union is a
+// word-wise OR.
 func (d *DFA) RecurrentStates() []int {
-	cur := map[int]bool{d.Start: true}
+	n := len(d.Next)
+	cur := bitseq.NewSet(n)
+	cur.Add(d.Start)
 	seen := map[string]int{}
-	var history []map[int]bool
+	var history []*bitseq.Set
 	for {
-		k := setKey(cur)
+		k := cur.Key()
 		if at, ok := seen[k]; ok {
 			// Union of the cycle's sets.
-			union := map[int]bool{}
+			union := bitseq.NewSet(n)
 			for _, set := range history[at:] {
-				for s := range set {
-					union[s] = true
-				}
+				union.UnionWith(set)
 			}
-			out := make([]int, 0, len(union))
-			for s := range union {
-				out = append(out, s)
-			}
-			sort.Ints(out)
-			return out
+			return union.AppendTo(make([]int, 0, union.Len()))
 		}
 		seen[k] = len(history)
 		history = append(history, cur)
-		next := map[int]bool{}
-		for s := range cur {
-			next[d.Next[s][0]] = true
-			next[d.Next[s][1]] = true
-		}
+		next := bitseq.NewSet(n)
+		cur.ForEach(func(s int) {
+			next.Add(d.Next[s][0])
+			next.Add(d.Next[s][1])
+		})
 		cur = next
 	}
-}
-
-func setKey(set map[int]bool) string {
-	xs := make([]int, 0, len(set))
-	for s := range set {
-		xs = append(xs, s)
-	}
-	sort.Ints(xs)
-	var sb strings.Builder
-	for i, s := range xs {
-		if i > 0 {
-			sb.WriteByte(',')
-		}
-		sb.WriteString(strconv.Itoa(s))
-	}
-	return sb.String()
 }
 
 // TrimStartup performs the start-state reduction of §4.7: it restricts the
@@ -370,25 +361,27 @@ func setKey(set map[int]bool) string {
 // first), then renumbers canonically. The steady-state behaviour — the
 // output after any sufficiently long input — is unchanged.
 func (d *DFA) TrimStartup() *DFA {
-	rec := map[int]bool{}
+	n := len(d.Next)
+	rec := bitseq.NewSet(n)
 	for _, s := range d.RecurrentStates() {
-		rec[s] = true
+		rec.Add(s)
 	}
 	// BFS from the old start to find the nearest recurrent state.
 	start := -1
-	visited := map[int]bool{d.Start: true}
+	visited := bitseq.NewSet(n)
+	visited.Add(d.Start)
 	queue := []int{d.Start}
 	for len(queue) > 0 {
 		s := queue[0]
 		queue = queue[1:]
-		if rec[s] {
+		if rec.Has(s) {
 			start = s
 			break
 		}
 		for b := 0; b < 2; b++ {
 			t := d.Next[s][b]
-			if !visited[t] {
-				visited[t] = true
+			if !visited.Has(t) {
+				visited.Add(t)
 				queue = append(queue, t)
 			}
 		}
@@ -402,12 +395,13 @@ func (d *DFA) TrimStartup() *DFA {
 }
 
 // Equal reports whether two automata accept exactly the same language from
-// their start states, via product-construction BFS.
+// their start states, via product-construction BFS over a dense pair set.
 func Equal(a, b *DFA) bool {
+	na, nb := len(a.Next), len(b.Next)
+	seen := bitseq.NewSet(na * nb)
 	type pair struct{ x, y int }
-	seen := map[pair]bool{}
 	queue := []pair{{a.Start, b.Start}}
-	seen[queue[0]] = true
+	seen.Add(a.Start*nb + b.Start)
 	for len(queue) > 0 {
 		p := queue[0]
 		queue = queue[1:]
@@ -415,10 +409,10 @@ func Equal(a, b *DFA) bool {
 			return false
 		}
 		for bit := 0; bit < 2; bit++ {
-			n := pair{a.Next[p.x][bit], b.Next[p.y][bit]}
-			if !seen[n] {
-				seen[n] = true
-				queue = append(queue, n)
+			nx, ny := a.Next[p.x][bit], b.Next[p.y][bit]
+			if id := nx*nb + ny; !seen.Has(id) {
+				seen.Add(id)
+				queue = append(queue, pair{nx, ny})
 			}
 		}
 	}

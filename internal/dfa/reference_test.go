@@ -1,0 +1,342 @@
+package dfa
+
+// The original map-of-int-set kernels, kept verbatim as differential
+// oracles for the dense-bitset rewrite in dfa.go. They must produce
+// bit-for-bit identical automata — not just isomorphic ones — because the
+// designed machines are part of the repo's golden outputs.
+
+import (
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"fsmpredict/internal/nfa"
+)
+
+// fromNFARef is the pre-bitset subset construction.
+func fromNFARef(m *nfa.NFA) *DFA {
+	d := &DFA{}
+	ids := map[string]int{}
+
+	key := func(set []int) string {
+		var sb strings.Builder
+		for i, s := range set {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(s))
+		}
+		return sb.String()
+	}
+	accepts := func(set []int) bool {
+		for _, s := range set {
+			if s == m.Accept {
+				return true
+			}
+		}
+		return false
+	}
+
+	var sets [][]int
+	intern := func(set []int) int {
+		k := key(set)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := len(sets)
+		ids[k] = id
+		sets = append(sets, set)
+		d.Next = append(d.Next, [2]int{})
+		d.Accept = append(d.Accept, accepts(set))
+		return id
+	}
+
+	start := intern(m.EpsilonClosure([]int{m.Start}))
+	d.Start = start
+	for work := []int{start}; len(work) > 0; {
+		id := work[0]
+		work = work[1:]
+		set := sets[id]
+		for b := 0; b < 2; b++ {
+			succ := m.EpsilonClosure(m.Move(set, b == 1))
+			before := len(sets)
+			sid := intern(succ)
+			if sid == before {
+				work = append(work, sid)
+			}
+			d.Next[id][b] = sid
+		}
+	}
+	return d
+}
+
+// minimizeRef is the pre-bitset Hopcroft minimization.
+func minimizeRef(d *DFA) *DFA {
+	t := d.trimUnreachable()
+	n := t.NumStates()
+
+	block := make([]int, n)
+	var blocks [][]int
+	var accSt, rejSt []int
+	for s := 0; s < n; s++ {
+		if t.Accept[s] {
+			accSt = append(accSt, s)
+		} else {
+			rejSt = append(rejSt, s)
+		}
+	}
+	addBlock := func(states []int) int {
+		id := len(blocks)
+		blocks = append(blocks, states)
+		for _, s := range states {
+			block[s] = id
+		}
+		return id
+	}
+	if len(rejSt) > 0 {
+		addBlock(rejSt)
+	}
+	if len(accSt) > 0 {
+		addBlock(accSt)
+	}
+
+	var rev [2][][]int
+	for b := 0; b < 2; b++ {
+		rev[b] = make([][]int, n)
+	}
+	for s := 0; s < n; s++ {
+		for b := 0; b < 2; b++ {
+			tgt := t.Next[s][b]
+			rev[b][tgt] = append(rev[b][tgt], s)
+		}
+	}
+
+	type work struct{ blk, sym int }
+	var wl []work
+	inWL := map[work]bool{}
+	push := func(blk, sym int) {
+		w := work{blk, sym}
+		if !inWL[w] {
+			inWL[w] = true
+			wl = append(wl, w)
+		}
+	}
+	for b := range blocks {
+		push(b, 0)
+		push(b, 1)
+	}
+
+	for len(wl) > 0 {
+		w := wl[len(wl)-1]
+		wl = wl[:len(wl)-1]
+		inWL[w] = false
+
+		inX := map[int]bool{}
+		for _, s := range blocks[w.blk] {
+			for _, p := range rev[w.sym][s] {
+				inX[p] = true
+			}
+		}
+		if len(inX) == 0 {
+			continue
+		}
+		touched := map[int]bool{}
+		for p := range inX {
+			touched[block[p]] = true
+		}
+		for blk := range touched {
+			var inside, outside []int
+			for _, s := range blocks[blk] {
+				if inX[s] {
+					inside = append(inside, s)
+				} else {
+					outside = append(outside, s)
+				}
+			}
+			if len(inside) == 0 || len(outside) == 0 {
+				continue
+			}
+			small, large := inside, outside
+			if len(small) > len(large) {
+				small, large = large, small
+			}
+			blocks[blk] = large
+			newID := addBlock(small)
+			for sym := 0; sym < 2; sym++ {
+				push(newID, sym)
+			}
+		}
+	}
+
+	minOf := func(xs []int) int {
+		m := xs[0]
+		for _, x := range xs[1:] {
+			if x < m {
+				m = x
+			}
+		}
+		return m
+	}
+	sort.Slice(blocks, func(i, j int) bool {
+		return minOf(blocks[i]) < minOf(blocks[j])
+	})
+	for id, states := range blocks {
+		for _, s := range states {
+			block[s] = id
+		}
+	}
+	out := &DFA{
+		Next:   make([][2]int, len(blocks)),
+		Accept: make([]bool, len(blocks)),
+		Start:  block[t.Start],
+	}
+	for id, states := range blocks {
+		rep := states[0]
+		out.Accept[id] = t.Accept[rep]
+		out.Next[id][0] = block[t.Next[rep][0]]
+		out.Next[id][1] = block[t.Next[rep][1]]
+	}
+	return out.trimUnreachable()
+}
+
+// recurrentStatesRef is the pre-bitset steady-state search.
+func recurrentStatesRef(d *DFA) []int {
+	setKey := func(set map[int]bool) string {
+		xs := make([]int, 0, len(set))
+		for s := range set {
+			xs = append(xs, s)
+		}
+		sort.Ints(xs)
+		var sb strings.Builder
+		for i, s := range xs {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(strconv.Itoa(s))
+		}
+		return sb.String()
+	}
+
+	cur := map[int]bool{d.Start: true}
+	seen := map[string]int{}
+	var history []map[int]bool
+	for {
+		k := setKey(cur)
+		if at, ok := seen[k]; ok {
+			union := map[int]bool{}
+			for _, set := range history[at:] {
+				for s := range set {
+					union[s] = true
+				}
+			}
+			out := make([]int, 0, len(union))
+			for s := range union {
+				out = append(out, s)
+			}
+			sort.Ints(out)
+			return out
+		}
+		seen[k] = len(history)
+		history = append(history, cur)
+		next := map[int]bool{}
+		for s := range cur {
+			next[d.Next[s][0]] = true
+			next[d.Next[s][1]] = true
+		}
+		cur = next
+	}
+}
+
+// randomNFA builds a random ε-NFA with n states and a sprinkling of 0-, 1-
+// and ε-edges, dense enough that subsets overlap and closures chain.
+func randomNFA(rng *rand.Rand, n int) *nfa.NFA {
+	m := &nfa.NFA{
+		On0:    make([][]int, n),
+		On1:    make([][]int, n),
+		Eps:    make([][]int, n),
+		Start:  rng.Intn(n),
+		Accept: rng.Intn(n),
+	}
+	edges := 2*n + rng.Intn(3*n)
+	for e := 0; e < edges; e++ {
+		from, to := rng.Intn(n), rng.Intn(n)
+		switch rng.Intn(3) {
+		case 0:
+			m.On0[from] = append(m.On0[from], to)
+		case 1:
+			m.On1[from] = append(m.On1[from], to)
+		default:
+			m.Eps[from] = append(m.Eps[from], to)
+		}
+	}
+	return m
+}
+
+func sameDFA(a, b *DFA) bool {
+	if len(a.Next) != len(b.Next) || a.Start != b.Start {
+		return false
+	}
+	for s := range a.Next {
+		if a.Next[s] != b.Next[s] || a.Accept[s] != b.Accept[s] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestFromNFADifferential checks the bitset subset construction produces
+// byte-identical automata to the map-based oracle on random NFAs.
+func TestFromNFADifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 300; round++ {
+		m := randomNFA(rng, 2+rng.Intn(30))
+		got := FromNFA(m)
+		want := fromNFARef(m)
+		if !sameDFA(got, want) {
+			t.Fatalf("round %d: FromNFA diverges from reference\ngot  start=%d next=%v acc=%v\nwant start=%d next=%v acc=%v",
+				round, got.Start, got.Next, got.Accept, want.Start, want.Next, want.Accept)
+		}
+	}
+}
+
+// TestMinimizeDifferential checks the dense Hopcroft kernel against the
+// map-based oracle, including the full FromNFA → Minimize chain.
+func TestMinimizeDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 300; round++ {
+		d := FromNFA(randomNFA(rng, 2+rng.Intn(30)))
+		got := d.Minimize()
+		want := minimizeRef(d)
+		if !sameDFA(got, want) {
+			t.Fatalf("round %d: Minimize diverges from reference\ngot  start=%d next=%v acc=%v\nwant start=%d next=%v acc=%v",
+				round, got.Start, got.Next, got.Accept, want.Start, want.Next, want.Accept)
+		}
+		if err := got.Validate(); err != nil {
+			t.Fatalf("round %d: minimized automaton invalid: %v", round, err)
+		}
+	}
+}
+
+// TestRecurrentStatesDifferential checks the bitset steady-state search and
+// the TrimStartup built on it against the map-based oracle.
+func TestRecurrentStatesDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for round := 0; round < 300; round++ {
+		d := FromNFA(randomNFA(rng, 2+rng.Intn(30))).Minimize()
+		got := d.RecurrentStates()
+		want := recurrentStatesRef(d)
+		if len(got) != len(want) {
+			t.Fatalf("round %d: RecurrentStates = %v, want %v", round, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: RecurrentStates = %v, want %v", round, got, want)
+			}
+		}
+		if err := d.TrimStartup().Validate(); err != nil {
+			t.Fatalf("round %d: TrimStartup invalid: %v", round, err)
+		}
+	}
+}

@@ -22,6 +22,11 @@ type Config struct {
 	Histories []int
 	// TableLog2 sizes the stride value predictor (11 -> 2K entries).
 	TableLog2 int
+	// Workers bounds the fan-out of the embarrassingly parallel phases
+	// (per-branch designs, per-history curves, per-machine synthesis,
+	// per-area-point simulations). 0 means GOMAXPROCS; every experiment
+	// produces bit-identical results for any worker count.
+	Workers int
 }
 
 // DefaultConfig returns the paper-scale configuration.

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"fsmpredict/internal/confidence"
 	"fsmpredict/internal/markov"
+	"fsmpredict/internal/par"
 	"fsmpredict/internal/stats"
 	"fsmpredict/internal/trace"
 	"fsmpredict/internal/workload"
@@ -50,18 +52,26 @@ func Figure2(program string, cfg Config) (*Figure2Result, error) {
 	if len(others) == 0 {
 		return nil, fmt.Errorf("experiments: no other programs to cross-train on")
 	}
-	for _, h := range cfg.Histories {
-		model := markov.New(h)
-		for _, loads := range others {
-			if err := model.Merge(confidence.PerEntryCorrectnessModel(loads, cfg.TableLog2, h)); err != nil {
-				return nil, err
+	// Each history length is an independent train-and-sweep; fan out.
+	curves, err := par.MapSlice(context.Background(), cfg.Workers, cfg.Histories,
+		func(_ int, h int) ([]confidence.FSMPoint, error) {
+			model := markov.New(h)
+			for _, loads := range others {
+				if err := model.Merge(confidence.PerEntryCorrectnessModel(loads, cfg.TableLog2, h)); err != nil {
+					return nil, err
+				}
 			}
-		}
-		points, err := confidence.FSMCurve(model, confidence.DefaultThresholds(), evalLoads, cfg.TableLog2)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: figure2 %s h=%d: %v", program, h, err)
-		}
-		res.Curves[h] = points
+			points, err := confidence.FSMCurve(model, confidence.DefaultThresholds(), evalLoads, cfg.TableLog2)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figure2 %s h=%d: %v", program, h, err)
+			}
+			return points, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, h := range cfg.Histories {
+		res.Curves[h] = curves[i]
 	}
 	return res, nil
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"fsmpredict/internal/bpred"
+	"fsmpredict/internal/par"
 	"fsmpredict/internal/stats"
 	"fsmpredict/internal/vhdl"
 	"fsmpredict/internal/workload"
@@ -43,6 +45,7 @@ func Figure4(cfg Config, sampleFrac float64) (*Figure4Result, error) {
 			MaxEntries:    cfg.MaxCustom,
 			Order:         cfg.Order,
 			MinExecutions: 64,
+			Workers:       cfg.Workers,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: figure4 %s: %v", prog.Name, err)
@@ -53,35 +56,32 @@ func Figure4(cfg Config, sampleFrac float64) (*Figure4Result, error) {
 		return nil, fmt.Errorf("experiments: figure4 produced no machines")
 	}
 
+	// Draw the random sample sequentially (one rng stream, machine order),
+	// then synthesize the chosen machines in parallel.
 	rng := rand.New(rand.NewSource(97))
-	res := &Figure4Result{}
+	sampled := make([]*bpred.CustomEntry, 0, len(all))
 	for _, e := range all {
 		if sampleFrac < 1 && rng.Float64() >= sampleFrac {
 			continue
 		}
-		area, err := vhdl.EstimateArea(e.Machine)
-		if err != nil {
-			return nil, err
-		}
-		res.Points = append(res.Points, stats.Point{
-			X: float64(e.Machine.NumStates()),
-			Y: area,
-		})
+		sampled = append(sampled, e)
 	}
-	if len(res.Points) < 2 {
+	if len(sampled) < 2 {
 		// Sampling left too few points; use everything.
-		res.Points = res.Points[:0]
-		for _, e := range all {
+		sampled = all
+	}
+	points, err := par.MapSlice(context.Background(), cfg.Workers, sampled,
+		func(_ int, e *bpred.CustomEntry) (stats.Point, error) {
 			area, err := vhdl.EstimateArea(e.Machine)
 			if err != nil {
-				return nil, err
+				return stats.Point{}, err
 			}
-			res.Points = append(res.Points, stats.Point{
-				X: float64(e.Machine.NumStates()),
-				Y: area,
-			})
-		}
+			return stats.Point{X: float64(e.Machine.NumStates()), Y: area}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	res := &Figure4Result{Points: points}
 	if err := res.fitTrimmed(); err != nil {
 		return nil, err
 	}

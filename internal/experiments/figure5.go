@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"fsmpredict/internal/bpred"
+	"fsmpredict/internal/par"
 	"fsmpredict/internal/stats"
 	"fsmpredict/internal/workload"
 )
@@ -61,15 +63,24 @@ func Figure5(program string, cfg Config, fsmArea func(states int) float64) (*Fig
 	xr := bpred.Run(x, test)
 	res.XScale = stats.Point{X: x.Area(), Y: xr.MissRate()}
 
-	for _, bits := range GshareBits {
-		g := bpred.NewGshare(bits)
-		r := bpred.Run(g, test)
-		res.Gshare.Points = append(res.Gshare.Points, stats.Point{X: g.Area(), Y: r.MissRate()})
+	ctx := context.Background()
+	res.Gshare.Points, err = par.MapSlice(ctx, cfg.Workers, GshareBits,
+		func(_ int, bits int) (stats.Point, error) {
+			g := bpred.NewGshare(bits)
+			r := bpred.Run(g, test)
+			return stats.Point{X: g.Area(), Y: r.MissRate()}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
-	for _, bits := range LGCBits {
-		l := bpred.NewLGC(bits)
-		r := bpred.Run(l, test)
-		res.LGC.Points = append(res.LGC.Points, stats.Point{X: l.Area(), Y: r.MissRate()})
+	res.LGC.Points, err = par.MapSlice(ctx, cfg.Workers, LGCBits,
+		func(_ int, bits int) (stats.Point, error) {
+			l := bpred.NewLGC(bits)
+			r := bpred.Run(l, test)
+			return stats.Point{X: l.Area(), Y: r.MissRate()}, nil
+		})
+	if err != nil {
+		return nil, err
 	}
 
 	// Custom predictors trained on the training input.
@@ -77,6 +88,7 @@ func Figure5(program string, cfg Config, fsmArea func(states int) float64) (*Fig
 		MaxEntries:    cfg.MaxCustom,
 		Order:         cfg.Order,
 		MinExecutions: 64,
+		Workers:       cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: figure5 %s: %v", program, err)
@@ -86,18 +98,30 @@ func Figure5(program string, cfg Config, fsmArea func(states int) float64) (*Fig
 	}
 	res.Entries = entries
 
-	for m := 1; m <= len(entries); m++ {
-		same := bpred.NewCustom(entries[:m])
-		same.FSMArea = fsmArea
-		sr := bpred.Run(same, train)
-		res.CustomSame.Points = append(res.CustomSame.Points,
-			stats.Point{X: same.Area(), Y: sr.MissRate()})
+	// One area point per custom-predictor count; each point simulates an
+	// independent Custom instance, so the sweep fans out across workers.
+	type samediff struct{ same, diff stats.Point }
+	points, err := par.Map(ctx, cfg.Workers, len(entries),
+		func(i int) (samediff, error) {
+			m := i + 1
+			same := bpred.NewCustom(entries[:m])
+			same.FSMArea = fsmArea
+			sr := bpred.Run(same, train)
 
-		diff := bpred.NewCustom(entries[:m])
-		diff.FSMArea = fsmArea
-		dr := bpred.Run(diff, test)
-		res.CustomDiff.Points = append(res.CustomDiff.Points,
-			stats.Point{X: diff.Area(), Y: dr.MissRate()})
+			diff := bpred.NewCustom(entries[:m])
+			diff.FSMArea = fsmArea
+			dr := bpred.Run(diff, test)
+			return samediff{
+				same: stats.Point{X: same.Area(), Y: sr.MissRate()},
+				diff: stats.Point{X: diff.Area(), Y: dr.MissRate()},
+			}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range points {
+		res.CustomSame.Points = append(res.CustomSame.Points, p.same)
+		res.CustomDiff.Points = append(res.CustomDiff.Points, p.diff)
 	}
 	return res, nil
 }

@@ -1,0 +1,70 @@
+package experiments
+
+// Differential tests for the fan-out parallelism: every experiment must
+// produce byte-identical results whatever the worker count, because the
+// figures are golden outputs and the paper's numbers must not depend on
+// GOMAXPROCS.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestFigure2ParallelDeterministic(t *testing.T) {
+	seq := testConfig()
+	seq.Workers = 1
+	par := testConfig()
+	par.Workers = 4
+
+	a, err := Figure2("gcc", seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure2("gcc", par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Figure2 results differ between workers=1 and workers=4")
+	}
+}
+
+func TestFigure4ParallelDeterministic(t *testing.T) {
+	seq := testConfig()
+	seq.Workers = 1
+	seq.BranchEvents = 40_000
+	par := seq
+	par.Workers = 4
+
+	a, err := Figure4(seq, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure4(par, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Figure4 results differ between workers=1 and workers=4")
+	}
+}
+
+func TestFigure5ParallelDeterministic(t *testing.T) {
+	seq := testConfig()
+	seq.Workers = 1
+	par := testConfig()
+	par.Workers = 4
+	area := func(states int) float64 { return 20 + 2.2*float64(states) }
+
+	a, err := Figure5("vortex", seq, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure5("vortex", par, area)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Figure5 results differ between workers=1 and workers=4")
+	}
+}

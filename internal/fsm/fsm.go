@@ -149,18 +149,23 @@ func (s SimResult) Accuracy() float64 {
 // Simulate predicts every bit of the trace in sequence, updating after
 // each outcome, and tallies correctness. skip outcomes at the head are
 // consumed as warm-up without being scored (the paper scores steady-state
-// behaviour).
+// behaviour). The walk is inlined rather than going through a Runner so a
+// simulation performs no allocations.
 func (m *Machine) Simulate(trace []bool, skip int) SimResult {
-	r := m.NewRunner()
+	state := m.Start
 	var res SimResult
 	for i, b := range trace {
 		if i >= skip {
 			res.Total++
-			if r.Predict() == b {
+			if m.Output[state] == b {
 				res.Correct++
 			}
 		}
-		r.Update(b)
+		if b {
+			state = m.Next[state][1]
+		} else {
+			state = m.Next[state][0]
+		}
 	}
 	return res
 }

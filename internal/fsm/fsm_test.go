@@ -286,3 +286,39 @@ func TestStringContainsStates(t *testing.T) {
 		t.Errorf("String = %q", s)
 	}
 }
+
+// TestSimulateNoAllocs pins the zero-allocation guarantee of Simulate: the
+// service hot path simulates the same machine over many cached traces, so
+// per-call allocations would dominate the profile.
+func TestSimulateNoAllocs(t *testing.T) {
+	m := figure1Machine()
+	trace := make([]bool, 4096)
+	rng := rand.New(rand.NewSource(3))
+	for i := range trace {
+		trace[i] = rng.Intn(2) == 1
+	}
+	var sink SimResult
+	allocs := testing.AllocsPerRun(100, func() {
+		sink = m.Simulate(trace, 16)
+	})
+	if allocs != 0 {
+		t.Fatalf("Simulate allocates %v times per run, want 0", allocs)
+	}
+	if sink.Total != len(trace)-16 {
+		t.Fatalf("Total = %d, want %d", sink.Total, len(trace)-16)
+	}
+}
+
+func BenchmarkSimulate(b *testing.B) {
+	m := figure1Machine()
+	trace := make([]bool, 65536)
+	rng := rand.New(rand.NewSource(3))
+	for i := range trace {
+		trace[i] = rng.Intn(2) == 1
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(trace)))
+	for i := 0; i < b.N; i++ {
+		m.Simulate(trace, 0)
+	}
+}

@@ -11,6 +11,12 @@ import (
 // IRREDUNDANT drops cubes whose on-set contribution is covered by others,
 // and REDUCE shrinks cubes to escape local minima before another EXPAND.
 // The loop runs until the cover cost stops improving.
+//
+// The on-set and allowed-set (on ∪ dc) minterm tables are dense bitsets
+// over the 2^Width history space (Width ≤ 24, so at most 2 MiB each):
+// membership tests in the inner EXPAND/IRREDUNDANT/REDUCE loops are one
+// shift and mask, and cube scans run through Cube.EachMinterm without
+// materializing minterm slices.
 func MinimizeHeuristic(p Problem) ([]bitseq.Cube, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -19,32 +25,40 @@ func MinimizeHeuristic(p Problem) ([]bitseq.Cube, error) {
 		return nil, nil
 	}
 
+	u := 1 << uint(p.Width)
 	// allowed holds every minterm a cube may cover (on ∪ dc).
-	allowed := make(map[uint32]bool, len(p.On)+len(p.DC))
-	onSet := make(map[uint32]bool, len(p.On))
+	allowed := bitseq.NewSet(u)
+	onSet := bitseq.NewSet(u)
 	for _, m := range p.On {
-		allowed[m] = true
-		onSet[m] = true
+		allowed.Add(int(m))
+		onSet.Add(int(m))
 	}
 	for _, m := range p.DC {
-		allowed[m] = true
+		allowed.Add(int(m))
 	}
+	allowedCount := uint64(allowed.Len())
 
 	// Initial cover: the on-set minterms themselves.
-	cover := make([]bitseq.Cube, 0, len(onSet))
-	for m := range onSet {
-		cover = append(cover, bitseq.Minterm(m, p.Width))
-	}
+	cover := make([]bitseq.Cube, 0, onSet.Len())
+	onSet.ForEach(func(m int) {
+		cover = append(cover, bitseq.Minterm(uint32(m), p.Width))
+	})
 	bitseq.SortCubes(cover)
 
-	cover = expand(cover, allowed, p.Width)
+	cover = expand(cover, allowed, allowedCount, p.Width)
 	cover = irredundant(cover, onSet)
 	best := CoverCost(cover)
 
 	for iter := 0; iter < 8; iter++ {
 		reduced := reduce(cover, onSet, p.Width)
-		candidate := expand(reduced, allowed, p.Width)
+		candidate := expand(reduced, allowed, allowedCount, p.Width)
 		candidate = irredundant(candidate, onSet)
+		// REDUCE shrinks every cube against the ORIGINAL cover, so two
+		// cubes sharing a minterm can both drop it; if EXPAND did not win
+		// it back, the candidate is not a cover — keep the last good one.
+		if !coversAll(candidate, p.On) {
+			break
+		}
 		cost := CoverCost(candidate)
 		if !cost.Less(best) {
 			break
@@ -55,24 +69,31 @@ func MinimizeHeuristic(p Problem) ([]bitseq.Cube, error) {
 	return cover, nil
 }
 
-// fits reports whether every minterm of c lies inside the allowed set.
-// The early size check keeps enumeration bounded by |allowed|.
-func fits(c bitseq.Cube, allowed map[uint32]bool) bool {
-	if c.Size() > uint64(len(allowed)) {
-		return false
-	}
-	for _, m := range c.Minterms() {
-		if !allowed[m] {
+// coversAll reports whether every on-set minterm is matched by the cover.
+func coversAll(cover []bitseq.Cube, on []uint32) bool {
+	for _, m := range on {
+		if !bitseq.CoverMatches(cover, m) {
 			return false
 		}
 	}
 	return true
 }
 
+// fits reports whether every minterm of c lies inside the allowed set.
+// The early size check keeps enumeration bounded by |allowed|.
+func fits(c bitseq.Cube, allowed *bitseq.Set, allowedCount uint64) bool {
+	if c.Size() > allowedCount {
+		return false
+	}
+	return c.EachMinterm(func(m uint32) bool {
+		return allowed.Has(int(m))
+	})
+}
+
 // expand grows every cube one freed literal at a time, greedily choosing
 // the literal whose removal stays inside allowed, then prunes cubes
 // contained in other cubes.
-func expand(cover []bitseq.Cube, allowed map[uint32]bool, width int) []bitseq.Cube {
+func expand(cover []bitseq.Cube, allowed *bitseq.Set, allowedCount uint64, width int) []bitseq.Cube {
 	out := make([]bitseq.Cube, 0, len(cover))
 	for _, c := range cover {
 		grown := true
@@ -84,7 +105,7 @@ func expand(cover []bitseq.Cube, allowed map[uint32]bool, width int) []bitseq.Cu
 					continue
 				}
 				cand := bitseq.NewCube(c.Value&^(1<<uint(b)), c.Care&^(1<<uint(b)), width)
-				if fits(cand, allowed) {
+				if fits(cand, allowed, allowedCount) {
 					c = cand
 					grown = true
 				}
@@ -118,7 +139,7 @@ func pruneContained(cover []bitseq.Cube) []bitseq.Cube {
 
 // irredundant removes cubes whose on-set minterms are all covered by the
 // remaining cubes, scanning the most specific cubes first.
-func irredundant(cover []bitseq.Cube, onSet map[uint32]bool) []bitseq.Cube {
+func irredundant(cover []bitseq.Cube, onSet *bitseq.Set) []bitseq.Cube {
 	order := make([]int, len(cover))
 	for i := range order {
 		order[i] = i
@@ -136,25 +157,21 @@ func irredundant(cover []bitseq.Cube, onSet map[uint32]bool) []bitseq.Cube {
 	removed := make([]bool, len(cover))
 	for _, i := range order {
 		needed := false
-		for _, m := range cover[i].Minterms() {
-			if !onSet[m] {
-				continue
+		cover[i].EachMinterm(func(m uint32) bool {
+			if !onSet.Has(int(m)) {
+				return true
 			}
-			coveredElsewhere := false
 			for j, c := range cover {
 				if j == i || removed[j] {
 					continue
 				}
 				if c.Matches(m) {
-					coveredElsewhere = true
-					break
+					return true // covered elsewhere; keep scanning
 				}
 			}
-			if !coveredElsewhere {
-				needed = true
-				break
-			}
-		}
+			needed = true
+			return false
+		})
 		if !needed {
 			removed[i] = true
 		}
@@ -171,25 +188,22 @@ func irredundant(cover []bitseq.Cube, onSet map[uint32]bool) []bitseq.Cube {
 // reduce shrinks each cube to the supercube of the on-set minterms only it
 // covers, dropping cubes with no unique contribution. Shrinking within the
 // original cube can never introduce off-set coverage.
-func reduce(cover []bitseq.Cube, onSet map[uint32]bool, width int) []bitseq.Cube {
+func reduce(cover []bitseq.Cube, onSet *bitseq.Set, width int) []bitseq.Cube {
 	var out []bitseq.Cube
 	for i, c := range cover {
 		var unique []uint32
-		for _, m := range c.Minterms() {
-			if !onSet[m] {
-				continue
+		c.EachMinterm(func(m uint32) bool {
+			if !onSet.Has(int(m)) {
+				return true
 			}
-			elsewhere := false
 			for j, d := range cover {
 				if j != i && d.Matches(m) {
-					elsewhere = true
-					break
+					return true // covered elsewhere, not unique
 				}
 			}
-			if !elsewhere {
-				unique = append(unique, m)
-			}
-		}
+			unique = append(unique, m)
+			return true
+		})
 		if len(unique) == 0 {
 			continue
 		}

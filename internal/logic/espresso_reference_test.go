@@ -1,0 +1,202 @@
+package logic
+
+// The original map-of-minterm espresso kernels, kept verbatim as a
+// differential oracle for the dense-bitset rewrite in espresso.go. The
+// rewrite must produce cube-for-cube identical covers, because the covers
+// feed the regex/FSM construction and the designed machines are golden.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fsmpredict/internal/bitseq"
+)
+
+// minimizeHeuristicRef is the pre-bitset MinimizeHeuristic.
+func minimizeHeuristicRef(p Problem) ([]bitseq.Cube, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(p.On) == 0 {
+		return nil, nil
+	}
+
+	allowed := make(map[uint32]bool, len(p.On)+len(p.DC))
+	onSet := make(map[uint32]bool, len(p.On))
+	for _, m := range p.On {
+		allowed[m] = true
+		onSet[m] = true
+	}
+	for _, m := range p.DC {
+		allowed[m] = true
+	}
+
+	cover := make([]bitseq.Cube, 0, len(onSet))
+	for m := range onSet {
+		cover = append(cover, bitseq.Minterm(m, p.Width))
+	}
+	bitseq.SortCubes(cover)
+
+	cover = expandRef(cover, allowed, p.Width)
+	cover = irredundantRef(cover, onSet)
+	best := CoverCost(cover)
+
+	for iter := 0; iter < 8; iter++ {
+		reduced := reduceRef(cover, onSet, p.Width)
+		candidate := expandRef(reduced, allowed, p.Width)
+		candidate = irredundantRef(candidate, onSet)
+		// Same coverage guard as the production kernel (the lost-coverage
+		// bug predates the bitset rewrite and was fixed in both).
+		if !coversAll(candidate, p.On) {
+			break
+		}
+		cost := CoverCost(candidate)
+		if !cost.Less(best) {
+			break
+		}
+		cover, best = candidate, cost
+	}
+	bitseq.SortCubes(cover)
+	return cover, nil
+}
+
+func fitsRef(c bitseq.Cube, allowed map[uint32]bool) bool {
+	if c.Size() > uint64(len(allowed)) {
+		return false
+	}
+	for _, m := range c.Minterms() {
+		if !allowed[m] {
+			return false
+		}
+	}
+	return true
+}
+
+func expandRef(cover []bitseq.Cube, allowed map[uint32]bool, width int) []bitseq.Cube {
+	out := make([]bitseq.Cube, 0, len(cover))
+	for _, c := range cover {
+		grown := true
+		for grown {
+			grown = false
+			for b := 0; b < width; b++ {
+				if c.Care>>uint(b)&1 == 0 {
+					continue
+				}
+				cand := bitseq.NewCube(c.Value&^(1<<uint(b)), c.Care&^(1<<uint(b)), width)
+				if fitsRef(cand, allowed) {
+					c = cand
+					grown = true
+				}
+			}
+		}
+		out = append(out, c)
+	}
+	return pruneContained(out)
+}
+
+func irredundantRef(cover []bitseq.Cube, onSet map[uint32]bool) []bitseq.Cube {
+	order := make([]int, len(cover))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ca, cb := cover[order[a]], cover[order[b]]
+		if ca.Literals() != cb.Literals() {
+			return ca.Literals() > cb.Literals()
+		}
+		if ca.Care != cb.Care {
+			return ca.Care < cb.Care
+		}
+		return ca.Value < cb.Value
+	})
+	removed := make([]bool, len(cover))
+	for _, i := range order {
+		needed := false
+		for _, m := range cover[i].Minterms() {
+			if !onSet[m] {
+				continue
+			}
+			coveredElsewhere := false
+			for j, c := range cover {
+				if j == i || removed[j] {
+					continue
+				}
+				if c.Matches(m) {
+					coveredElsewhere = true
+					break
+				}
+			}
+			if !coveredElsewhere {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			removed[i] = true
+		}
+	}
+	var out []bitseq.Cube
+	for i, c := range cover {
+		if !removed[i] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func reduceRef(cover []bitseq.Cube, onSet map[uint32]bool, width int) []bitseq.Cube {
+	var out []bitseq.Cube
+	for i, c := range cover {
+		var unique []uint32
+		for _, m := range c.Minterms() {
+			if !onSet[m] {
+				continue
+			}
+			elsewhere := false
+			for j, d := range cover {
+				if j != i && d.Matches(m) {
+					elsewhere = true
+					break
+				}
+			}
+			if !elsewhere {
+				unique = append(unique, m)
+			}
+		}
+		if len(unique) == 0 {
+			continue
+		}
+		out = append(out, supercube(unique, width))
+	}
+	return out
+}
+
+// TestHeuristicDifferential checks the bitset espresso against the
+// map-based oracle: covers must match cube for cube.
+func TestHeuristicDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for round := 0; round < 400; round++ {
+		p := randomProblem(rng, 1+rng.Intn(10))
+		got, err := MinimizeHeuristic(p)
+		if err != nil {
+			t.Fatalf("round %d: MinimizeHeuristic: %v", round, err)
+		}
+		want, err := minimizeHeuristicRef(p)
+		if err != nil {
+			t.Fatalf("round %d: reference: %v", round, err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("round %d (w=%d |on|=%d |dc|=%d): %d cubes, reference %d\ngot  %v\nwant %v",
+				round, p.Width, len(p.On), len(p.DC), len(got), len(want), got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: cube %d = %v, reference %v", round, i, got[i], want[i])
+			}
+		}
+		if err := Verify(p, got); err != nil {
+			t.Fatalf("round %d: cover fails verification: %v", round, err)
+		}
+	}
+}

@@ -34,13 +34,22 @@ func (c Count) P1() float64 {
 	return 0
 }
 
-// Model is a sparse Nth-order Markov model over the binary alphabet. The
-// table conceptually has 2^Order rows; only observed histories are stored,
-// which the paper notes is essential for per-branch models (§7.3). Create
-// one with New.
+// denseOrder is the largest order stored as a flat 2^order array instead
+// of a hash map. A dense order-12 table is 64 KiB — cheap next to the
+// per-event hashing it saves on the AddTrace hot path, where every branch
+// outcome is one Observe call.
+const denseOrder = 12
+
+// Model is an Nth-order Markov model over the binary alphabet. The table
+// conceptually has 2^Order rows. Small orders (≤ denseOrder) are stored
+// densely — counting is a single array index per event; larger orders keep
+// the sparse map the paper notes is essential for per-branch models
+// (§7.3), where only observed histories are stored. Create one with New.
 type Model struct {
-	order  int
-	counts map[uint32]Count
+	order    int
+	counts   map[uint32]Count // sparse table (order > denseOrder)
+	dense    []Count          // dense table (order <= denseOrder)
+	distinct int              // observed histories in dense mode
 }
 
 // New returns an empty model of the given order (1..24). Orders beyond the
@@ -49,6 +58,9 @@ type Model struct {
 func New(order int) *Model {
 	if order < 1 || order > 24 {
 		panic(fmt.Sprintf("markov: order %d out of range [1,24]", order))
+	}
+	if order <= denseOrder {
+		return &Model{order: order, dense: make([]Count, 1<<uint(order))}
 	}
 	return &Model{order: order, counts: make(map[uint32]Count)}
 }
@@ -59,6 +71,18 @@ func (m *Model) Order() int { return m.order }
 // Observe records that history h was followed by bit next.
 func (m *Model) Observe(h uint32, next bool) {
 	h &= m.mask()
+	if m.dense != nil {
+		c := &m.dense[h]
+		if c.Total() == 0 {
+			m.distinct++
+		}
+		if next {
+			c.Ones++
+		} else {
+			c.Zeros++
+		}
+		return
+	}
 	c := m.counts[h]
 	if next {
 		c.Ones++
@@ -68,9 +92,25 @@ func (m *Model) Observe(h uint32, next bool) {
 	m.counts[h] = c
 }
 
-// ObserveN records n identical observations.
+// ObserveN records n identical observations. n == 0 records nothing (the
+// history is not marked as seen).
 func (m *Model) ObserveN(h uint32, next bool, n uint64) {
+	if n == 0 {
+		return
+	}
 	h &= m.mask()
+	if m.dense != nil {
+		c := &m.dense[h]
+		if c.Total() == 0 {
+			m.distinct++
+		}
+		if next {
+			c.Ones += n
+		} else {
+			c.Zeros += n
+		}
+		return
+	}
 	c := m.counts[h]
 	if next {
 		c.Ones += n
@@ -108,17 +148,21 @@ func (m *Model) AddBools(vs []bool) {
 
 // Count returns the tally for history h (zero if unseen).
 func (m *Model) Count(h uint32) Count {
-	return m.counts[h&m.mask()]
+	h &= m.mask()
+	if m.dense != nil {
+		return m.dense[h]
+	}
+	return m.counts[h]
 }
 
 // Seen reports whether h was observed at least once.
 func (m *Model) Seen(h uint32) bool {
-	return m.counts[h&m.mask()].Total() > 0
+	return m.Count(h).Total() > 0
 }
 
 // P1 returns the empirical P[next=1 | h] and whether h was ever observed.
 func (m *Model) P1(h uint32) (float64, bool) {
-	c := m.counts[h&m.mask()]
+	c := m.Count(h)
 	if c.Total() == 0 {
 		return 0, false
 	}
@@ -128,6 +172,12 @@ func (m *Model) P1(h uint32) (float64, bool) {
 // Total returns the number of observations across all histories.
 func (m *Model) Total() uint64 {
 	var t uint64
+	if m.dense != nil {
+		for _, c := range m.dense {
+			t += c.Total()
+		}
+		return t
+	}
 	for _, c := range m.counts {
 		t += c.Total()
 	}
@@ -135,15 +185,37 @@ func (m *Model) Total() uint64 {
 }
 
 // Distinct returns the number of observed histories.
-func (m *Model) Distinct() int { return len(m.counts) }
+func (m *Model) Distinct() int {
+	if m.dense != nil {
+		return m.distinct
+	}
+	return len(m.counts)
+}
+
+// Each calls fn for every observed history. Dense models iterate in
+// ascending history order; sparse models in map order — callers needing a
+// fixed order must sort (or use Histories).
+func (m *Model) Each(fn func(h uint32, c Count)) {
+	if m.dense != nil {
+		for h, c := range m.dense {
+			if c.Total() > 0 {
+				fn(uint32(h), c)
+			}
+		}
+		return
+	}
+	for h, c := range m.counts {
+		fn(h, c)
+	}
+}
 
 // Histories returns the observed histories in ascending order.
 func (m *Model) Histories() []uint32 {
-	hs := make([]uint32, 0, len(m.counts))
-	for h := range m.counts {
-		hs = append(hs, h)
+	hs := make([]uint32, 0, m.Distinct())
+	m.Each(func(h uint32, _ Count) { hs = append(hs, h) })
+	if m.dense == nil {
+		sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
 	}
-	sort.Slice(hs, func(i, j int) bool { return hs[i] < hs[j] })
 	return hs
 }
 
@@ -154,21 +226,25 @@ func (m *Model) Merge(other *Model) error {
 	if other.order != m.order {
 		return fmt.Errorf("markov: cannot merge order %d into order %d", other.order, m.order)
 	}
-	for h, c := range other.counts {
-		t := m.counts[h]
-		t.Zeros += c.Zeros
-		t.Ones += c.Ones
-		m.counts[h] = t
-	}
+	other.Each(func(h uint32, c Count) {
+		m.ObserveN(h, false, c.Zeros)
+		m.ObserveN(h, true, c.Ones)
+	})
 	return nil
 }
 
 // Clone returns an independent copy of the model.
 func (m *Model) Clone() *Model {
 	c := New(m.order)
-	for h, v := range m.counts {
-		c.counts[h] = v
+	if m.dense != nil {
+		copy(c.dense, m.dense)
+		c.distinct = m.distinct
+		return c
 	}
+	m.Each(func(h uint32, v Count) {
+		c.ObserveN(h, false, v.Zeros)
+		c.ObserveN(h, true, v.Ones)
+	})
 	return c
 }
 
@@ -187,7 +263,7 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 		return n, err
 	}
 	for _, h := range m.Histories() {
-		c := m.counts[h]
+		c := m.Count(h)
 		k, err = fmt.Fprintf(bw, "%s %d %d\n", bitseq.HistoryString(h, m.order), c.Zeros, c.Ones)
 		n += int64(k)
 		if err != nil {
@@ -222,7 +298,8 @@ func Read(r io.Reader) (*Model, error) {
 		if err != nil {
 			return nil, err
 		}
-		m.counts[h] = Count{Zeros: zeros, Ones: ones}
+		m.ObserveN(h, false, zeros)
+		m.ObserveN(h, true, ones)
 	}
 	return m, sc.Err()
 }

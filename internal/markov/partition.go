@@ -63,10 +63,10 @@ func (m *Model) Partition(opt PartitionOptions) (*Partition, error) {
 			h uint32
 			n uint64
 		}
-		seen := make([]hc, 0, len(m.counts))
-		for h, c := range m.counts {
+		seen := make([]hc, 0, m.Distinct())
+		m.Each(func(h uint32, c Count) {
 			seen = append(seen, hc{h, c.Total()})
-		}
+		})
 		sort.Slice(seen, func(i, j int) bool {
 			if seen[i].n != seen[j].n {
 				return seen[i].n < seen[j].n
@@ -88,7 +88,8 @@ func (m *Model) Partition(opt PartitionOptions) (*Partition, error) {
 	total := uint32(1) << uint(m.order)
 	for h := uint32(0); h < total; h++ {
 		cube := bitseq.Minterm(h, m.order)
-		c, seen := m.counts[h], m.Seen(h)
+		c := m.Count(h)
+		seen := c.Total() > 0
 		switch {
 		case dcSet[h]:
 			p.DontCare = append(p.DontCare, cube)
