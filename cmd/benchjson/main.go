@@ -1,0 +1,110 @@
+// Command benchjson converts `go test -bench` text output into a JSON
+// performance snapshot, and checks a fresh run against a checked-in
+// baseline so CI can fail on perf regressions.
+//
+// Snapshot mode (default) reads bench output on stdin and writes JSON:
+//
+//	go test -bench . -benchmem -run '^$' ./... | benchjson -o BENCH.json
+//
+// Check mode compares stdin against a baseline snapshot and exits 1 if
+// any benchmark's time or allocation count grew beyond -ratio:
+//
+//	go test -bench . -benchtime 1x -run '^$' ./... | benchjson -check BENCH.json -ratio 2
+//
+// Benchmarks faster than -min-ns or allocating fewer than -min-allocs
+// in the baseline are exempt from the respective comparison: their
+// measurements are dominated by fixed overhead and noise, and a smoke
+// check that flakes on them teaches people to ignore it. Benchmark
+// names are matched without the -GOMAXPROCS suffix so snapshots carry
+// across machines with different core counts.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"fsmpredict/internal/benchfmt"
+	"fsmpredict/internal/cliutil"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	var (
+		in        = flag.String("i", "", "read bench output from this file instead of stdin")
+		out       = flag.String("o", "", "write the JSON snapshot to this file instead of stdout")
+		check     = flag.String("check", "", "compare against this baseline snapshot instead of emitting JSON")
+		ratio     = flag.Float64("ratio", 2, "allowed current/baseline growth before a metric counts as regressed")
+		minNs     = flag.Float64("min-ns", 100_000, "skip time comparison when the baseline is below this many ns/op")
+		minAllocs = flag.Float64("min-allocs", 16, "skip allocation comparison when the baseline is below this many allocs/op")
+	)
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cliutil.BadUsage("benchjson: unexpected arguments %v", flag.Args())
+	}
+	if *ratio <= 1 {
+		cliutil.BadUsage("benchjson: -ratio must be > 1, got %v", *ratio)
+	}
+
+	src := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		src = f
+	}
+	benches, err := benchfmt.Parse(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(benches) == 0 {
+		log.Fatal("no benchmark results in input")
+	}
+
+	if *check != "" {
+		f, err := os.Open(*check)
+		if err != nil {
+			log.Fatal(err)
+		}
+		baseline, err := benchfmt.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		regs := benchfmt.Compare(baseline, benches, benchfmt.CompareOptions{
+			Ratio:     *ratio,
+			MinNs:     *minNs,
+			MinAllocs: *minAllocs,
+		})
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Fprintln(os.Stderr, "regression:", r)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("ok: %d benchmarks within %gx of %s\n", len(benches), *ratio, *check)
+		return
+	}
+
+	dst := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+		dst = f
+	}
+	if err := benchfmt.WriteJSON(dst, benches); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -14,6 +14,13 @@
 //	GET  /healthz
 //	GET  /metrics
 //
+// Instead of an inline "trace", both POST endpoints accept a "workload"
+// reference ({"program":"gsm","variant":"train","events":250000,
+// "pc":"0x12004008"}) naming a branch trace in the process-wide packed
+// trace store; repeated references reuse one generated, packed copy,
+// and /metrics exposes the store's hit/miss/byte gauges
+// (fsmpredict_tracestore_{hits,misses,bytes}).
+//
 // Passing -pprof host:port additionally serves the net/http/pprof
 // endpoints (/debug/pprof/...) on that address, on a mux separate from the
 // public listener so profiling is never exposed to API clients.

@@ -1,0 +1,199 @@
+// Package benchfmt parses the text output of `go test -bench` into
+// structured records, serializes them as JSON snapshots, and compares a
+// fresh run against a checked-in baseline — the machinery behind
+// cmd/benchjson and the CI perf-regression smoke step.
+package benchfmt
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one benchmark result line. Name excludes the trailing
+// -GOMAXPROCS suffix so snapshots compare across machines with
+// different core counts; the suffix is preserved in Procs.
+type Benchmark struct {
+	Name        string  `json:"name"`
+	Procs       int     `json:"procs,omitempty"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	// Metrics holds any further unit→value pairs (MB/s, custom
+	// b.ReportMetric units).
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// procsSuffix matches the -N GOMAXPROCS tail go test appends to
+// benchmark names when GOMAXPROCS > 1.
+var procsSuffix = regexp.MustCompile(`-(\d+)$`)
+
+// Parse reads `go test -bench` text output, ignoring non-benchmark
+// lines (package headers, PASS/ok trailers, test log output). It
+// returns an error only for a benchmark line it cannot make sense of.
+func Parse(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if !strings.HasPrefix(text, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(text)
+		// A result line is "BenchmarkName iterations value unit [value
+		// unit]...". A bare "BenchmarkName" line (no fields) is the
+		// pre-run announcement under -v; skip it.
+		if len(fields) < 2 {
+			continue
+		}
+		b, err := parseFields(fields)
+		if err != nil {
+			return nil, fmt.Errorf("benchfmt: line %d: %v", line, err)
+		}
+		out = append(out, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("benchfmt: %v", err)
+	}
+	return out, nil
+}
+
+func parseFields(fields []string) (Benchmark, error) {
+	b := Benchmark{Name: fields[0]}
+	if m := procsSuffix.FindStringSubmatch(b.Name); m != nil {
+		b.Procs, _ = strconv.Atoi(m[1])
+		b.Name = strings.TrimSuffix(b.Name, m[0])
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return b, fmt.Errorf("bad iteration count %q", fields[1])
+	}
+	b.Iterations = iters
+	rest := fields[2:]
+	if len(rest)%2 != 0 {
+		return b, fmt.Errorf("odd value/unit tail %v", rest)
+	}
+	for i := 0; i < len(rest); i += 2 {
+		v, err := strconv.ParseFloat(rest[i], 64)
+		if err != nil {
+			return b, fmt.Errorf("bad value %q", rest[i])
+		}
+		switch unit := rest[i+1]; unit {
+		case "ns/op":
+			b.NsPerOp = v
+		case "B/op":
+			b.BytesPerOp = v
+		case "allocs/op":
+			b.AllocsPerOp = v
+		default:
+			if b.Metrics == nil {
+				b.Metrics = map[string]float64{}
+			}
+			b.Metrics[unit] = v
+		}
+	}
+	return b, nil
+}
+
+// WriteJSON renders a snapshot sorted by name, one indentation style,
+// trailing newline — stable bytes for checking into the repo.
+func WriteJSON(w io.Writer, benches []Benchmark) error {
+	sorted := append([]Benchmark(nil), benches...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+	data, err := json.MarshalIndent(sorted, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}
+
+// ReadJSON loads a snapshot written by WriteJSON.
+func ReadJSON(r io.Reader) ([]Benchmark, error) {
+	var out []Benchmark
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		return nil, fmt.Errorf("benchfmt: bad snapshot: %v", err)
+	}
+	return out, nil
+}
+
+// CompareOptions tunes regression detection.
+type CompareOptions struct {
+	// Ratio is the allowed current/baseline growth; a metric regresses
+	// when current > Ratio × baseline. Zero means 2.
+	Ratio float64
+	// MinNs skips time comparison for benchmarks whose baseline is
+	// faster than this floor — sub-floor timings are dominated by fixed
+	// overhead and noise. Zero means 100_000 (100µs).
+	MinNs float64
+	// MinAllocs likewise skips allocation comparison below this
+	// baseline count. Zero means 16.
+	MinAllocs float64
+}
+
+func (o CompareOptions) withDefaults() CompareOptions {
+	if o.Ratio == 0 {
+		o.Ratio = 2
+	}
+	if o.MinNs == 0 {
+		o.MinNs = 100_000
+	}
+	if o.MinAllocs == 0 {
+		o.MinAllocs = 16
+	}
+	return o
+}
+
+// Regression is one metric that grew beyond the allowed ratio.
+type Regression struct {
+	Name     string
+	Metric   string // "ns/op" or "allocs/op"
+	Baseline float64
+	Current  float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.4g -> %.4g (%.2fx)",
+		r.Name, r.Metric, r.Baseline, r.Current, r.Current/r.Baseline)
+}
+
+// Compare reports every benchmark present in both runs whose time or
+// allocation count regressed beyond opt.Ratio. Benchmarks present in
+// only one run are ignored: baselines stay valid when benchmarks are
+// added, and a deleted benchmark cannot regress.
+func Compare(baseline, current []Benchmark, opt CompareOptions) []Regression {
+	opt = opt.withDefaults()
+	base := make(map[string]Benchmark, len(baseline))
+	for _, b := range baseline {
+		base[b.Name] = b
+	}
+	var regs []Regression
+	for _, cur := range current {
+		b, ok := base[cur.Name]
+		if !ok {
+			continue
+		}
+		if b.NsPerOp >= opt.MinNs && cur.NsPerOp > opt.Ratio*b.NsPerOp {
+			regs = append(regs, Regression{cur.Name, "ns/op", b.NsPerOp, cur.NsPerOp})
+		}
+		if b.AllocsPerOp >= opt.MinAllocs && cur.AllocsPerOp > opt.Ratio*b.AllocsPerOp {
+			regs = append(regs, Regression{cur.Name, "allocs/op", b.AllocsPerOp, cur.AllocsPerOp})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	return regs
+}

@@ -1,0 +1,121 @@
+package benchfmt
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: fsmpredict
+cpu: some CPU @ 2.40GHz
+BenchmarkFigure5/gsm-8         	       4	282074709 ns/op	 1202344 B/op	    4631 allocs/op
+BenchmarkDesignerEndToEnd-8    	     201	  5979065 ns/op	 1421063 B/op	    4632 allocs/op
+BenchmarkRunAll
+BenchmarkRunAll-8              	      12	 95123456 ns/op	       0 B/op	       0 allocs/op	 412.3 MB/s
+BenchmarkNoMem                 	 1000000	     1042 ns/op
+PASS
+ok  	fsmpredict	12.345s
+`
+
+func TestParse(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(benches) != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %+v", len(benches), benches)
+	}
+	b := benches[0]
+	if b.Name != "BenchmarkFigure5/gsm" || b.Procs != 8 || b.Iterations != 4 {
+		t.Errorf("first = %+v", b)
+	}
+	if b.NsPerOp != 282074709 || b.BytesPerOp != 1202344 || b.AllocsPerOp != 4631 {
+		t.Errorf("first metrics = %+v", b)
+	}
+	if benches[2].Metrics["MB/s"] != 412.3 {
+		t.Errorf("custom metric = %+v", benches[2].Metrics)
+	}
+	// GOMAXPROCS=1 runs emit no -N suffix; name survives unchanged.
+	if benches[3].Name != "BenchmarkNoMem" || benches[3].Procs != 0 {
+		t.Errorf("unsuffixed = %+v", benches[3])
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX notanumber 5 ns/op\n",
+		"BenchmarkX 3 fast ns/op\n",
+		"BenchmarkX 3 5 ns/op trailing\n",
+	} {
+		if _, err := Parse(strings.NewReader(bad)); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	benches, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteJSON(&sb, benches); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(benches) {
+		t.Fatalf("round trip lost entries: %d vs %d", len(got), len(benches))
+	}
+	// WriteJSON sorts by name; output must be deterministic.
+	var sb2 strings.Builder
+	if err := WriteJSON(&sb2, got); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != sb2.String() {
+		t.Error("snapshot serialization not stable")
+	}
+	if got[0].Name > got[len(got)-1].Name {
+		t.Error("snapshot not sorted by name")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	base := []Benchmark{
+		{Name: "BenchmarkBig", NsPerOp: 1_000_000, AllocsPerOp: 100},
+		{Name: "BenchmarkTiny", NsPerOp: 500, AllocsPerOp: 2},
+		{Name: "BenchmarkGone", NsPerOp: 1_000_000},
+	}
+	current := []Benchmark{
+		{Name: "BenchmarkBig", NsPerOp: 2_500_000, AllocsPerOp: 250},
+		// Tiny regressed 10x but sits under both floors: not reported.
+		{Name: "BenchmarkTiny", NsPerOp: 5_000, AllocsPerOp: 20},
+		{Name: "BenchmarkNew", NsPerOp: 9_000_000},
+	}
+	regs := Compare(base, current, CompareOptions{})
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %+v, want 2 for BenchmarkBig", regs)
+	}
+	for _, r := range regs {
+		if r.Name != "BenchmarkBig" {
+			t.Errorf("unexpected regression %+v", r)
+		}
+	}
+	if regs[0].Metric != "allocs/op" || regs[1].Metric != "ns/op" {
+		t.Errorf("regression order = %+v", regs)
+	}
+
+	// Within the allowed ratio: clean.
+	ok := []Benchmark{{Name: "BenchmarkBig", NsPerOp: 1_900_000, AllocsPerOp: 160}}
+	if regs := Compare(base, ok, CompareOptions{}); len(regs) != 0 {
+		t.Errorf("unexpected regressions %+v", regs)
+	}
+
+	// A tighter ratio flags it.
+	if regs := Compare(base, ok, CompareOptions{Ratio: 1.5}); len(regs) != 2 {
+		t.Errorf("ratio 1.5 regressions = %+v, want 2", regs)
+	}
+}

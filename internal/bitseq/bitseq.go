@@ -96,6 +96,32 @@ func (b *Bits) Bit(i int) int {
 	return 0
 }
 
+// Uint64At returns w bits starting at position i as an integer, with bit
+// i of the sequence in bit 0 of the result. It panics unless
+// 0 <= i <= i+w <= Len() and 0 <= w <= 64. Window reads are the packed
+// counterpart of re-scanning a trace: extracting an order-N history is
+// two word reads instead of N appends.
+func (b *Bits) Uint64At(i, w int) uint64 {
+	if w < 0 || w > 64 {
+		panic(fmt.Sprintf("bitseq: window width %d out of range [0,64]", w))
+	}
+	if i < 0 || i+w > b.n {
+		panic(fmt.Sprintf("bitseq: window [%d,%d) out of range [0,%d)", i, i+w, b.n))
+	}
+	if w == 0 {
+		return 0
+	}
+	word, off := i/64, uint(i%64)
+	v := b.words[word] >> off
+	if rem := 64 - int(off); rem < w {
+		v |= b.words[word+1] << uint(rem)
+	}
+	if w == 64 {
+		return v
+	}
+	return v & (1<<uint(w) - 1)
+}
+
 // Ones counts the set bits.
 func (b *Bits) Ones() int {
 	c := 0

@@ -1,0 +1,64 @@
+package bitseq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestUint64AtMatchesAt cross-checks window extraction against the
+// bit-at-a-time accessor over random sequences and window shapes,
+// including windows straddling word boundaries.
+func TestUint64AtMatchesAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	b := &Bits{}
+	for i := 0; i < 500; i++ {
+		b.Append(rng.Intn(2) == 1)
+	}
+	for trial := 0; trial < 5000; trial++ {
+		w := rng.Intn(65)
+		i := rng.Intn(b.Len() - w + 1)
+		got := b.Uint64At(i, w)
+		var want uint64
+		for k := 0; k < w; k++ {
+			if b.At(i + k) {
+				want |= 1 << uint(k)
+			}
+		}
+		if got != want {
+			t.Fatalf("Uint64At(%d, %d) = %#x, want %#x", i, w, got, want)
+		}
+	}
+}
+
+func TestUint64AtEdges(t *testing.T) {
+	b := &Bits{}
+	for i := 0; i < 128; i++ {
+		b.Append(i%3 == 0)
+	}
+	if got := b.Uint64At(0, 0); got != 0 {
+		t.Fatalf("empty window = %#x, want 0", got)
+	}
+	if got := b.Uint64At(64, 64); got != b.Uint64At(64, 64) {
+		t.Fatal("full-word window unstable")
+	}
+	// Word-aligned full-width window equals the raw word content.
+	var want uint64
+	for k := 0; k < 64; k++ {
+		if b.At(k) {
+			want |= 1 << uint(k)
+		}
+	}
+	if got := b.Uint64At(0, 64); got != want {
+		t.Fatalf("aligned 64-bit window = %#x, want %#x", got, want)
+	}
+	for _, tc := range []struct{ i, w int }{{-1, 4}, {0, 65}, {0, -1}, {120, 16}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Uint64At(%d, %d) did not panic", tc.i, tc.w)
+				}
+			}()
+			b.Uint64At(tc.i, tc.w)
+		}()
+	}
+}

@@ -1,0 +1,185 @@
+package bpred
+
+import (
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/tracestore"
+)
+
+// traceStepper is one predictor bound to a packed trace for the batched
+// kernel: step consumes one event (given both the dense branch ID and
+// the PC) and reports whether the prediction missed.
+type traceStepper interface {
+	step(id int32, pc uint64, taken bool) bool
+}
+
+// genericStepper drives any Predictor through its public interface.
+type genericStepper struct{ p Predictor }
+
+func (s genericStepper) step(_ int32, pc uint64, taken bool) bool {
+	miss := s.p.Predict(pc) != taken
+	s.p.Update(pc, taken)
+	return miss
+}
+
+// customStepper is the branch-ID dispatch path for the customized
+// architecture: the per-trace slot table replaces the byTag map lookup
+// the AoS path performs on every event.
+type customStepper struct {
+	c *Custom
+	// slot maps dense branch ID to the custom entry index, -1 for
+	// branches with no custom FSM.
+	slot []int32
+}
+
+func newCustomStepper(c *Custom, tr *tracestore.Packed) customStepper {
+	slot := make([]int32, tr.NumStatics())
+	for id := range slot {
+		slot[id] = -1
+		if i, ok := c.byTag[tr.PCOf(int32(id))]; ok {
+			slot[id] = int32(i)
+		}
+	}
+	return customStepper{c: c, slot: slot}
+}
+
+func (s customStepper) step(id int32, pc uint64, taken bool) bool {
+	c := s.c
+	i := s.slot[id]
+	var pred bool
+	if i >= 0 {
+		pred = c.runners[i].Predict()
+	} else {
+		pred = c.base.Predict(pc)
+	}
+	if c.UpdateMatchedOnly {
+		if i >= 0 {
+			c.runners[i].Update(taken)
+		}
+	} else {
+		for _, r := range c.runners {
+			r.Update(taken)
+		}
+	}
+	c.base.Update(pc, taken)
+	return pred != taken
+}
+
+// RunAll drives every predictor over the packed trace in ONE pass,
+// equivalent to calling Run(p, tr.Events()) per predictor but reading
+// the trace once: per event the kernel loads the dense branch ID, the
+// PC and the packed outcome bit, then steps each predictor. Customized
+// architectures dispatch on branch IDs through a precomputed slot table
+// instead of a per-event map lookup. The inner loop allocates nothing;
+// the per-call setup cost is one stepper per predictor.
+func RunAll(preds []Predictor, tr *tracestore.Packed) []Result {
+	res := make([]Result, len(preds))
+	steppers := make([]traceStepper, len(preds))
+	for j, p := range preds {
+		if c, ok := p.(*Custom); ok {
+			steppers[j] = newCustomStepper(c, tr)
+		} else {
+			steppers[j] = genericStepper{p}
+		}
+	}
+	runAllInto(steppers, tr, res)
+	return res
+}
+
+// runAllInto is the allocation-free inner kernel of RunAll; tests guard
+// it with testing.AllocsPerRun.
+func runAllInto(steppers []traceStepper, tr *tracestore.Packed, res []Result) {
+	n := tr.Len()
+	for i := 0; i < n; i++ {
+		id := tr.IDAt(i)
+		pc := tr.PCOf(id)
+		taken := tr.Taken(i)
+		for j, s := range steppers {
+			res[j].Total++
+			if s.step(id, pc, taken) {
+				res[j].Misses++
+			}
+		}
+	}
+}
+
+// RunCustomPrefixes simulates every prefix of one trained entry set —
+// NewCustom(entries[:1]) through NewCustom(entries) — in a single trace
+// pass, returning Result[k-1] for prefix length k. It is exact for the
+// paper's update-all policy (§7.3), and only that policy: under
+// update-all every custom FSM advances on every branch outcome and the
+// XScale base trains on every branch, so neither the base state nor any
+// runner state depends on which prefix it belongs to. The only
+// per-prefix difference is arbitration — an event predicts with entry j
+// exactly when j is the last matching entry below the prefix length —
+// so one pass can charge each event's base or runner miss to the
+// relevant range of prefix lengths through a difference array. This
+// replaces the O(len(entries)²) runner-events of simulating each prefix
+// separately (the Figure 5 area sweep) with O(len(entries)) per event.
+func RunCustomPrefixes(entries []*CustomEntry, tr *tracestore.Packed) []Result {
+	n := len(entries)
+	res := make([]Result, n)
+	if n == 0 {
+		return res
+	}
+	base := NewXScale()
+	runners := make([]*fsm.Runner, n)
+	for i, e := range entries {
+		runners[i] = e.Machine.NewRunner()
+	}
+	// slots[id] lists, in ascending order, the entry indexes whose tag is
+	// that static branch's PC; prefix k matches the last index below k.
+	byTag := make(map[uint64][]int32, n)
+	for i, e := range entries {
+		byTag[e.Tag] = append(byTag[e.Tag], int32(i))
+	}
+	slots := make([][]int32, tr.NumStatics())
+	for id := range slots {
+		slots[id] = byTag[tr.PCOf(int32(id))]
+	}
+
+	// diff[k-1]..diff[hi-1] bracket miss charges for prefix lengths
+	// [lo, hi]; allMisses counts events every prefix misses the same way
+	// (no matching entry at any length, so the base predicts for all).
+	diff := make([]int64, n+1)
+	charge := func(lo, hi int32, miss bool) {
+		if miss && lo <= hi {
+			diff[lo-1]++
+			diff[hi]--
+		}
+	}
+	allMisses := 0
+	events := tr.Len()
+	for i := 0; i < events; i++ {
+		id := tr.IDAt(i)
+		pc := tr.PCOf(id)
+		taken := tr.Taken(i)
+		list := slots[id]
+		if len(list) == 0 {
+			if base.Predict(pc) != taken {
+				allMisses++
+			}
+		} else {
+			if first := list[0]; first > 0 {
+				charge(1, first, base.Predict(pc) != taken)
+			}
+			for m, j := range list {
+				hi := int32(n)
+				if m+1 < len(list) {
+					hi = list[m+1]
+				}
+				charge(j+1, hi, runners[j].Predict() != taken)
+			}
+		}
+		for _, r := range runners {
+			r.Update(taken)
+		}
+		base.Update(pc, taken)
+	}
+
+	var running int64
+	for k := 0; k < n; k++ {
+		running += diff[k]
+		res[k] = Result{Total: events, Misses: allMisses + int(running)}
+	}
+	return res
+}

@@ -3,11 +3,13 @@ package bpred
 import (
 	"context"
 	"fmt"
+	"slices"
 	"sort"
 
 	"fsmpredict/internal/core"
 	"fsmpredict/internal/par"
 	"fsmpredict/internal/trace"
+	"fsmpredict/internal/tracestore"
 )
 
 // TrainOptions configures custom-predictor construction (§7.3).
@@ -41,6 +43,24 @@ type Ranked struct {
 	Execs  int
 }
 
+// rankOrder sorts by misprediction count descending, ties by PC
+// ascending — the §7.3 ranking.
+func rankOrder(a, b Ranked) int {
+	if a.Misses != b.Misses {
+		if a.Misses > b.Misses {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.PC < b.PC:
+		return -1
+	case a.PC > b.PC:
+		return 1
+	}
+	return 0
+}
+
 // RankByMisses profiles the trace with the XScale baseline and returns
 // branches ordered by how many mispredictions they caused — the first
 // step of building the customized architecture (§7.3: "profile the
@@ -64,12 +84,34 @@ func RankByMisses(events []trace.BranchEvent) []Ranked {
 	for _, r := range misses {
 		out = append(out, *r)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Misses != out[j].Misses {
-			return out[i].Misses > out[j].Misses
+	sort.Slice(out, func(i, j int) bool { return rankOrder(out[i], out[j]) < 0 })
+	return out
+}
+
+// RankByMissesPacked is RankByMisses on a packed trace: the per-branch
+// tallies live in dense ID-indexed arrays instead of a map of pointers,
+// and the sort runs over values. The output is identical to
+// RankByMisses on the materialized events.
+func RankByMissesPacked(tr *tracestore.Packed) []Ranked {
+	base := NewXScale()
+	execs := make([]int32, tr.NumStatics())
+	miss := make([]int32, tr.NumStatics())
+	n := tr.Len()
+	for i := 0; i < n; i++ {
+		id := tr.IDAt(i)
+		pc := tr.PCOf(id)
+		taken := tr.Taken(i)
+		execs[id]++
+		if base.Predict(pc) != taken {
+			miss[id]++
 		}
-		return out[i].PC < out[j].PC
-	})
+		base.Update(pc, taken)
+	}
+	out := make([]Ranked, tr.NumStatics())
+	for id := range out {
+		out[id] = Ranked{PC: tr.PCOf(int32(id)), Misses: int(miss[id]), Execs: int(execs[id])}
+	}
+	slices.SortFunc(out, rankOrder)
 	return out
 }
 
@@ -78,16 +120,39 @@ func RankByMisses(events []trace.BranchEvent) []Ranked {
 // (§7.3) fed through the automated design flow (§4). Entries come back in
 // rank order, so evaluating prefixes of the slice reproduces the paper's
 // "add one more custom predictor" area sweep.
+//
+// It packs the events and delegates to TrainCustomPacked; callers that
+// already hold a packed trace (the experiments, via tracestore) should
+// call that directly and skip the conversion.
 func TrainCustom(events []trace.BranchEvent, opt TrainOptions) ([]*CustomEntry, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	return TrainCustomPacked(tracestore.Pack(events), opt)
+}
+
+func (opt TrainOptions) validate() error {
 	if opt.MaxEntries < 1 {
-		return nil, fmt.Errorf("bpred: MaxEntries %d must be >= 1", opt.MaxEntries)
+		return fmt.Errorf("bpred: MaxEntries %d must be >= 1", opt.MaxEntries)
 	}
 	if opt.Order < 1 {
-		return nil, fmt.Errorf("bpred: Order %d must be >= 1", opt.Order)
+		return fmt.Errorf("bpred: Order %d must be >= 1", opt.Order)
 	}
-	ranked := RankByMisses(events)
-	targets := map[uint64]bool{}
+	return nil
+}
+
+// TrainCustomPacked is TrainCustom on the packed substrate: ranking runs
+// over dense ID tallies, and each chosen branch's global-history Markov
+// model is built from its precomputed substream (positions plus two-word
+// history windows) instead of a scan of the full trace per model. The
+// entries are bit-identical to the event-slice path.
+func TrainCustomPacked(tr *tracestore.Packed, opt TrainOptions) ([]*CustomEntry, error) {
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	ranked := RankByMissesPacked(tr)
 	var chosen []Ranked
+	var ids []int32
 	for _, r := range ranked {
 		if len(chosen) >= opt.MaxEntries {
 			break
@@ -95,17 +160,21 @@ func TrainCustom(events []trace.BranchEvent, opt TrainOptions) ([]*CustomEntry, 
 		if r.Execs < opt.MinExecutions {
 			continue
 		}
-		targets[r.PC] = true
+		id, ok := tr.IDOf(r.PC)
+		if !ok {
+			return nil, fmt.Errorf("bpred: ranked PC %#x missing from trace", r.PC)
+		}
+		ids = append(ids, id)
 		chosen = append(chosen, r)
 	}
-	models := trace.GlobalMarkov(events, targets, opt.Order)
+	models := tr.GlobalModels(ids, opt.Order)
 
 	// Each branch's design is an independent run of the §4 pipeline, so
 	// the batch fans out across workers; output order follows rank order
 	// regardless of scheduling.
 	return par.MapSlice(context.Background(), opt.Workers, chosen,
-		func(_ int, r Ranked) (*CustomEntry, error) {
-			design, err := core.FromModel(models[r.PC], core.Options{
+		func(i int, r Ranked) (*CustomEntry, error) {
+			design, err := core.FromModel(models[i], core.Options{
 				DontCareBudget: opt.DontCareBudget,
 				Name:           fmt.Sprintf("branch_%#x", r.PC),
 			})

@@ -9,6 +9,7 @@ import (
 	"fsmpredict/internal/par"
 	"fsmpredict/internal/stats"
 	"fsmpredict/internal/trace"
+	"fsmpredict/internal/tracestore"
 	"fsmpredict/internal/workload"
 )
 
@@ -32,7 +33,10 @@ func Figure2(program string, cfg Config) (*Figure2Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	evalLoads := target.Generate(workload.Test, cfg.LoadEvents)
+	// Load traces come from the shared store: each program's training
+	// input is cross-trained against by every other program's panel, so
+	// one generation serves the whole Figure 2 sweep.
+	evalLoads := tracestore.Shared.Loads(target, workload.Test, cfg.LoadEvents)
 
 	res := &Figure2Result{
 		Program: program,
@@ -47,7 +51,7 @@ func Figure2(program string, cfg Config) (*Figure2Result, error) {
 		if p.Name == program {
 			continue
 		}
-		others = append(others, p.Generate(workload.Train, cfg.LoadEvents))
+		others = append(others, tracestore.Shared.Loads(p, workload.Train, cfg.LoadEvents))
 	}
 	if len(others) == 0 {
 		return nil, fmt.Errorf("experiments: no other programs to cross-train on")

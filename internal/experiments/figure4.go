@@ -8,6 +8,7 @@ import (
 	"fsmpredict/internal/bpred"
 	"fsmpredict/internal/par"
 	"fsmpredict/internal/stats"
+	"fsmpredict/internal/tracestore"
 	"fsmpredict/internal/vhdl"
 	"fsmpredict/internal/workload"
 )
@@ -40,8 +41,8 @@ func Figure4(cfg Config, sampleFrac float64) (*Figure4Result, error) {
 	}
 	var all []*bpred.CustomEntry
 	for _, prog := range workload.BranchSuite() {
-		events := prog.Generate(workload.Train, cfg.BranchEvents)
-		entries, err := bpred.TrainCustom(events, bpred.TrainOptions{
+		packed := tracestore.Shared.Branches(prog, workload.Train, cfg.BranchEvents)
+		entries, err := bpred.TrainCustomPacked(packed, bpred.TrainOptions{
 			MaxEntries:    cfg.MaxCustom,
 			Order:         cfg.Order,
 			MinExecutions: 64,

@@ -7,6 +7,7 @@ import (
 	"fsmpredict/internal/bpred"
 	"fsmpredict/internal/par"
 	"fsmpredict/internal/stats"
+	"fsmpredict/internal/tracestore"
 	"fsmpredict/internal/workload"
 )
 
@@ -51,40 +52,47 @@ func Figure5(program string, cfg Config, fsmArea func(states int) float64) (*Fig
 		fsmArea = f4.AreaModel()
 	}
 
-	train := prog.Generate(workload.Train, cfg.BranchEvents)
-	test := prog.Generate(workload.Test, cfg.BranchEvents)
+	// The packed traces come from the shared store: repeated Figure 5
+	// runs (and the other experiments) reuse one generation per
+	// (program, variant, length).
+	train := tracestore.Shared.Branches(prog, workload.Train, cfg.BranchEvents)
+	test := tracestore.Shared.Branches(prog, workload.Test, cfg.BranchEvents)
 
 	res := &Figure5Result{Program: program}
 	res.Gshare.Name, res.LGC.Name = "gshare", "lgc"
 	res.CustomSame.Name, res.CustomDiff.Name = "custom-same", "custom-diff"
 
-	// Baselines, measured on the test input.
+	// Baselines and table sweeps, measured on the test input in batched
+	// single-pass groups.
 	x := bpred.NewXScale()
-	xr := bpred.Run(x, test)
-	res.XScale = stats.Point{X: x.Area(), Y: xr.MissRate()}
-
+	tablePreds := []bpred.Predictor{x}
+	gshares := make([]*bpred.Gshare, len(GshareBits))
+	for i, bits := range GshareBits {
+		gshares[i] = bpred.NewGshare(bits)
+		tablePreds = append(tablePreds, gshares[i])
+	}
+	lgcs := make([]*bpred.LGC, len(LGCBits))
+	for i, bits := range LGCBits {
+		lgcs[i] = bpred.NewLGC(bits)
+		tablePreds = append(tablePreds, lgcs[i])
+	}
 	ctx := context.Background()
-	res.Gshare.Points, err = par.MapSlice(ctx, cfg.Workers, GshareBits,
-		func(_ int, bits int) (stats.Point, error) {
-			g := bpred.NewGshare(bits)
-			r := bpred.Run(g, test)
-			return stats.Point{X: g.Area(), Y: r.MissRate()}, nil
-		})
+	tableResults, err := runAllChunked(ctx, cfg.Workers, tablePreds, test)
 	if err != nil {
 		return nil, err
 	}
-	res.LGC.Points, err = par.MapSlice(ctx, cfg.Workers, LGCBits,
-		func(_ int, bits int) (stats.Point, error) {
-			l := bpred.NewLGC(bits)
-			r := bpred.Run(l, test)
-			return stats.Point{X: l.Area(), Y: r.MissRate()}, nil
-		})
-	if err != nil {
-		return nil, err
+	res.XScale = stats.Point{X: x.Area(), Y: tableResults[0].MissRate()}
+	for i, g := range gshares {
+		res.Gshare.Points = append(res.Gshare.Points,
+			stats.Point{X: g.Area(), Y: tableResults[1+i].MissRate()})
+	}
+	for i, l := range lgcs {
+		res.LGC.Points = append(res.LGC.Points,
+			stats.Point{X: l.Area(), Y: tableResults[1+len(gshares)+i].MissRate()})
 	}
 
 	// Custom predictors trained on the training input.
-	entries, err := bpred.TrainCustom(train, bpred.TrainOptions{
+	entries, err := bpred.TrainCustomPacked(train, bpred.TrainOptions{
 		MaxEntries:    cfg.MaxCustom,
 		Order:         cfg.Order,
 		MinExecutions: 64,
@@ -98,32 +106,53 @@ func Figure5(program string, cfg Config, fsmArea func(states int) float64) (*Fig
 	}
 	res.Entries = entries
 
-	// One area point per custom-predictor count; each point simulates an
-	// independent Custom instance, so the sweep fans out across workers.
-	type samediff struct{ same, diff stats.Point }
-	points, err := par.Map(ctx, cfg.Workers, len(entries),
-		func(i int) (samediff, error) {
-			m := i + 1
-			same := bpred.NewCustom(entries[:m])
-			same.FSMArea = fsmArea
-			sr := bpred.Run(same, train)
-
-			diff := bpred.NewCustom(entries[:m])
-			diff.FSMArea = fsmArea
-			dr := bpred.Run(diff, test)
-			return samediff{
-				same: stats.Point{X: same.Area(), Y: sr.MissRate()},
-				diff: stats.Point{X: diff.Area(), Y: dr.MissRate()},
-			}, nil
+	// One area point per custom-predictor count. Under the update-all
+	// policy every prefix of the entry set shares base and runner state,
+	// so the whole sweep is two single-pass prefix simulations (train and
+	// test input, run concurrently) instead of one pass per point.
+	sweeps, err := par.MapSlice(ctx, 2, []*tracestore.Packed{train, test},
+		func(_ int, tr *tracestore.Packed) ([]bpred.Result, error) {
+			return bpred.RunCustomPrefixes(entries, tr), nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	for _, p := range points {
-		res.CustomSame.Points = append(res.CustomSame.Points, p.same)
-		res.CustomDiff.Points = append(res.CustomDiff.Points, p.diff)
+	sameResults, diffResults := sweeps[0], sweeps[1]
+	for i := range entries {
+		c := bpred.NewCustom(entries[:i+1])
+		c.FSMArea = fsmArea
+		res.CustomSame.Points = append(res.CustomSame.Points,
+			stats.Point{X: c.Area(), Y: sameResults[i].MissRate()})
+		res.CustomDiff.Points = append(res.CustomDiff.Points,
+			stats.Point{X: c.Area(), Y: diffResults[i].MissRate()})
 	}
 	return res, nil
+}
+
+// runAllChunked batches predictors through bpred.RunAll in contiguous
+// chunks, one per worker: within a chunk the trace is read once for all
+// its predictors, across chunks the passes run concurrently. Predictors
+// are independent, so the results are identical for any worker count.
+func runAllChunked(ctx context.Context, workers int, preds []bpred.Predictor, tr *tracestore.Packed) ([]bpred.Result, error) {
+	if len(preds) == 0 {
+		return nil, nil
+	}
+	w := par.Workers(workers, len(preds))
+	type span struct{ lo, hi int }
+	chunks := make([]span, 0, w)
+	for i := 0; i < w; i++ {
+		lo, hi := i*len(preds)/w, (i+1)*len(preds)/w
+		if lo < hi {
+			chunks = append(chunks, span{lo, hi})
+		}
+	}
+	out := make([]bpred.Result, len(preds))
+	_, err := par.MapSlice(ctx, len(chunks), chunks,
+		func(_ int, c span) (struct{}, error) {
+			copy(out[c.lo:c.hi], bpred.RunAll(preds[c.lo:c.hi], tr))
+			return struct{}{}, nil
+		})
+	return out, err
 }
 
 // Series returns all curves (and the baseline point) as named series.

@@ -6,7 +6,8 @@ import (
 	"fsmpredict/internal/bitseq"
 	"fsmpredict/internal/core"
 	"fsmpredict/internal/fsm"
-	"fsmpredict/internal/trace"
+	"fsmpredict/internal/markov"
+	"fsmpredict/internal/tracestore"
 	"fsmpredict/internal/workload"
 )
 
@@ -22,15 +23,19 @@ type ExampleMachine struct {
 }
 
 // designFor profiles the benchmark and designs an FSM for one branch at
-// the given history length.
+// the given history length, reading only the branch's packed substream
+// from the shared trace store.
 func designFor(program string, pc uint64, order, events int) (*ExampleMachine, error) {
 	prog, err := workload.ByName(program)
 	if err != nil {
 		return nil, err
 	}
-	evs := prog.Generate(workload.Train, events)
-	models := trace.GlobalMarkov(evs, map[uint64]bool{pc: true}, order)
-	design, err := core.FromModel(models[pc], core.Options{
+	packed := tracestore.Shared.Branches(prog, workload.Train, events)
+	model := markov.New(order)
+	if id, ok := packed.IDOf(pc); ok {
+		model = packed.GlobalModels([]int32{id}, order)[0]
+	}
+	design, err := core.FromModel(model, core.Options{
 		Name: fmt.Sprintf("%s_%#x", program, pc),
 	})
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 
 	"fsmpredict/internal/bitseq"
 	"fsmpredict/internal/core"
@@ -16,13 +17,33 @@ import (
 // a long trace (one byte per outcome in text form).
 const maxBodyBytes = 64 << 20
 
-// DesignRequest is the wire form of POST /v1/design.
+// DesignRequest is the wire form of POST /v1/design. Exactly one of
+// Trace and Workload supplies the outcome stream.
 type DesignRequest struct {
 	// Trace is the outcome string ('0'/'1'; whitespace and underscores
 	// are ignored).
-	Trace string `json:"trace"`
+	Trace string `json:"trace,omitempty"`
+	// Workload references a stored workload trace instead of carrying
+	// the outcomes inline.
+	Workload *TraceRefJSON `json:"workload,omitempty"`
 	// Options selects the design parameters; see OptionsJSON.
 	Options OptionsJSON `json:"options"`
+}
+
+// TraceRefJSON is the wire form of a stored-trace reference: a
+// synthetic benchmark's branch trace held by the service's packed trace
+// store, so repeated requests share one generated, packed copy.
+type TraceRefJSON struct {
+	// Program is a benchmark name (e.g. "gsm", "vortex").
+	Program string `json:"program"`
+	// Variant is "train" or "test".
+	Variant string `json:"variant"`
+	// Events is the dynamic branch count; 0 means the 250k default.
+	Events int `json:"events,omitempty"`
+	// PC selects one static branch's local outcome substream, in any
+	// form strconv.ParseUint(s, 0, 64) accepts ("0x12001004", "4096").
+	// Empty means the global outcome stream.
+	PC string `json:"pc,omitempty"`
 }
 
 // OptionsJSON is the wire form of core.Options. Zero values mean the
@@ -55,13 +76,16 @@ type DesignResponse struct {
 	CacheHit bool `json:"cache_hit"`
 }
 
-// SimulateRequest is the wire form of POST /v1/simulate.
+// SimulateRequest is the wire form of POST /v1/simulate. Exactly one of
+// Trace and Workload supplies the outcome stream.
 type SimulateRequest struct {
 	// Machine is a predictor in the canonical JSON encoding (as returned
 	// by /v1/design).
 	Machine *fsm.Machine `json:"machine"`
 	// Trace is the outcome string to replay.
-	Trace string `json:"trace"`
+	Trace string `json:"trace,omitempty"`
+	// Workload references a stored workload trace to replay.
+	Workload *TraceRefJSON `json:"workload,omitempty"`
 	// Skip is the number of warm-up outcomes consumed without scoring.
 	Skip int `json:"skip,omitempty"`
 }
@@ -79,6 +103,36 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// requestTrace resolves a request's outcome stream from whichever of
+// the inline trace string and the stored-trace reference was supplied,
+// rejecting requests that carry both.
+func requestTrace(s *Service, inline string, ref *TraceRefJSON) (*bitseq.Bits, error) {
+	if ref == nil {
+		bits, err := bitseq.FromString(inline)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+		}
+		return bits, nil
+	}
+	if inline != "" {
+		return nil, fmt.Errorf("%w: request carries both an inline trace and a workload reference", ErrInvalid)
+	}
+	var pc uint64
+	if ref.PC != "" {
+		var err error
+		pc, err = strconv.ParseUint(ref.PC, 0, 64)
+		if err != nil {
+			return nil, fmt.Errorf("%w: bad pc %q: %v", ErrInvalid, ref.PC, err)
+		}
+	}
+	return s.ResolveTrace(TraceRef{
+		Program: ref.Program,
+		Variant: ref.Variant,
+		Events:  ref.Events,
+		PC:      pc,
+	})
+}
+
 // NewHandler exposes the service over HTTP:
 //
 //	POST /v1/design   — trace + options → machine JSON, VHDL, area, stats
@@ -87,6 +141,8 @@ type errorResponse struct {
 //	GET  /metrics     — text metrics exposition
 //
 // Request bodies and responses are JSON except /healthz and /metrics.
+// Both POST endpoints accept either an inline "trace" string or a
+// "workload" stored-trace reference (see TraceRefJSON).
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/design", func(w http.ResponseWriter, r *http.Request) {
@@ -95,7 +151,12 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, fmt.Errorf("%w: %v", ErrInvalid, err))
 			return
 		}
-		res, hit, err := s.DesignString(r.Context(), req.Trace, req.Options.Options())
+		bits, err := requestTrace(s, req.Trace, req.Workload)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		res, hit, err := s.Design(r.Context(), bits, req.Options.Options())
 		if err != nil {
 			writeError(w, err)
 			return
@@ -108,9 +169,9 @@ func NewHandler(s *Service) http.Handler {
 			writeError(w, fmt.Errorf("%w: %v", ErrInvalid, err))
 			return
 		}
-		bits, err := bitseq.FromString(req.Trace)
+		bits, err := requestTrace(s, req.Trace, req.Workload)
 		if err != nil {
-			writeError(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+			writeError(w, err)
 			return
 		}
 		res, err := s.Simulate(req.Machine, bits, req.Skip)

@@ -36,6 +36,18 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Value returns the current count.
 func (c *Counter) Value() uint64 { return c.v.Load() }
 
+// Gauge exposes a value computed at exposition time. Unlike a Counter
+// it holds no state of its own: the callback is invoked on every read,
+// so the gauge always reflects the live value of whatever it observes
+// (a cache size, a store's byte count) without the owner having to push
+// updates into the registry.
+type Gauge struct {
+	fn func() uint64
+}
+
+// Value reads the gauge by invoking its callback.
+func (g *Gauge) Value() uint64 { return g.fn() }
+
 // defaultBuckets spans the design-latency range the paper reports:
 // microseconds for cache-adjacent work up to minutes for deep orders.
 var defaultBuckets = []time.Duration{
@@ -84,6 +96,7 @@ func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
 type Metrics struct {
 	mu         sync.Mutex
 	counters   map[string]*Counter
+	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
 }
 
@@ -91,6 +104,7 @@ type Metrics struct {
 func NewMetrics() *Metrics {
 	return &Metrics{
 		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
 		histograms: map[string]*Histogram{},
 	}
 }
@@ -107,6 +121,17 @@ func (m *Metrics) Counter(name string) *Counter {
 	return c
 }
 
+// Gauge registers a callback-backed gauge under the given name,
+// replacing any previous registration, and returns it. The callback is
+// invoked on every exposition and must be safe for concurrent use.
+func (m *Metrics) Gauge(name string, fn func() uint64) *Gauge {
+	g := &Gauge{fn: fn}
+	m.mu.Lock()
+	m.gauges[name] = g
+	m.mu.Unlock()
+	return g
+}
+
 // Histogram returns the named histogram, creating it with the default
 // latency buckets if needed.
 func (m *Metrics) Histogram(name string) *Histogram {
@@ -121,23 +146,34 @@ func (m *Metrics) Histogram(name string) *Histogram {
 }
 
 // WriteTo renders the registry in the Prometheus text exposition format
-// (counters as "<name> <value>", histograms as cumulative _bucket/_sum/
-// _count series), with names in sorted order so output is deterministic.
+// (counters and gauges as "<name> <value>", histograms as cumulative
+// _bucket/_sum/_count series), with names in sorted order within each
+// group so output is deterministic. Gauge callbacks run outside the
+// registry lock so they may take their own locks freely.
 func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	m.mu.Lock()
 	counterNames := make([]string, 0, len(m.counters))
 	for name := range m.counters {
 		counterNames = append(counterNames, name)
 	}
+	gaugeNames := make([]string, 0, len(m.gauges))
+	for name := range m.gauges {
+		gaugeNames = append(gaugeNames, name)
+	}
 	histNames := make([]string, 0, len(m.histograms))
 	for name := range m.histograms {
 		histNames = append(histNames, name)
 	}
 	sort.Strings(counterNames)
+	sort.Strings(gaugeNames)
 	sort.Strings(histNames)
 	counters := make([]*Counter, len(counterNames))
 	for i, name := range counterNames {
 		counters[i] = m.counters[name]
+	}
+	gauges := make([]*Gauge, len(gaugeNames))
+	for i, name := range gaugeNames {
+		gauges[i] = m.gauges[name]
 	}
 	hists := make([]*Histogram, len(histNames))
 	for i, name := range histNames {
@@ -148,6 +184,13 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	var total int64
 	for i, name := range counterNames {
 		n, err := fmt.Fprintf(w, "%s %d\n", name, counters[i].Value())
+		total += int64(n)
+		if err != nil {
+			return total, err
+		}
+	}
+	for i, name := range gaugeNames {
+		n, err := fmt.Fprintf(w, "%s %d\n", name, gauges[i].Value())
 		total += int64(n)
 		if err != nil {
 			return total, err

@@ -10,7 +10,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"sort"
+	"slices"
 
 	"fsmpredict/internal/bitseq"
 	"fsmpredict/internal/markov"
@@ -54,29 +54,39 @@ func (p BranchProfile) TakenRate() float64 {
 }
 
 // Profile tallies the trace per static branch, ordered by descending
-// execution count (ties by PC).
+// execution count (ties by PC). Static branches are interned to dense
+// indexes so the hot loop updates a flat tally slice — one map lookup
+// per event, no per-branch pointer allocations — and the final ordering
+// comes from sorting the values directly.
 func Profile(events []BranchEvent) []BranchProfile {
-	byPC := map[uint64]*BranchProfile{}
+	idByPC := map[uint64]int{}
+	var out []BranchProfile
 	for _, e := range events {
-		p := byPC[e.PC]
-		if p == nil {
-			p = &BranchProfile{PC: e.PC}
-			byPC[e.PC] = p
+		id, ok := idByPC[e.PC]
+		if !ok {
+			id = len(out)
+			idByPC[e.PC] = id
+			out = append(out, BranchProfile{PC: e.PC})
 		}
-		p.Count++
+		out[id].Count++
 		if e.Taken {
-			p.Taken++
+			out[id].Taken++
 		}
 	}
-	out := make([]BranchProfile, 0, len(byPC))
-	for _, p := range byPC {
-		out = append(out, *p)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
+	slices.SortFunc(out, func(a, b BranchProfile) int {
+		if a.Count != b.Count {
+			if a.Count > b.Count {
+				return -1
+			}
+			return 1
 		}
-		return out[i].PC < out[j].PC
+		switch {
+		case a.PC < b.PC:
+			return -1
+		case a.PC > b.PC:
+			return 1
+		}
+		return 0
 	})
 	return out
 }

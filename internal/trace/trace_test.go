@@ -3,6 +3,7 @@ package trace
 import (
 	"bytes"
 	"math/rand"
+	"sort"
 	"testing"
 
 	"fsmpredict/internal/bitseq"
@@ -43,6 +44,65 @@ func TestProfile(t *testing.T) {
 	}
 	if (BranchProfile{}).TakenRate() != 0 {
 		t.Error("empty profile should have zero rate")
+	}
+}
+
+// profileOracle is the original map-of-pointers implementation of
+// Profile, kept as the differential oracle for the interned tally path.
+func profileOracle(events []BranchEvent) []BranchProfile {
+	byPC := map[uint64]*BranchProfile{}
+	for _, e := range events {
+		p := byPC[e.PC]
+		if p == nil {
+			p = &BranchProfile{PC: e.PC}
+			byPC[e.PC] = p
+		}
+		p.Count++
+		if e.Taken {
+			p.Taken++
+		}
+	}
+	out := make([]BranchProfile, 0, len(byPC))
+	for _, p := range byPC {
+		out = append(out, *p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].PC < out[j].PC
+	})
+	return out
+}
+
+// TestProfileMatchesOracle checks the rewritten Profile against the old
+// implementation on random traces, including heavy tie scenarios.
+func TestProfileMatchesOracle(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		events := randomBranches(seed, 4000)
+		got, want := Profile(events), profileOracle(events)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: %d entries, want %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d entry %d: %+v, want %+v", seed, i, got[i], want[i])
+			}
+		}
+	}
+	// All-ties: every branch executed exactly once, order must be by PC.
+	var ties []BranchEvent
+	for pc := uint64(100); pc > 0; pc-- {
+		ties = append(ties, BranchEvent{PC: pc * 8, Taken: pc%2 == 0})
+	}
+	got, want := Profile(ties), profileOracle(ties)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ties entry %d: %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if len(Profile(nil)) != 0 {
+		t.Fatal("empty trace should produce empty profile")
 	}
 }
 
