@@ -29,7 +29,9 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV points instead of a table")
 		workers = flag.Int("workers", 0, "parallel design/synthesis workers (0 = GOMAXPROCS)")
 	)
+	profile := cliutil.ProfileFlags()
 	flag.Parse()
+	stop := profile.Start()
 	if *sample <= 0 || *sample > 1 {
 		cliutil.BadUsage("areabench: -sample %v out of range (0,1]", *sample)
 	}
@@ -73,4 +75,5 @@ func main() {
 	fmt.Printf("linear area bound: area = %.1f + %.2f * states   (R2 = %.3f on the trend)\n",
 		res.Fit.Intercept, res.Fit.Slope, res.Fit.R2)
 	fmt.Println("machines far below the line are the paper's 'highly regular' cases")
+	stop()
 }

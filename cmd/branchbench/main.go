@@ -30,7 +30,9 @@ func main() {
 		ppm     = flag.Bool("ppm", false, "also run the Chen et al. PPM baseline (§3.2)")
 		workers = flag.Int("workers", 0, "parallel design/simulation workers (0 = GOMAXPROCS)")
 	)
+	profile := cliutil.ProfileFlags()
 	flag.Parse()
+	stop := profile.Start()
 	cliutil.CheckPositive("n", *events)
 	if *prog != "" {
 		cliutil.CheckOneOf("prog", *prog, "compress", "gs", "gsm", "g721", "ijpeg", "vortex")
@@ -74,6 +76,7 @@ func main() {
 			reportPPM(p, cfg)
 		}
 	}
+	stop()
 }
 
 // reportPPM runs the PPM baseline over a range of orders on the test

@@ -14,11 +14,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 	"sort"
 
 	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/experiments"
 	"fsmpredict/internal/stats"
+	"fsmpredict/internal/tracestore"
 )
 
 func main() {
@@ -28,8 +30,11 @@ func main() {
 		events  = flag.Int("n", 120_000, "load events per program")
 		csv     = flag.Bool("csv", false, "emit CSV series instead of tables")
 		workers = flag.Int("workers", 0, "parallel design/simulation workers (0 = GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "report trace-store cache statistics to stderr")
 	)
+	profile := cliutil.ProfileFlags()
 	flag.Parse()
+	stop := profile.Start()
 	cliutil.CheckPositive("n", *events)
 	if *prog != "" {
 		cliutil.CheckOneOf("prog", *prog, "gcc", "go", "groff", "li", "perl")
@@ -61,6 +66,15 @@ func main() {
 		}
 		report(res)
 	}
+	if *verbose {
+		// The five panels share one packed correctness-stream simulation
+		// per (program, input) through the process-wide trace store; the
+		// hit count shows the sharing at work.
+		st := tracestore.Shared.Stats()
+		fmt.Fprintf(os.Stderr, "tracestore: %d hits, %d misses, %d entries, %.1f MiB retained\n",
+			st.Hits, st.Misses, tracestore.Shared.Len(), float64(st.Bytes)/(1<<20))
+	}
+	stop()
 }
 
 func report(res *experiments.Figure2Result) {

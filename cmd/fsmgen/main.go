@@ -71,6 +71,9 @@ func main() {
 		DontCareBudget: *dcBudget,
 		KeepStartup:    *keepStart,
 		Name:           *name,
+		// fsmgen reports the intermediate artifacts (regex, NFA/DFA
+		// sizes), so it always runs the full pipeline.
+		Artifacts: true,
 	}
 	if *verbose {
 		opts.StageObserver = func(stage string, d time.Duration) {

@@ -21,6 +21,10 @@ func main() {
 	design, err := fsmpredict.DesignFromTrace(paperTrace, fsmpredict.Options{
 		Order: 2,
 		Name:  "quickstart",
+		// The walkthrough prints the intermediate machine sizes, so ask
+		// for the full regex→NFA→DFA pipeline instead of the default
+		// direct construction.
+		Artifacts: true,
 	})
 	if err != nil {
 		log.Fatal(err)

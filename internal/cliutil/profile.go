@@ -1,0 +1,57 @@
+package cliutil
+
+import (
+	"flag"
+	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Profile holds the -cpuprofile/-memprofile flag values shared by the
+// bench tools. Register the flags with ProfileFlags before flag.Parse
+// and bracket the measured work with Start and its stop function.
+type Profile struct {
+	cpu *string
+	mem *string
+}
+
+// ProfileFlags registers the standard profiling flags on the default
+// flag set. Call before flag.Parse.
+func ProfileFlags() *Profile {
+	return &Profile{
+		cpu: flag.String("cpuprofile", "", "write a CPU profile to this file"),
+		mem: flag.String("memprofile", "", "write a heap profile to this file on exit"),
+	}
+}
+
+// Start begins CPU profiling when -cpuprofile was given and returns a
+// stop function that ends the CPU profile and, when -memprofile was
+// given, writes the heap profile. Typical use: defer p.Start()().
+func (p *Profile) Start() func() {
+	if *p.cpu != "" {
+		f, err := os.Create(*p.cpu)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	return func() {
+		if *p.cpu != "" {
+			pprof.StopCPUProfile()
+		}
+		if *p.mem != "" {
+			f, err := os.Create(*p.mem)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,119 @@
+package confidence
+
+import (
+	"fsmpredict/internal/counters"
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/markov"
+	"fsmpredict/internal/tracestore"
+)
+
+// This file is the stream-replay half of the harness: every evaluation
+// and profiling entry point of confidence.go re-expressed over the
+// packed correctness streams of tracestore.ConfStreams, so one stride
+// predictor simulation serves the whole Figure 2 fan-out (9 thresholds ×
+// 9 history lengths × 60 counter configurations per panel). Each
+// replay-based function is verified bit-identical to its load-trace
+// counterpart by the package's differential tests; the load-trace
+// versions remain the oracle.
+
+// EvaluateStreams replays the per-entry segments through fresh
+// estimators, one per segment — exactly what Evaluate computes by
+// re-simulating the stride predictor.
+func EvaluateStreams(cs *tracestore.ConfStreams, newEstimator func() counters.Predictor) Result {
+	var r Result
+	for _, seg := range cs.Segments {
+		est := newEstimator()
+		n := seg.Valid.Len()
+		for i := 0; i < n; i++ {
+			correct := seg.Correct.At(i)
+			if seg.Valid.At(i) {
+				r.Accesses++
+				confident := est.Predict()
+				if correct {
+					r.Correct++
+				}
+				if confident {
+					r.Flagged++
+					if correct {
+						r.FlaggedCorrect++
+					}
+				}
+			}
+			est.Update(correct)
+		}
+	}
+	return r
+}
+
+// EvaluateGlobalStreams replays the whole-trace streams through a single
+// shared estimator, matching EvaluateGlobal.
+func EvaluateGlobalStreams(cs *tracestore.ConfStreams, est counters.Predictor) Result {
+	var r Result
+	n := cs.Valid.Len()
+	for i := 0; i < n; i++ {
+		correct := cs.Correct.At(i)
+		if cs.Valid.At(i) {
+			r.Accesses++
+			confident := est.Predict()
+			if correct {
+				r.Correct++
+			}
+			if confident {
+				r.Flagged++
+				if correct {
+					r.FlaggedCorrect++
+				}
+			}
+		}
+		est.Update(correct)
+	}
+	return r
+}
+
+// SUDSweepStreams evaluates the Figure 2 counter configurations by
+// stream replay, matching SUDSweep.
+func SUDSweepStreams(cs *tracestore.ConfStreams) []SUDPoint {
+	var out []SUDPoint
+	for _, cfg := range counters.PaperSweep() {
+		cfg := cfg
+		res := EvaluateStreams(cs, func() counters.Predictor {
+			return counters.NewSUD(cfg)
+		})
+		out = append(out, SUDPoint{Config: cfg, Result: res})
+	}
+	return out
+}
+
+// PerEntryModel profiles the per-entry correctness segments into one
+// merged order-N Markov model, matching PerEntryCorrectnessModel's
+// counts. Profiling goes through markov.Model.AddTrace, so the model
+// also records each segment's warm-up prefix and therefore folds
+// exactly: PerEntryModel(cs, K).FoldTo(h) equals PerEntryModel(cs, h)
+// for any h ≤ K — the algebra Figure 2 uses to profile once at the
+// maximum history length.
+func PerEntryModel(cs *tracestore.ConfStreams, order int) *markov.Model {
+	m := markov.New(order)
+	for _, seg := range cs.Segments {
+		m.AddTrace(seg.Correct)
+	}
+	return m
+}
+
+// GlobalModel profiles the whole-trace correctness stream, matching
+// CorrectnessModel's counts (and foldable, like PerEntryModel).
+func GlobalModel(cs *tracestore.ConfStreams, order int) *markov.Model {
+	m := markov.New(order)
+	m.AddTrace(cs.Correct)
+	return m
+}
+
+// FSMCurveStreams designs one confidence FSM per bias threshold from the
+// given per-entry correctness model and evaluates each by segment
+// replay, matching FSMCurve.
+func FSMCurveStreams(model *markov.Model, thresholds []float64, cs *tracestore.ConfStreams) ([]FSMPoint, error) {
+	return fsmCurve(model, thresholds, func(machine *fsm.Machine) Result {
+		return EvaluateStreams(cs, func() counters.Predictor {
+			return machine.NewRunner()
+		})
+	})
+}

@@ -54,15 +54,38 @@ type Options struct {
 	KeepStartup bool
 	// Name is attached to the resulting machine.
 	Name string
-	// StageObserver, when non-nil, is called once per pipeline stage with
-	// the stage name and its wall-clock duration, in execution order:
-	// "profile" (trace → Markov model, trace entry points only),
-	// "partition" (§4.3), "minimize" (§4.4), "regex" (§4.5), "nfa"
-	// (§4.6), "dfa" (§4.6), "hopcroft", and "reduce" (§4.7 plus machine
-	// construction). It must not retain the design; it exists so servers
-	// and verbose CLIs can report where design time goes. Nil means no
-	// observation and no overhead.
+	// Artifacts requests the full regex→NFA→DFA pipeline so every
+	// intermediate artifact (Expr, NFAStates, DFAStates,
+	// MinimizedStates) is populated. When false — the default — the
+	// machine is built by the direct history-register construction,
+	// which skips those stages entirely; the result is bit-identical
+	// (the differential oracle tests enforce it), only the intermediate
+	// artifact fields stay zero.
+	Artifacts bool
+	// StageObserver, when non-nil, is called once per pipeline stage
+	// with the stage name and its wall-clock duration, in execution
+	// order (see StageNames): "profile" (trace → Markov model, trace
+	// entry points only), "fold" (designing below the model's order),
+	// "partition" (§4.3), "minimize" (§4.4), then either the direct
+	// fast path's "direct" stage or — with Artifacts — "regex" (§4.5),
+	// "nfa" (§4.6), "dfa" (§4.6), "hopcroft", and "reduce" (§4.7 plus
+	// machine construction). It must not retain the design; it exists
+	// so servers and verbose CLIs can report where design time goes.
+	// Nil means no observation and no overhead.
 	StageObserver func(stage string, d time.Duration) `json:"-"`
+}
+
+// StageNames lists every stage name a design run can report to
+// Options.StageObserver, in execution order. "profile" is emitted only
+// by the trace entry points, "fold" only when designing below the
+// model's order; then "partition" and "minimize" always run, followed by
+// "direct" (the default fast path) or the "regex" … "reduce" pipeline
+// (Artifacts). The list is part of the API: the stage-observer tests
+// assert emissions match it.
+var StageNames = []string{
+	"profile", "fold", "partition", "minimize",
+	"regex", "nfa", "dfa", "hopcroft", "reduce",
+	"direct",
 }
 
 // observe reports one finished stage to the observer, if any.
@@ -132,12 +155,34 @@ type Design struct {
 	Machine *fsm.Machine
 }
 
-// FromModel runs the design flow on an existing Markov model.
+// FromModel runs the design flow on an existing Markov model. A zero
+// opt.Order designs at the model's own order; a smaller order first
+// folds the model down exactly (markov.Model.FoldTo — the "fold"
+// stage); a larger order is an error, since the model never recorded
+// the statistics a longer window needs.
+//
+// By default the machine is built by the direct history-register
+// construction (the "direct" stage) — set opt.Artifacts to run the full
+// regex→NFA→DFA pipeline and populate the intermediate artifact fields.
 func FromModel(m *markov.Model, opt Options) (*Design, error) {
-	opt.Order = m.Order()
+	if opt.Order == 0 {
+		opt.Order = m.Order()
+	}
 	opt = opt.withDefaults()
 	if err := opt.validate(); err != nil {
 		return nil, err
+	}
+	if opt.Order > m.Order() {
+		return nil, fmt.Errorf("core: cannot design at order %d from an order-%d model", opt.Order, m.Order())
+	}
+	if opt.Order < m.Order() {
+		start := opt.now()
+		folded, err := m.FoldTo(opt.Order)
+		if err != nil {
+			return nil, err
+		}
+		m = folded
+		opt.observe("fold", start)
 	}
 	dcBudget := opt.DontCareBudget
 	if dcBudget < 0 {
@@ -164,6 +209,17 @@ func FromModel(m *markov.Model, opt Options) (*Design, error) {
 		Model:     m,
 		Partition: part,
 		Cover:     cover,
+	}
+	if !opt.Artifacts {
+		start = opt.now()
+		final, err := directDFA(cover, opt.Order, opt.KeepStartup)
+		if err != nil {
+			return nil, err
+		}
+		d.Machine = fsm.FromDFA(final)
+		d.Machine.Name = opt.Name
+		opt.observe("direct", start)
+		return d, nil
 	}
 	start = opt.now()
 	d.Expr = regex.FromCover(cover)
@@ -225,22 +281,69 @@ func FromBools(trace []bool, opt Options) (*Design, error) {
 // reduction); the tests enforce this. It also serves as a fast path for
 // wide covers.
 func DirectMachine(cover []bitseq.Cube, order int) (*fsm.Machine, error) {
+	d, err := directDFA(cover, order, false)
+	if err != nil {
+		return nil, err
+	}
+	return fsm.FromDFA(d), nil
+}
+
+// directDFA builds the minimal predictor DFA for a cover without the
+// regex→NFA→subset-construction detour: the explicit history-register
+// automaton (state = last order bits, output = cover match), minimized
+// with Hopcroft. With keepStartup the automaton additionally carries one
+// state per partial history (a prefix tree), so — exactly like the
+// un-reduced pipeline machine — it outputs 0 until order bits have been
+// seen. Either way the result is bit-identical to the pipeline's: both
+// recognize the same language, the minimal automaton is unique, and
+// Minimize renumbers canonically. The differential oracle tests enforce
+// this state for state.
+func directDFA(cover []bitseq.Cube, order int, keepStartup bool) (*dfa.DFA, error) {
 	if order < 1 || order > 22 {
 		return nil, fmt.Errorf("core: order %d out of range [1,22]", order)
 	}
 	n := 1 << uint(order)
 	mask := uint32(n - 1)
+	if !keepStartup {
+		d := &dfa.DFA{
+			Next:   make([][2]int, n),
+			Accept: make([]bool, n),
+			Start:  0,
+		}
+		for h := 0; h < n; h++ {
+			d.Accept[h] = bitseq.CoverMatches(cover, uint32(h))
+			d.Next[h][0] = int(uint32(h) << 1 & mask)
+			d.Next[h][1] = int((uint32(h)<<1 | 1) & mask)
+		}
+		return normalizeStart(d.Minimize(), order), nil
+	}
+	// Startup variant: a prefix tree over partial histories (the state
+	// for the l most recent bits v sits at index 2^l−1+v), flowing into
+	// the full-history states at offset n−1. Partial-history states
+	// never accept, matching the pipeline's `.*(cubes)` language whose
+	// words are all at least order bits long.
 	d := &dfa.DFA{
-		Next:   make([][2]int, n),
-		Accept: make([]bool, n),
+		Next:   make([][2]int, 2*n-1),
+		Accept: make([]bool, 2*n-1),
 		Start:  0,
 	}
-	for h := 0; h < n; h++ {
-		d.Accept[h] = bitseq.CoverMatches(cover, uint32(h))
-		d.Next[h][0] = int(uint32(h) << 1 & mask)
-		d.Next[h][1] = int((uint32(h)<<1 | 1) & mask)
+	for l := 0; l < order; l++ {
+		base, nextBase := 1<<uint(l)-1, 1<<uint(l+1)-1
+		if l+1 == order {
+			nextBase = n - 1
+		}
+		for v := 0; v < 1<<uint(l); v++ {
+			d.Next[base+v][0] = nextBase + v<<1
+			d.Next[base+v][1] = nextBase + v<<1 + 1
+		}
 	}
-	return fsm.FromDFA(normalizeStart(d.Minimize(), order)), nil
+	for h := 0; h < n; h++ {
+		s := n - 1 + h
+		d.Accept[s] = bitseq.CoverMatches(cover, uint32(h))
+		d.Next[s][0] = n - 1 + int(uint32(h)<<1&mask)
+		d.Next[s][1] = n - 1 + int((uint32(h)<<1|1)&mask)
+	}
+	return d.Minimize(), nil
 }
 
 // normalizeStart moves the start state to the state reached after feeding
@@ -261,26 +364,27 @@ func normalizeStart(d *dfa.DFA, order int) *dfa.DFA {
 // OTHER models — the cross-training protocol of §6.3 used so a
 // general-purpose predictor is never trained on the program it is
 // evaluated on. The returned map has the same keys as the input.
+//
+// Rather than re-merging P−1 models for each of the P programs (O(P²)
+// count traffic), it merges the whole suite once and subtracts each
+// program's own model back out; counts are integer tallies, so
+// Aggregate-then-Subtract is exact (markov.Model.Subtract inverts
+// Merge), which the cross-training property tests enforce.
 func CrossTrain(suite map[string]*markov.Model) (map[string]*markov.Model, error) {
+	if len(suite) < 2 {
+		return nil, fmt.Errorf("core: cross-training needs at least two models")
+	}
+	agg, err := Aggregate(suite)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[string]*markov.Model, len(suite))
-	for name := range suite {
-		var agg *markov.Model
-		for other, m := range suite {
-			if other == name {
-				continue
-			}
-			if agg == nil {
-				agg = m.Clone()
-				continue
-			}
-			if err := agg.Merge(m); err != nil {
-				return nil, fmt.Errorf("core: cross-training %s: %v", name, err)
-			}
+	for name, m := range suite {
+		cross := agg.Clone()
+		if err := cross.Subtract(m); err != nil {
+			return nil, fmt.Errorf("core: cross-training %s: %v", name, err)
 		}
-		if agg == nil {
-			return nil, fmt.Errorf("core: cross-training needs at least two models")
-		}
-		out[name] = agg
+		out[name] = cross
 	}
 	return out, nil
 }

@@ -15,7 +15,7 @@ import (
 const paperTrace = "0000 1000 1011 1101 1110 1111"
 
 func TestPaperWorkedExample(t *testing.T) {
-	d, err := FromTrace(bitseq.MustFromString(paperTrace), Options{Order: 2, Name: "t"})
+	d, err := FromTrace(bitseq.MustFromString(paperTrace), Options{Order: 2, Name: "t", Artifacts: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +91,7 @@ func TestTwoConstructionPathsAgree(t *testing.T) {
 		for i := 0; i < rng.Intn(400)+20; i++ {
 			m.Observe(rng.Uint32(), rng.Intn(2) == 0)
 		}
-		d, err := FromModel(m, Options{})
+		d, err := FromModel(m, Options{Artifacts: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -294,7 +294,7 @@ func TestAggregate(t *testing.T) {
 }
 
 func TestStageSizesRecorded(t *testing.T) {
-	d, err := FromTrace(bitseq.MustFromString(paperTrace), Options{Order: 2})
+	d, err := FromTrace(bitseq.MustFromString(paperTrace), Options{Order: 2, Artifacts: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +363,7 @@ func TestWideOrderDesign(t *testing.T) {
 			trace[i] = trace[i-5] != trace[i-11]
 		}
 	}
-	d, err := FromBools(trace, Options{Order: 12, DontCareBudget: -1})
+	d, err := FromBools(trace, Options{Order: 12, DontCareBudget: -1, Artifacts: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,30 +391,92 @@ func TestWideOrderDesign(t *testing.T) {
 }
 
 func TestStageObserver(t *testing.T) {
-	var stages []string
-	total := time.Duration(0)
-	d, err := FromTrace(bitseq.MustFromString(paperTrace), Options{
-		Order: 2,
-		StageObserver: func(stage string, dur time.Duration) {
+	// Every (entry point, options) combination must emit exactly the
+	// documented stages, in the documented order.
+	cases := []struct {
+		name string
+		run  func(obs func(string, time.Duration)) (*Design, error)
+		want []string
+	}{
+		{
+			name: "trace fast path",
+			run: func(obs func(string, time.Duration)) (*Design, error) {
+				return FromTrace(bitseq.MustFromString(paperTrace), Options{Order: 2, StageObserver: obs})
+			},
+			want: []string{"profile", "partition", "minimize", "direct"},
+		},
+		{
+			name: "trace full pipeline",
+			run: func(obs func(string, time.Duration)) (*Design, error) {
+				return FromTrace(bitseq.MustFromString(paperTrace), Options{Order: 2, Artifacts: true, StageObserver: obs})
+			},
+			want: []string{"profile", "partition", "minimize", "regex", "nfa", "dfa", "hopcroft", "reduce"},
+		},
+		{
+			name: "model fold then fast path",
+			run: func(obs func(string, time.Duration)) (*Design, error) {
+				m := markov.New(4)
+				m.AddTrace(bitseq.MustFromString(paperTrace))
+				return FromModel(m, Options{Order: 2, StageObserver: obs})
+			},
+			want: []string{"fold", "partition", "minimize", "direct"},
+		},
+		{
+			name: "model fold then pipeline",
+			run: func(obs func(string, time.Duration)) (*Design, error) {
+				m := markov.New(4)
+				m.AddTrace(bitseq.MustFromString(paperTrace))
+				return FromModel(m, Options{Order: 2, Artifacts: true, StageObserver: obs})
+			},
+			want: []string{"fold", "partition", "minimize", "regex", "nfa", "dfa", "hopcroft", "reduce"},
+		},
+	}
+	documented := make(map[string]bool, len(StageNames))
+	for _, s := range StageNames {
+		documented[s] = true
+	}
+	var emitted []string
+	for _, tc := range cases {
+		var stages []string
+		d, err := tc.run(func(stage string, dur time.Duration) {
 			if dur < 0 {
-				t.Errorf("stage %s reported negative duration %v", stage, dur)
+				t.Errorf("%s: stage %s reported negative duration %v", tc.name, stage, dur)
 			}
 			stages = append(stages, stage)
-			total += dur
-		},
-	})
-	if err != nil {
-		t.Fatal(err)
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !reflect.DeepEqual(stages, tc.want) {
+			t.Errorf("%s: observed stages %v, want %v", tc.name, stages, tc.want)
+		}
+		for _, s := range stages {
+			if !documented[s] {
+				t.Errorf("%s: stage %q is not in StageNames %v", tc.name, s, StageNames)
+			}
+		}
+		if d.Machine.NumStates() != 3 {
+			t.Errorf("%s: observer changed the design: %s", tc.name, d.Machine)
+		}
+		emitted = append(emitted, stages...)
 	}
-	want := []string{"profile", "partition", "minimize", "regex", "nfa", "dfa", "hopcroft", "reduce"}
-	if !reflect.DeepEqual(stages, want) {
-		t.Errorf("observed stages %v, want %v", stages, want)
+	// Conversely, every documented stage must be reachable: the union of
+	// the cases above covers StageNames exactly.
+	seen := make(map[string]bool, len(emitted))
+	for _, s := range emitted {
+		seen[s] = true
 	}
-	if d.Machine.NumStates() != 3 {
-		t.Errorf("observer changed the design: %s", d.Machine)
+	for _, s := range StageNames {
+		if !seen[s] {
+			t.Errorf("documented stage %q never emitted by the covered paths", s)
+		}
 	}
 
 	// Nil observer must be safe and produce the identical machine.
+	d, err := FromTrace(bitseq.MustFromString(paperTrace), Options{Order: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	plain, err := FromTrace(bitseq.MustFromString(paperTrace), Options{Order: 2})
 	if err != nil {
 		t.Fatal(err)

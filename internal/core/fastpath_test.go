@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/markov"
+)
+
+// randomModel builds a model with skewed history popularity so don't-care
+// budgets have something to absorb.
+func randomModel(rng *rand.Rand, order int) *markov.Model {
+	m := markov.New(order)
+	hot := rng.Uint32()
+	for i := 0; i < rng.Intn(600)+50; i++ {
+		h := rng.Uint32()
+		if rng.Intn(3) == 0 {
+			h = hot
+		}
+		m.Observe(h, rng.Intn(2) == 0)
+	}
+	return m
+}
+
+// TestFastPathEqualsPipeline is the differential oracle for the default
+// design path: over random models — including don't-care budgets and
+// every KeepUnseen/KeepStartup combination — the direct construction
+// must produce a machine identical in behaviour (fsm.Equal) and in its
+// state tables (fsm.Isomorphic on canonical machines means array
+// equality) to the full regex→NFA→DFA pipeline, so every figure metric
+// computed from fast-path machines is bit-identical to the pipeline's.
+func TestFastPathEqualsPipeline(t *testing.T) {
+	rng := rand.New(rand.NewSource(163))
+	for trial := 0; trial < 60; trial++ {
+		m := randomModel(rng, rng.Intn(6)+1)
+		opt := Options{
+			DontCareBudget: []float64{0, 0.01, 0.1, -1}[rng.Intn(4)],
+			BiasThreshold:  []float64{0, 0.5, 0.7, 0.9}[rng.Intn(4)],
+			KeepUnseen:     rng.Intn(2) == 0,
+			KeepStartup:    rng.Intn(2) == 0,
+		}
+		fast, err := FromModel(m, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pipeOpt := opt
+		pipeOpt.Artifacts = true
+		pipe, err := FromModel(m, pipeOpt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fsm.Equal(fast.Machine, pipe.Machine) {
+			t.Fatalf("trial %d (%+v): fast path machine differs in behaviour\nfast: %s\npipe: %s",
+				trial, opt, fast.Machine, pipe.Machine)
+		}
+		if !fsm.Isomorphic(fast.Machine, pipe.Machine) {
+			t.Fatalf("trial %d (%+v): fast path machine not state-identical\nfast: %s\npipe: %s",
+				trial, opt, fast.Machine, pipe.Machine)
+		}
+		if fast.Machine.NumStates() != pipe.Machine.NumStates() {
+			t.Fatalf("trial %d: state counts differ: %d vs %d",
+				trial, fast.Machine.NumStates(), pipe.Machine.NumStates())
+		}
+	}
+}
+
+// TestFromModelFoldsDown checks the "fold" entry: designing at a lower
+// order than the model was profiled at must equal designing from a model
+// trained at that order directly.
+func TestFromModelFoldsDown(t *testing.T) {
+	rng := rand.New(rand.NewSource(167))
+	trace := &bitseq.Bits{}
+	for i := 0; i < 5000; i++ {
+		trace.Append(i%7 < 3 || rng.Intn(12) == 0)
+	}
+	wide := markov.New(10)
+	wide.AddTrace(trace)
+	for _, order := range []int{2, 5, 9} {
+		folded, err := FromModel(wide, Options{Order: order})
+		if err != nil {
+			t.Fatal(err)
+		}
+		narrow := markov.New(order)
+		narrow.AddTrace(trace)
+		direct, err := FromModel(narrow, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fsm.Isomorphic(folded.Machine, direct.Machine) {
+			t.Fatalf("order %d: design from folded model differs from direct training", order)
+		}
+	}
+}
+
+// TestFromModelOrderAboveModel checks the error path for requesting a
+// longer history than the model recorded.
+func TestFromModelOrderAboveModel(t *testing.T) {
+	m := markov.New(3)
+	if _, err := FromModel(m, Options{Order: 4}); err == nil {
+		t.Fatal("expected error designing above the model order")
+	}
+}
+
+// TestCrossTrainMatchesMergeOfOthers is the O(P) cross-training
+// property at the core layer: aggregate-minus-self must equal the
+// explicit merge of the other programs' models, for a dense order and a
+// sparse one (beyond the markov dense-table boundary).
+func TestCrossTrainMatchesMergeOfOthers(t *testing.T) {
+	rng := rand.New(rand.NewSource(173))
+	for _, order := range []int{6, 13} {
+		suite := map[string]*markov.Model{}
+		for _, name := range []string{"gcc", "go", "groff", "li", "perl"} {
+			m := markov.New(order)
+			for s := 0; s < 4; s++ {
+				bits := &bitseq.Bits{}
+				for i := 0; i < rng.Intn(300)+10; i++ {
+					bits.Append(rng.Intn(2) == 0)
+				}
+				m.AddTrace(bits)
+			}
+			suite[name] = m
+		}
+		ct, err := CrossTrain(suite)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for name := range suite {
+			want := markov.New(order)
+			for other, om := range suite {
+				if other == name {
+					continue
+				}
+				if err := want.Merge(om); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !ct[name].Equal(want) {
+				t.Fatalf("order %d: cross-trained model for %s differs from merge of others", order, name)
+			}
+		}
+	}
+}
+
+// TestCrossTrainOrderMismatch checks the subtract error path surfaces
+// through CrossTrain.
+func TestCrossTrainOrderMismatch(t *testing.T) {
+	suite := map[string]*markov.Model{
+		"a": markov.New(3),
+		"b": markov.New(4),
+	}
+	suite["a"].Observe(1, true)
+	suite["b"].Observe(1, true)
+	if _, err := CrossTrain(suite); err == nil {
+		t.Fatal("expected error for mixed-order suite")
+	}
+}

@@ -222,16 +222,41 @@ func (d *DFA) Minimize() *DFA {
 		addBlock(accSt)
 	}
 
-	// Precompute reverse edges.
-	var rev [2][][]int
+	// Precompute reverse edges in CSR form: after the counting pass and
+	// prefix sum, the predecessors of tgt on symbol b land in
+	// revList[b][revEnd[b][tgt-1]:revEnd[b][tgt]] (0 for tgt == 0). The
+	// fill pass bumps revEnd[b][tgt] past each insertion, leaving it as
+	// the end offset — two flat arrays per symbol instead of n slices.
+	var revEnd, revList [2][]int
 	for b := 0; b < 2; b++ {
-		rev[b] = make([][]int, n)
+		revEnd[b] = make([]int, n)
+		revList[b] = make([]int, n)
+	}
+	for s := 0; s < n; s++ {
+		for b := 0; b < 2; b++ {
+			revEnd[b][t.Next[s][b]]++
+		}
+	}
+	for b := 0; b < 2; b++ {
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += revEnd[b][i]
+			revEnd[b][i] = sum - revEnd[b][i]
+		}
 	}
 	for s := 0; s < n; s++ {
 		for b := 0; b < 2; b++ {
 			tgt := t.Next[s][b]
-			rev[b][tgt] = append(rev[b][tgt], s)
+			revList[b][revEnd[b][tgt]] = s
+			revEnd[b][tgt]++
 		}
+	}
+	revPreds := func(b, tgt int) []int {
+		start := 0
+		if tgt > 0 {
+			start = revEnd[b][tgt-1]
+		}
+		return revList[b][start:revEnd[b][tgt]]
 	}
 
 	// Worklist of (block id, symbol); membership tracked per symbol in a
@@ -261,7 +286,7 @@ func (d *DFA) Minimize() *DFA {
 
 		inX.Reset(n)
 		for _, s := range blocks[w.blk] {
-			for _, p := range rev[w.sym][s] {
+			for _, p := range revPreds(w.sym, s) {
 				inX.Add(p)
 			}
 		}

@@ -25,7 +25,7 @@ type Figure1Result struct {
 // second-order model.
 func Figure1() (*Figure1Result, error) {
 	tr := bitseq.MustFromString(PaperTrace)
-	design, err := core.FromTrace(tr, core.Options{Order: 2, Name: "figure1"})
+	design, err := core.FromTrace(tr, core.Options{Order: 2, Name: "figure1", Artifacts: true})
 	if err != nil {
 		return nil, err
 	}

@@ -5,10 +5,10 @@ import (
 	"fmt"
 
 	"fsmpredict/internal/confidence"
+	"fsmpredict/internal/core"
 	"fsmpredict/internal/markov"
 	"fsmpredict/internal/par"
 	"fsmpredict/internal/stats"
-	"fsmpredict/internal/trace"
 	"fsmpredict/internal/tracestore"
 	"fsmpredict/internal/workload"
 )
@@ -27,45 +27,63 @@ type Figure2Result struct {
 
 // Figure2 reproduces one panel of Figure 2 for the named value benchmark
 // (gcc, go, groff, li or perl).
+//
+// The panel is fold-once and replay-only: the stride predictor runs at
+// most once per (program, input) — its packed correctness streams live
+// in the shared trace store, so the five panels of the full figure share
+// one simulation per trace — and each peer is profiled once, at the
+// maximum requested history length. Cross-training is one aggregate plus
+// a subtraction (core.CrossTrain) and every shorter history is an exact
+// fold of the wide model (markov.Model.FoldTo). All of this is pure
+// algebra over the same counts the per-history re-profiling used to
+// produce, so the plotted points are bit-identical; the differential
+// tests at the markov, confidence and experiments layers enforce that.
 func Figure2(program string, cfg Config) (*Figure2Result, error) {
 	cfg = cfg.withDefaults()
 	target, err := workload.LoadByName(program)
 	if err != nil {
 		return nil, err
 	}
-	// Load traces come from the shared store: each program's training
-	// input is cross-trained against by every other program's panel, so
-	// one generation serves the whole Figure 2 sweep.
-	evalLoads := tracestore.Shared.Loads(target, workload.Test, cfg.LoadEvents)
+	evalStreams := tracestore.Shared.ConfStreams(target, workload.Test, cfg.LoadEvents, cfg.TableLog2)
 
 	res := &Figure2Result{
 		Program: program,
-		SUD:     confidence.SUDSweep(evalLoads, cfg.TableLog2),
+		SUD:     confidence.SUDSweepStreams(evalStreams),
 		Curves:  make(map[int][]confidence.FSMPoint, len(cfg.Histories)),
 	}
 
-	// Cross-training: per history length, merge the per-entry correctness
-	// models of every other program's training input.
-	others := make([][]trace.LoadEvent, 0, 4)
-	for _, p := range workload.LoadSuite() {
-		if p.Name == program {
-			continue
+	maxH := 0
+	for _, h := range cfg.Histories {
+		if h > maxH {
+			maxH = h
 		}
-		others = append(others, tracestore.Shared.Loads(p, workload.Train, cfg.LoadEvents))
 	}
-	if len(others) == 0 {
+	// Profile every program's training input once at the maximum history
+	// length and cross-train the whole suite in one pass.
+	suite := make(map[string]*markov.Model)
+	for _, p := range workload.LoadSuite() {
+		streams := tracestore.Shared.ConfStreams(p, workload.Train, cfg.LoadEvents, cfg.TableLog2)
+		suite[p.Name] = confidence.PerEntryModel(streams, maxH)
+	}
+	if len(suite) < 2 {
 		return nil, fmt.Errorf("experiments: no other programs to cross-train on")
 	}
-	// Each history length is an independent train-and-sweep; fan out.
+	crossed, err := core.CrossTrain(suite)
+	if err != nil {
+		return nil, err
+	}
+	wide, ok := crossed[program]
+	if !ok {
+		return nil, fmt.Errorf("experiments: %s is not in the load suite", program)
+	}
+	// Each history length folds the wide model down and sweeps; fan out.
 	curves, err := par.MapSlice(context.Background(), cfg.Workers, cfg.Histories,
 		func(_ int, h int) ([]confidence.FSMPoint, error) {
-			model := markov.New(h)
-			for _, loads := range others {
-				if err := model.Merge(confidence.PerEntryCorrectnessModel(loads, cfg.TableLog2, h)); err != nil {
-					return nil, err
-				}
+			model, err := wide.FoldTo(h)
+			if err != nil {
+				return nil, err
 			}
-			points, err := confidence.FSMCurve(model, confidence.DefaultThresholds(), evalLoads, cfg.TableLog2)
+			points, err := confidence.FSMCurveStreams(model, confidence.DefaultThresholds(), evalStreams)
 			if err != nil {
 				return nil, fmt.Errorf("experiments: figure2 %s h=%d: %v", program, h, err)
 			}

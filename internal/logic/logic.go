@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 
 	"fsmpredict/internal/bitseq"
 )
@@ -178,56 +179,101 @@ func MinimizeQM(p Problem) ([]bitseq.Cube, error) {
 	return cover, nil
 }
 
+// qmScratch holds the per-call working set of PrimeImplicants, pooled so
+// the designer's steady state stops allocating the tabular method's
+// level-by-level buffers.
+type qmScratch struct {
+	cur, next []bitseq.Cube
+	used      []bool
+}
+
+var qmPool = sync.Pool{New: func() any { return new(qmScratch) }}
+
+// sortDedupLevel orders one QM level by (care, value popcount, value) —
+// the grouping key of the tabular method — and drops duplicate cubes.
+func sortDedupLevel(cubes []bitseq.Cube) []bitseq.Cube {
+	sort.Slice(cubes, func(i, j int) bool {
+		a, b := cubes[i], cubes[j]
+		if a.Care != b.Care {
+			return a.Care < b.Care
+		}
+		pa, pb := bits.OnesCount32(a.Value), bits.OnesCount32(b.Value)
+		if pa != pb {
+			return pa < pb
+		}
+		return a.Value < b.Value
+	})
+	out := cubes[:0]
+	for i, c := range cubes {
+		if i == 0 || c.Value != cubes[i-1].Value || c.Care != cubes[i-1].Care {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
 // PrimeImplicants generates all prime implicants of the on+dc set using
 // iterated pairwise combination (the tabular Quine–McCluskey method).
+// Each level is a sorted, deduplicated slice; cubes sharing a care mask
+// and value popcount form a contiguous run, and a run's only plausible
+// combine partners are the next run when it has the same care mask and
+// popcount one higher.
 func PrimeImplicants(p Problem) []bitseq.Cube {
-	// Current level: dedup set of cubes keyed by (value, care).
-	type key struct{ value, care uint32 }
-	cur := make(map[key]bitseq.Cube)
+	s := qmPool.Get().(*qmScratch)
+	cur := s.cur[:0]
 	for _, m := range p.On {
-		c := bitseq.Minterm(m, p.Width)
-		cur[key{c.Value, c.Care}] = c
+		cur = append(cur, bitseq.Minterm(m, p.Width))
 	}
 	for _, m := range p.DC {
-		c := bitseq.Minterm(m, p.Width)
-		cur[key{c.Value, c.Care}] = c
+		cur = append(cur, bitseq.Minterm(m, p.Width))
 	}
 
 	var primes []bitseq.Cube
+	next := s.next[:0]
 	for len(cur) > 0 {
-		// Group cubes by care mask and popcount of value so only
-		// plausible partners are compared.
-		type group struct {
-			care uint32
-			pop  int
+		cur = sortDedupLevel(cur)
+		used := s.used[:0]
+		for range cur {
+			used = append(used, false)
 		}
-		groups := make(map[group][]bitseq.Cube)
-		for _, c := range cur {
-			groups[group{c.Care, bits.OnesCount32(c.Value)}] = append(
-				groups[group{c.Care, bits.OnesCount32(c.Value)}], c)
-		}
-		used := make(map[key]bool)
-		next := make(map[key]bitseq.Cube)
-		for g, cubes := range groups {
-			partners := groups[group{g.care, g.pop + 1}]
-			for _, a := range cubes {
-				for _, b := range partners {
-					if m, ok := a.Combine(b); ok {
-						used[key{a.Value, a.Care}] = true
-						used[key{b.Value, b.Care}] = true
-						next[key{m.Value, m.Care}] = m
+		next = next[:0]
+		// Walk the (care, pop) runs; run = cur[start:end).
+		for start := 0; start < len(cur); {
+			care, pop := cur[start].Care, bits.OnesCount32(cur[start].Value)
+			end := start + 1
+			for end < len(cur) && cur[end].Care == care && bits.OnesCount32(cur[end].Value) == pop {
+				end++
+			}
+			// Partner run: cubes with the same care mask and one more set
+			// bit, which the ordering places immediately after.
+			pEnd := end
+			if end < len(cur) && cur[end].Care == care && bits.OnesCount32(cur[end].Value) == pop+1 {
+				pEnd = end + 1
+				for pEnd < len(cur) && cur[pEnd].Care == care && bits.OnesCount32(cur[pEnd].Value) == pop+1 {
+					pEnd++
+				}
+			}
+			for i := start; i < end; i++ {
+				for j := end; j < pEnd; j++ {
+					if m, ok := cur[i].Combine(cur[j]); ok {
+						used[i], used[j] = true, true
+						next = append(next, m)
 					}
 				}
 			}
+			start = end
 		}
-		for k, c := range cur {
-			if !used[k] {
+		for i, c := range cur {
+			if !used[i] {
 				primes = append(primes, c)
 			}
 		}
-		cur = next
+		s.used = used
+		cur, next = next, cur[:0]
 	}
 	bitseq.SortCubes(primes)
+	s.cur, s.next = cur[:0], next[:0]
+	qmPool.Put(s)
 	return primes
 }
 

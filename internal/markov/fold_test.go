@@ -1,0 +1,274 @@
+package markov
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"fsmpredict/internal/bitseq"
+)
+
+// randomTraces generates a deterministic set of bit streams with varied
+// lengths, including streams shorter than any window order so warm-up
+// prefixes of every length appear.
+func randomTraces(rng *rand.Rand, n int) []*bitseq.Bits {
+	traces := make([]*bitseq.Bits, n)
+	for i := range traces {
+		length := rng.Intn(64)
+		if i%3 == 0 {
+			length = rng.Intn(8) // exercise streams shorter than the order
+		}
+		b := &bitseq.Bits{}
+		p := 0.2 + 0.6*rng.Float64()
+		for j := 0; j < length; j++ {
+			b.Append(rng.Float64() < p)
+		}
+		traces[i] = b
+	}
+	return traces
+}
+
+// TestFoldToMatchesDirectTraining is the core model-algebra property:
+// folding an order-K model down to order k is observation-for-observation
+// identical to training at order k directly, for every k ≤ K, with K
+// crossing the denseOrder boundary so both dense and sparse source tables
+// are exercised.
+func TestFoldToMatchesDirectTraining(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, K := range []int{1, 2, 5, denseOrder, denseOrder + 2} {
+		traces := randomTraces(rng, 24)
+		src := New(K)
+		for _, b := range traces {
+			src.AddTrace(b)
+		}
+		for k := 1; k <= K; k++ {
+			folded, err := src.FoldTo(k)
+			if err != nil {
+				t.Fatalf("FoldTo(%d) from order %d: %v", k, K, err)
+			}
+			direct := New(k)
+			for _, b := range traces {
+				direct.AddTrace(b)
+			}
+			if !folded.Equal(direct) {
+				t.Fatalf("K=%d k=%d: folded model differs from direct training\nfolded:  total=%d distinct=%d warmups=%d\ndirect:  total=%d distinct=%d warmups=%d",
+					K, k, folded.Total(), folded.Distinct(), folded.Warmups(),
+					direct.Total(), direct.Distinct(), direct.Warmups())
+			}
+		}
+	}
+}
+
+// TestFoldToAddBools checks the AddBools entry point records the same
+// warm-up prefixes as AddTrace.
+func TestFoldToAddBools(t *testing.T) {
+	vs := []bool{true, false, true, true, false, true, false, false, true}
+	b := &bitseq.Bits{}
+	for _, v := range vs {
+		b.Append(v)
+	}
+	ma, mb := New(4), New(4)
+	ma.AddTrace(b)
+	mb.AddBools(vs)
+	if !ma.Equal(mb) {
+		t.Fatal("AddTrace and AddBools produced different models")
+	}
+	fa, _ := ma.FoldTo(2)
+	fb, _ := mb.FoldTo(2)
+	if !fa.Equal(fb) {
+		t.Fatal("folds of AddTrace and AddBools models differ")
+	}
+}
+
+// TestFoldToComposes checks fold(K→j) == fold(fold(K→k)→j).
+func TestFoldToComposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	src := New(10)
+	for _, b := range randomTraces(rng, 16) {
+		src.AddTrace(b)
+	}
+	oneStep, err := src.FoldTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mid, err := src.FoldTo(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	twoStep, err := mid.FoldTo(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !oneStep.Equal(twoStep) {
+		t.Fatal("FoldTo does not compose: 10→3 differs from 10→7→3")
+	}
+}
+
+// TestFoldToErrors covers the error paths: folding up and degenerate
+// orders.
+func TestFoldToErrors(t *testing.T) {
+	m := New(4)
+	if _, err := m.FoldTo(5); err == nil {
+		t.Fatal("FoldTo above the model order should fail")
+	}
+	if _, err := m.FoldTo(0); err == nil {
+		t.Fatal("FoldTo(0) should fail")
+	}
+	if c, err := m.FoldTo(4); err != nil || c == m {
+		t.Fatalf("FoldTo(order) should clone: %v", err)
+	}
+}
+
+// subtractSuite builds per-name models plus their merged aggregate at
+// the given order from random traces.
+func subtractSuite(t *testing.T, rng *rand.Rand, order, programs int) (map[string]*Model, *Model) {
+	t.Helper()
+	suite := make(map[string]*Model, programs)
+	agg := New(order)
+	for i := 0; i < programs; i++ {
+		m := New(order)
+		for _, b := range randomTraces(rng, 6) {
+			m.AddTrace(b)
+		}
+		suite[string(rune('a'+i))] = m
+		if err := agg.Merge(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return suite, agg
+}
+
+// TestSubtractInvertsMerge is the Subtract property at both table
+// representations: aggregate minus one member equals the merge of the
+// others, for a dense order and a sparse (> denseOrder) order.
+func TestSubtractInvertsMerge(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for _, order := range []int{4, denseOrder + 1} {
+		suite, agg := subtractSuite(t, rng, order, 4)
+		for name, m := range suite {
+			got := agg.Clone()
+			if err := got.Subtract(m); err != nil {
+				t.Fatalf("order %d: subtract %q: %v", order, name, err)
+			}
+			want := New(order)
+			for other, om := range suite {
+				if other == name {
+					continue
+				}
+				if err := want.Merge(om); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if !got.Equal(want) {
+				t.Fatalf("order %d: aggregate minus %q differs from merge of others", order, name)
+			}
+		}
+	}
+}
+
+// TestSubtractUnderflow checks mismatched subtraction fails cleanly and
+// leaves the receiver unchanged, for count underflow, warm-up underflow,
+// and order mismatch.
+func TestSubtractUnderflow(t *testing.T) {
+	m := New(3)
+	m.Observe(0b101, true)
+	big := New(3)
+	big.Observe(0b101, true)
+	big.Observe(0b101, true)
+	before := m.Clone()
+	if err := m.Subtract(big); err == nil {
+		t.Fatal("subtracting more observations than present should fail")
+	}
+	if !m.Equal(before) {
+		t.Fatal("failed Subtract mutated the receiver")
+	}
+
+	// Warm-up underflow: same counts, but the subtrahend carries a
+	// warm-up prefix the receiver lacks.
+	b := &bitseq.Bits{}
+	for _, v := range []bool{true, false, true, true} {
+		b.Append(v)
+	}
+	traced := New(3)
+	traced.AddTrace(b)
+	plain := New(3)
+	traced.Each(func(h uint32, c Count) {
+		plain.ObserveN(h, false, c.Zeros)
+		plain.ObserveN(h, true, c.Ones)
+	})
+	if err := plain.Subtract(traced); err == nil {
+		t.Fatal("subtracting unseen warm-up prefixes should fail")
+	}
+
+	if err := New(3).Subtract(New(4)); err == nil {
+		t.Fatal("order mismatch should fail")
+	}
+}
+
+// TestWarmupSerializationRoundTrip checks warm-up prefixes survive
+// WriteTo/Read, so persisted models still fold exactly.
+func TestWarmupSerializationRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	m := New(6)
+	for _, b := range randomTraces(rng, 10) {
+		m.AddTrace(b)
+	}
+	var buf bytes.Buffer
+	if _, err := m.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(m) {
+		t.Fatalf("round trip lost state: warmups %d vs %d", got.Warmups(), m.Warmups())
+	}
+	f1, err := m.FoldTo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := got.FoldTo(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f1.Equal(f2) {
+		t.Fatal("round-tripped model folds differently")
+	}
+}
+
+// FuzzFoldTo feeds arbitrary byte strings as trace material: the first
+// two bytes pick the source order K and target order k, the rest split
+// into variable-length traces of their bits. Folding the order-K model
+// must reproduce direct order-k training exactly.
+func FuzzFoldTo(f *testing.F) {
+	f.Add([]byte{5, 2, 0xac, 0x31, 0x07})
+	f.Add([]byte{uint8(denseOrder + 2), uint8(denseOrder), 0xff, 0x00, 0x5a, 0x5a, 0x99})
+	f.Add([]byte{1, 1, 0x80})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			t.Skip()
+		}
+		K := 1 + int(data[0])%(denseOrder+4) // cross the dense/sparse boundary
+		k := 1 + int(data[1])%K
+		src, direct := New(K), New(k)
+		// Traces: each remaining byte b contributes a trace of its low
+		// 1 + b%7 bits, so lengths vary and many are shorter than K.
+		for _, by := range data[2:] {
+			bits := &bitseq.Bits{}
+			n := 1 + int(by)%7
+			for j := 0; j < n; j++ {
+				bits.Append(by>>uint(j)&1 == 1)
+			}
+			src.AddTrace(bits)
+			direct.AddTrace(bits)
+		}
+		folded, err := src.FoldTo(k)
+		if err != nil {
+			t.Fatalf("FoldTo(%d) from order %d: %v", k, K, err)
+		}
+		if !folded.Equal(direct) {
+			t.Fatalf("K=%d k=%d: folded model differs from direct training", K, k)
+		}
+	})
+}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 
 	"fsmpredict/internal/bitseq"
 )
@@ -50,6 +51,16 @@ type Model struct {
 	counts   map[uint32]Count // sparse table (order > denseOrder)
 	dense    []Count          // dense table (order <= denseOrder)
 	distinct int              // observed histories in dense mode
+
+	// warmups is a multiset of stream warm-up prefixes: for every stream
+	// profiled with AddTrace/AddBools, the first min(len, order) bits.
+	// An order-N window skips the first N transitions of each stream, so
+	// the counts alone cannot reproduce what a shorter window would have
+	// seen there; FoldTo replays these prefixes to recover those
+	// transitions exactly. Keys pack min(len, order) in the high word and
+	// the prefix bits in the low word (bit i = stream element i, oldest
+	// first); values are multiplicities.
+	warmups map[uint64]uint64
 }
 
 // New returns an empty model of the given order (1..24). Orders beyond the
@@ -126,24 +137,74 @@ func (m *Model) ObserveN(h uint32, next bool, n uint64) {
 // t).
 func (m *Model) AddTrace(b *bitseq.Bits) {
 	h := bitseq.NewHistory(m.order)
+	var prefix uint32
 	for i := 0; i < b.Len(); i++ {
 		v := b.At(i)
+		if i < m.order && v {
+			prefix |= 1 << uint(i)
+		}
 		if h.Warm() {
 			m.Observe(h.Value(), v)
 		}
 		h.Push(v)
 	}
+	m.addWarmup(warmupKey(prefix, min(b.Len(), m.order)), 1)
 }
 
 // AddBools is AddTrace for a plain boolean slice.
 func (m *Model) AddBools(vs []bool) {
 	h := bitseq.NewHistory(m.order)
-	for _, v := range vs {
+	var prefix uint32
+	for i, v := range vs {
+		if i < m.order && v {
+			prefix |= 1 << uint(i)
+		}
 		if h.Warm() {
 			m.Observe(h.Value(), v)
 		}
 		h.Push(v)
 	}
+	m.addWarmup(warmupKey(prefix, min(len(vs), m.order)), 1)
+}
+
+// warmupKey packs a warm-up prefix of n bits (bit i = stream element i,
+// oldest first) into a multiset key.
+func warmupKey(bits uint32, n int) uint64 {
+	return uint64(n)<<32 | uint64(bits)
+}
+
+// warmupString renders a warm-up key as its stream bits, oldest first.
+func warmupString(key uint64) string {
+	n := int(key >> 32)
+	buf := make([]byte, n)
+	for i := 0; i < n; i++ {
+		buf[i] = '0' + byte(key>>uint(i)&1)
+	}
+	return string(buf)
+}
+
+// addWarmup records count copies of a warm-up prefix. Zero-length
+// prefixes (empty streams) contribute nothing at any order and are not
+// stored.
+func (m *Model) addWarmup(key uint64, count uint64) {
+	if key>>32 == 0 || count == 0 {
+		return
+	}
+	if m.warmups == nil {
+		m.warmups = make(map[uint64]uint64)
+	}
+	m.warmups[key] += count
+}
+
+// Warmups returns the number of recorded stream warm-up prefixes,
+// counting multiplicity. Models built only with Observe/ObserveN have
+// none and fold as pure count tables.
+func (m *Model) Warmups() int {
+	var n uint64
+	for _, c := range m.warmups {
+		n += c
+	}
+	return int(n)
 }
 
 // Count returns the tally for history h (zero if unseen).
@@ -230,7 +291,137 @@ func (m *Model) Merge(other *Model) error {
 		m.ObserveN(h, false, c.Zeros)
 		m.ObserveN(h, true, c.Ones)
 	})
+	for key, count := range other.warmups {
+		m.addWarmup(key, count)
+	}
 	return nil
+}
+
+// Subtract removes every observation of other from m, inverting Merge:
+// after m.Merge(x), m.Subtract(x) restores m exactly (counts are integer
+// tallies, so the algebra is lossless). It returns an error — leaving m
+// unchanged — if other contains an observation or warm-up prefix m does
+// not, which signals the caller is subtracting a model that was never
+// merged in.
+func (m *Model) Subtract(other *Model) error {
+	if other.order != m.order {
+		return fmt.Errorf("markov: cannot subtract order %d from order %d", other.order, m.order)
+	}
+	var err error
+	other.Each(func(h uint32, c Count) {
+		if err != nil {
+			return
+		}
+		have := m.Count(h)
+		if have.Zeros < c.Zeros || have.Ones < c.Ones {
+			err = fmt.Errorf("markov: subtract underflow at history %s: have %d/%d, removing %d/%d",
+				bitseq.HistoryString(h, m.order), have.Zeros, have.Ones, c.Zeros, c.Ones)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	for key, count := range other.warmups {
+		if m.warmups[key] < count {
+			return fmt.Errorf("markov: subtract underflow for warm-up prefix %q: have %d, removing %d",
+				warmupString(key), m.warmups[key], count)
+		}
+	}
+	other.Each(func(h uint32, c Count) { m.remove(h, c) })
+	for key, count := range other.warmups {
+		if left := m.warmups[key] - count; left == 0 {
+			delete(m.warmups, key)
+		} else {
+			m.warmups[key] = left
+		}
+	}
+	return nil
+}
+
+// remove subtracts c from the tally of history h. The caller has already
+// verified no underflow occurs.
+func (m *Model) remove(h uint32, c Count) {
+	h &= m.mask()
+	if m.dense != nil {
+		d := &m.dense[h]
+		d.Zeros -= c.Zeros
+		d.Ones -= c.Ones
+		if c.Total() > 0 && d.Total() == 0 {
+			m.distinct--
+		}
+		return
+	}
+	d := m.counts[h]
+	d.Zeros -= c.Zeros
+	d.Ones -= c.Ones
+	if d.Total() == 0 {
+		delete(m.counts, h)
+	} else {
+		m.counts[h] = d
+	}
+}
+
+// FoldTo derives the exact order-k model (k ≤ Order) the same streams
+// would have produced if profiled at order k directly. Because the most
+// recent bit is the LSB, an order-k history is the low k bits of an
+// order-N history, so counts fold by summing over the high N−k bits.
+// Transitions at stream offsets [k, N) — which the order-N window was
+// still warming up for — are recovered by replaying the recorded warm-up
+// prefixes. Models built only with Observe/ObserveN carry no prefixes
+// and fold as pure count tables.
+func (m *Model) FoldTo(k int) (*Model, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("markov: fold order %d out of range", k)
+	}
+	if k > m.order {
+		return nil, fmt.Errorf("markov: cannot fold order %d up to %d", m.order, k)
+	}
+	if k == m.order {
+		return m.Clone(), nil
+	}
+	out := New(k)
+	kmask := uint32(1)<<uint(k) - 1
+	m.Each(func(h uint32, c Count) {
+		out.ObserveN(h&kmask, false, c.Zeros)
+		out.ObserveN(h&kmask, true, c.Ones)
+	})
+	for key, count := range m.warmups {
+		n := int(key >> 32)
+		var reg uint32
+		for i := 0; i < n; i++ {
+			b := key>>uint(i)&1 == 1
+			if i >= k {
+				out.ObserveN(reg&kmask, b, count)
+			}
+			reg = reg<<1 | uint32(key>>uint(i)&1)
+		}
+		out.addWarmup(warmupKey(uint32(key)&(uint32(1)<<uint(min(n, k))-1), min(n, k)), count)
+	}
+	return out, nil
+}
+
+// Equal reports whether two models are observation-for-observation
+// identical: same order, same tally for every history, and the same
+// warm-up prefix multiset.
+func (m *Model) Equal(other *Model) bool {
+	if m.order != other.order || m.Distinct() != other.Distinct() {
+		return false
+	}
+	equal := true
+	m.Each(func(h uint32, c Count) {
+		if other.Count(h) != c {
+			equal = false
+		}
+	})
+	if !equal || len(m.warmups) != len(other.warmups) {
+		return false
+	}
+	for key, count := range m.warmups {
+		if other.warmups[key] != count {
+			return false
+		}
+	}
+	return true
 }
 
 // Clone returns an independent copy of the model.
@@ -239,12 +430,15 @@ func (m *Model) Clone() *Model {
 	if m.dense != nil {
 		copy(c.dense, m.dense)
 		c.distinct = m.distinct
-		return c
+	} else {
+		m.Each(func(h uint32, v Count) {
+			c.ObserveN(h, false, v.Zeros)
+			c.ObserveN(h, true, v.Ones)
+		})
 	}
-	m.Each(func(h uint32, v Count) {
-		c.ObserveN(h, false, v.Zeros)
-		c.ObserveN(h, true, v.Ones)
-	})
+	for key, count := range m.warmups {
+		c.addWarmup(key, count)
+	}
 	return c
 }
 
@@ -253,7 +447,9 @@ func (m *Model) mask() uint32 {
 }
 
 // WriteTo serializes the model as text: a header line "markov <order>"
-// followed by "history zeros ones" rows in ascending history order.
+// followed by "history zeros ones" rows in ascending history order, then
+// "warmup <prefix> <count>" rows (stream bits oldest-first) for any
+// recorded warm-up prefixes, in ascending key order.
 func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	var n int64
@@ -265,6 +461,18 @@ func (m *Model) WriteTo(w io.Writer) (int64, error) {
 	for _, h := range m.Histories() {
 		c := m.Count(h)
 		k, err = fmt.Fprintf(bw, "%s %d %d\n", bitseq.HistoryString(h, m.order), c.Zeros, c.Ones)
+		n += int64(k)
+		if err != nil {
+			return n, err
+		}
+	}
+	keys := make([]uint64, 0, len(m.warmups))
+	for key := range m.warmups {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, key := range keys {
+		k, err = fmt.Fprintf(bw, "warmup %s %d\n", warmupString(key), m.warmups[key])
 		n += int64(k)
 		if err != nil {
 			return n, err
@@ -287,6 +495,28 @@ func Read(r io.Reader) (*Model, error) {
 	for sc.Scan() {
 		line := sc.Text()
 		if line == "" {
+			continue
+		}
+		if ws, ok := strings.CutPrefix(line, "warmup "); ok {
+			var prefix string
+			var count uint64
+			if _, err := fmt.Sscanf(ws, "%s %d", &prefix, &count); err != nil {
+				return nil, fmt.Errorf("markov: bad warmup row %q: %v", line, err)
+			}
+			if len(prefix) > order {
+				return nil, fmt.Errorf("markov: warmup prefix %q longer than order %d", prefix, order)
+			}
+			var bits uint32
+			for i := 0; i < len(prefix); i++ {
+				switch prefix[i] {
+				case '1':
+					bits |= 1 << uint(i)
+				case '0':
+				default:
+					return nil, fmt.Errorf("markov: bad warmup prefix %q", prefix)
+				}
+			}
+			m.addWarmup(warmupKey(bits, len(prefix)), count)
 			continue
 		}
 		var hs string

@@ -28,9 +28,12 @@ func requestKey(bits *bitseq.Bits, opt core.Options) cacheKey {
 	opt = opt.Canonical()
 	h := sha256.New()
 	h.Write(trace.CanonicalBits(bits))
-	fmt.Fprintf(h, "order=%d bias=%v dc=%v keepUnseen=%t keepStartup=%t name=%q\n",
+	// Artifacts is in the key because the response carries the pipeline's
+	// intermediate sizes: a direct-construction result, though its machine
+	// is identical, must not satisfy a request that asked for them.
+	fmt.Fprintf(h, "order=%d bias=%v dc=%v keepUnseen=%t keepStartup=%t artifacts=%t name=%q\n",
 		opt.Order, opt.BiasThreshold, opt.DontCareBudget,
-		opt.KeepUnseen, opt.KeepStartup, opt.Name)
+		opt.KeepUnseen, opt.KeepStartup, opt.Artifacts, opt.Name)
 	var k cacheKey
 	h.Sum(k[:0])
 	return k

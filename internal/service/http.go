@@ -55,7 +55,11 @@ type OptionsJSON struct {
 	DontCareBudget float64 `json:"dont_care_budget,omitempty"`
 	KeepUnseen     bool    `json:"keep_unseen,omitempty"`
 	KeepStartup    bool    `json:"keep_startup,omitempty"`
-	Name           string  `json:"name,omitempty"`
+	// Artifacts requests the full regex→NFA→DFA pipeline so the response
+	// carries the intermediate sizes (nfa_states and friends); the
+	// default is the direct construction, whose machine is identical.
+	Artifacts bool   `json:"artifacts,omitempty"`
+	Name      string `json:"name,omitempty"`
 }
 
 // Options converts the wire form to core options.
@@ -66,6 +70,7 @@ func (o OptionsJSON) Options() core.Options {
 		DontCareBudget: o.DontCareBudget,
 		KeepUnseen:     o.KeepUnseen,
 		KeepStartup:    o.KeepStartup,
+		Artifacts:      o.Artifacts,
 		Name:           o.Name,
 	}
 }

@@ -223,7 +223,7 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 		"fsmpredict_designs_completed_total 1",
 		"fsmpredict_design_cache_misses_total 1",
 		"fsmpredict_design_seconds_count 1",
-		"fsmpredict_stage_hopcroft_seconds_count 1",
+		"fsmpredict_stage_direct_seconds_count 1",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics exposition missing %q:\n%s", want, body)

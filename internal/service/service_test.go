@@ -439,3 +439,78 @@ func TestSimulate(t *testing.T) {
 		t.Errorf("negative skip: err = %v, want ErrInvalid", err)
 	}
 }
+
+// TestConcurrentFastPathDesignsRace drives real design pipelines — not
+// the stubbed designFn — through the worker pool from many goroutines
+// with caching disabled, so concurrent runs genuinely share the pooled
+// minimizer scratch (the QM cube tables and Hopcroft arrays behind the
+// direct fast path). Run under -race it is the regression gate for that
+// sharing. It also pins the artifacts contract: default requests leave
+// the intermediate sizes zero, artifacts requests populate them, and
+// both shapes coexist for the same trace.
+func TestConcurrentFastPathDesignsRace(t *testing.T) {
+	s := New(Config{Workers: 4, QueueDepth: 1024, CacheEntries: -1})
+	defer s.Close()
+
+	traces := []string{
+		"0000 1000 1011 1101 1110 1111",
+		"0101 0101 0101 0101 1101 0101",
+		"0011 0011 0011 0011 0011 0011",
+		"1110 1110 1110 0110 1110 1110",
+	}
+	const goroutines = 8
+	const perG = 12
+	var wg sync.WaitGroup
+	errc := make(chan error, goroutines)
+	for gi := 0; gi < goroutines; gi++ {
+		wg.Add(1)
+		go func(gi int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				tr := traces[(gi+i)%len(traces)]
+				opt := core.Options{Order: 2 + (gi+i)%2}
+				artifacts := i%3 == 0
+				opt.Artifacts = artifacts
+				res, _, err := s.DesignString(context.Background(), tr, opt)
+				if err != nil {
+					errc <- fmt.Errorf("goroutine %d request %d: %v", gi, i, err)
+					return
+				}
+				if res.States == 0 {
+					errc <- fmt.Errorf("goroutine %d request %d: empty machine", gi, i)
+					return
+				}
+				if artifacts && res.Stats.NFAStates == 0 {
+					errc <- fmt.Errorf("goroutine %d request %d: artifacts requested but nfa_states is 0", gi, i)
+					return
+				}
+				if !artifacts && res.Stats.NFAStates != 0 {
+					errc <- fmt.Errorf("goroutine %d request %d: fast path reported nfa_states %d", gi, i, res.Stats.NFAStates)
+					return
+				}
+			}
+		}(gi)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Error(err)
+	}
+
+	// Same trace and order, differing only in Artifacts: distinct cache
+	// keys, identical machines.
+	fast, _, err := s.DesignString(context.Background(), paperTrace, core.Options{Order: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, _, err := s.DesignString(context.Background(), paperTrace, core.Options{Order: 2, Artifacts: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Key == full.Key {
+		t.Error("artifacts option does not separate cache keys")
+	}
+	if !bytes.Equal(fast.Machine, full.Machine) {
+		t.Error("fast path and full pipeline produced different machine JSON")
+	}
+}

@@ -58,6 +58,7 @@ type Store struct {
 	mu       sync.Mutex
 	branches map[Key]*flight[*Packed]
 	loads    map[Key]*flight[[]trace.LoadEvent]
+	confs    map[confKey]*flight[*ConfStreams] // lazily allocated
 
 	hits   atomic.Uint64
 	misses atomic.Uint64
@@ -86,7 +87,7 @@ func (s *Store) Stats() Stats {
 func (s *Store) Len() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.branches) + len(s.loads)
+	return len(s.branches) + len(s.loads) + len(s.confs)
 }
 
 // Branches returns the packed branch trace of (program, variant, n),
