@@ -13,11 +13,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"fsmpredict/internal/bpred"
 	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/experiments"
+	"fsmpredict/internal/fsm"
 	"fsmpredict/internal/stats"
+	"fsmpredict/internal/tracestore"
 	"fsmpredict/internal/workload"
 )
 
@@ -29,6 +32,7 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV series instead of tables")
 		ppm     = flag.Bool("ppm", false, "also run the Chen et al. PPM baseline (§3.2)")
 		workers = flag.Int("workers", 0, "parallel design/simulation workers (0 = GOMAXPROCS)")
+		verbose = flag.Bool("v", false, "report trace-store and block-table cache statistics to stderr")
 	)
 	profile := cliutil.ProfileFlags()
 	flag.Parse()
@@ -75,6 +79,17 @@ func main() {
 		if *ppm {
 			reportPPM(p, cfg)
 		}
+	}
+	if *verbose {
+		st := tracestore.Shared.Stats()
+		fmt.Fprintf(os.Stderr, "tracestore: %d hits, %d misses, %d entries, %.1f MiB retained\n",
+			st.Hits, st.Misses, tracestore.Shared.Len(), float64(st.Bytes)/(1<<20))
+		// The per-branch custom machines ride the byte-blocked superstep
+		// kernel; each distinct machine compiles one transition-closure
+		// table, reused across the prefix sweep and both inputs.
+		bt := fsm.BlockStats()
+		fmt.Fprintf(os.Stderr, "blocktable: %d hits, %d misses, %d tables, %.1f KiB retained\n",
+			bt.Hits, bt.Misses, bt.Entries, float64(bt.Bytes)/(1<<10))
 	}
 	stop()
 }

@@ -19,6 +19,7 @@ import (
 
 	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/experiments"
+	"fsmpredict/internal/fsm"
 	"fsmpredict/internal/stats"
 	"fsmpredict/internal/tracestore"
 )
@@ -73,6 +74,11 @@ func main() {
 		st := tracestore.Shared.Stats()
 		fmt.Fprintf(os.Stderr, "tracestore: %d hits, %d misses, %d entries, %.1f MiB retained\n",
 			st.Hits, st.Misses, tracestore.Shared.Len(), float64(st.Bytes)/(1<<20))
+		// Every counter config and designed FSM compiles one transition-
+		// closure table, shared across programs and thresholds.
+		bt := fsm.BlockStats()
+		fmt.Fprintf(os.Stderr, "blocktable: %d hits, %d misses, %d tables, %.1f KiB retained\n",
+			bt.Hits, bt.Misses, bt.Entries, float64(bt.Bytes)/(1<<10))
 	}
 	stop()
 }

@@ -50,17 +50,13 @@ func main() {
 	fmt.Printf("\n5. final machine (Figure 1, right): %s\n", m)
 
 	// Drive the machine over the training trace and report steady-state
-	// accuracy.
-	var trace []bool
-	for _, ch := range paperTrace {
-		switch ch {
-		case '0':
-			trace = append(trace, false)
-		case '1':
-			trace = append(trace, true)
-		}
+	// accuracy. The packed trace feeds the byte-blocked simulation kernel
+	// directly — no []bool expansion.
+	trace, err := fsmpredict.ParseBits(paperTrace)
+	if err != nil {
+		log.Fatal(err)
 	}
-	res := m.Simulate(trace, 2)
+	res := m.SimulateBits(trace, 2)
 	fmt.Printf("\n6. replaying t: %d/%d correct after warm-up (miss rate %.1f%%)\n",
 		res.Correct, res.Total, res.MissRate()*100)
 

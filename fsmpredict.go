@@ -60,6 +60,16 @@ type MarkovModel = markov.Model
 // Synthesis is the gate-level synthesis result of a Machine.
 type Synthesis = vhdl.Synthesis
 
+// Bits is a packed bit sequence — the zero-copy trace representation
+// every simulation kernel consumes. Machine.SimulateBits replays one
+// through the byte-blocked superstep kernel without expanding to
+// []bool.
+type Bits = bitseq.Bits
+
+// ParseBits packs a textual 0/1 trace (whitespace and underscores
+// ignored) for the packed simulation API.
+func ParseBits(trace string) (*Bits, error) { return bitseq.FromString(trace) }
+
 // DesignFromTrace runs the automated design flow of §4 on a trace written
 // as a string of '0' and '1' characters (whitespace and underscores are
 // ignored).

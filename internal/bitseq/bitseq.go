@@ -15,6 +15,7 @@ package bitseq
 
 import (
 	"fmt"
+	"math/bits"
 	"strings"
 )
 
@@ -122,16 +123,22 @@ func (b *Bits) Uint64At(i, w int) uint64 {
 	return v & (1<<uint(w) - 1)
 }
 
-// Ones counts the set bits.
+// Ones counts the set bits. Append never sets bits past Len, so the
+// count is a word-level popcount rather than a per-bit scan.
 func (b *Bits) Ones() int {
 	c := 0
-	for i := 0; i < b.n; i++ {
-		if b.At(i) {
-			c++
-		}
+	for _, w := range b.words {
+		c += bits.OnesCount64(w)
 	}
 	return c
 }
+
+// Words exposes the packed backing store: bit i of the sequence is
+// words()[i/64] >> (i%64) & 1, and every bit at position Len() or above
+// is zero. The slice is shared, not copied — callers must treat it as
+// read-only. It is the input format of the fsm block-table kernels,
+// which consume the sequence a byte at a time.
+func (b *Bits) Words() []uint64 { return b.words }
 
 // String renders the sequence as a string of '0' and '1' in append order.
 func (b *Bits) String() string {

@@ -254,6 +254,80 @@ func TestRunCustomPrefixesMatchesRun(t *testing.T) {
 	}
 }
 
+// TestRunAllMatchesRunKernelOff repeats the RunAll differential with the
+// block kernel disabled, covering the scalar stepper fallback.
+func TestRunAllMatchesRunKernelOff(t *testing.T) {
+	defer fsm.SetBlockKernel(fsm.SetBlockKernel(false))
+	train := benchEvents(t, "gsm", workload.Train, 10_000)
+	test := benchEvents(t, "gsm", workload.Test, 10_000)
+	packed := tracestore.Pack(test)
+	for name, mk := range predictorMatrix(t, train) {
+		got := RunAll([]Predictor{mk()}, packed)
+		want := Run(mk(), test)
+		if got[0] != want {
+			t.Errorf("%s: RunAll = %+v, Run = %+v", name, got[0], want)
+		}
+	}
+}
+
+// TestRunAllCustomStateful checks the blocked custom path preserves the
+// scalar path's cross-call statefulness: a Custom instance keeps its
+// runner and base state between RunAll calls, so a second pass over the
+// same trace must match the scalar stepper's second pass exactly, under
+// both update policies.
+func TestRunAllCustomStateful(t *testing.T) {
+	train := benchEvents(t, "gsm", workload.Train, 12_000)
+	test := benchEvents(t, "gsm", workload.Test, 12_000)
+	entries, err := TrainCustom(train, TrainOptions{MaxEntries: 4, Order: 5, MinExecutions: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	packed := tracestore.Pack(test)
+	for _, matchedOnly := range []bool{false, true} {
+		blocked, scalar := NewCustom(entries), NewCustom(entries)
+		blocked.UpdateMatchedOnly = matchedOnly
+		scalar.UpdateMatchedOnly = matchedOnly
+		for pass := 0; pass < 3; pass++ {
+			got := RunAll([]Predictor{blocked}, packed)
+			want := Run(scalar, test)
+			if got[0] != want {
+				t.Fatalf("matchedOnly=%v pass %d: blocked %+v, scalar %+v",
+					matchedOnly, pass, got[0], want)
+			}
+		}
+	}
+}
+
+// TestRunCustomPrefixesParallelMatches checks the sharded prefix sweep is
+// deterministic and worker-count independent: every worker setting must
+// reproduce the scalar single-pass sweep exactly. Running it under
+// -race also stress-tests the shared block-table cache, which all
+// workers hit concurrently.
+func TestRunCustomPrefixesParallelMatches(t *testing.T) {
+	train := benchEvents(t, "vortex", workload.Train, 20_000)
+	test := benchEvents(t, "vortex", workload.Test, 20_000)
+	entries, err := TrainCustom(train, TrainOptions{MaxEntries: 6, Order: 5, MinExecutions: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) >= 2 {
+		entries = append(entries, &CustomEntry{Tag: entries[0].Tag, Machine: entries[1].Machine})
+	}
+	packed := tracestore.Pack(test)
+	want := runCustomPrefixesScalar(entries, packed)
+	for _, workers := range []int{0, 1, 2, 7} {
+		got := RunCustomPrefixesParallel(entries, packed, workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(got), len(want))
+		}
+		for k := range want {
+			if got[k] != want[k] {
+				t.Fatalf("workers=%d prefix %d: blocked %+v, scalar %+v", workers, k, got[k], want[k])
+			}
+		}
+	}
+}
+
 // benchBatch builds the standard benchmark batch: every table
 // architecture plus a trained custom predictor.
 func benchBatch(b *testing.B, train []trace.BranchEvent) []Predictor {

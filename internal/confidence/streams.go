@@ -1,6 +1,8 @@
 package confidence
 
 import (
+	"math/bits"
+
 	"fsmpredict/internal/counters"
 	"fsmpredict/internal/fsm"
 	"fsmpredict/internal/markov"
@@ -70,15 +72,49 @@ func EvaluateGlobalStreams(cs *tracestore.ConfStreams, est counters.Predictor) R
 	return r
 }
 
+// EvaluateStreamsMachine is EvaluateStreams for a machine-backed
+// estimator, replayed through the machine's block table: per segment,
+// one ReplayGated pass scores flagged/flagged-correct 8 events per
+// lookup, and accesses/correct reduce to word popcounts over the
+// packed valid and correct streams. Falls back to the generic
+// bit-at-a-time replay — the differential oracle — when the block
+// kernel is unavailable.
+func EvaluateStreamsMachine(cs *tracestore.ConfStreams, m *fsm.Machine) Result {
+	t := fsm.BlockTableFor(m)
+	if t == nil {
+		return EvaluateStreams(cs, func() counters.Predictor { return m.NewRunner() })
+	}
+	var r Result
+	for _, seg := range cs.Segments {
+		n := seg.Valid.Len()
+		cw, vw := seg.Correct.Words(), seg.Valid.Words()
+		flagged, flaggedCorrect := t.ReplayGated(cw, vw, n)
+		r.Flagged += flagged
+		r.FlaggedCorrect += flaggedCorrect
+		r.Accesses += seg.Valid.Ones()
+		r.Correct += onesAnd(vw, cw)
+	}
+	return r
+}
+
+// onesAnd counts positions set in both packed streams (valid AND
+// correct accesses; the streams have equal bit length).
+func onesAnd(a, b []uint64) int {
+	c := 0
+	for i, w := range a {
+		c += bits.OnesCount64(w & b[i])
+	}
+	return c
+}
+
 // SUDSweepStreams evaluates the Figure 2 counter configurations by
-// stream replay, matching SUDSweep.
+// stream replay, matching SUDSweep. Each counter is expanded into its
+// explicit Moore machine (counters.SUDConfig.Machine — a saturating
+// counter is just a small FSM) so the sweep rides the blocked kernel.
 func SUDSweepStreams(cs *tracestore.ConfStreams) []SUDPoint {
 	var out []SUDPoint
 	for _, cfg := range counters.PaperSweep() {
-		cfg := cfg
-		res := EvaluateStreams(cs, func() counters.Predictor {
-			return counters.NewSUD(cfg)
-		})
+		res := EvaluateStreamsMachine(cs, cfg.Machine())
 		out = append(out, SUDPoint{Config: cfg, Result: res})
 	}
 	return out
@@ -112,8 +148,6 @@ func GlobalModel(cs *tracestore.ConfStreams, order int) *markov.Model {
 // replay, matching FSMCurve.
 func FSMCurveStreams(model *markov.Model, thresholds []float64, cs *tracestore.ConfStreams) ([]FSMPoint, error) {
 	return fsmCurve(model, thresholds, func(machine *fsm.Machine) Result {
-		return EvaluateStreams(cs, func() counters.Predictor {
-			return machine.NewRunner()
-		})
+		return EvaluateStreamsMachine(cs, machine)
 	})
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"fsmpredict/internal/counters"
+	"fsmpredict/internal/fsm"
 	"fsmpredict/internal/markov"
 	"fsmpredict/internal/trace"
 	"fsmpredict/internal/tracestore"
@@ -86,6 +87,47 @@ func TestSUDSweepStreamsMatches(t *testing.T) {
 		if got[i].Config != want[i].Config || got[i].Result != want[i].Result {
 			t.Fatalf("sweep point %d differs: %+v vs %+v", i, got[i], want[i])
 		}
+	}
+}
+
+// TestEvaluateStreamsMachineMatches is the block-kernel differential
+// test: the gated byte-blocked replay must be tally-for-tally
+// identical to the generic per-bit estimator replay, for both counter
+// machines and the scalar fallback with the kernel disabled.
+func TestEvaluateStreamsMachineMatches(t *testing.T) {
+	_, cs := streamFixtures(t)
+	for _, cfg := range counters.PaperSweep()[:12] {
+		cfg := cfg
+		m := cfg.Machine()
+		want := EvaluateStreams(cs, func() counters.Predictor { return m.NewRunner() })
+		if got := EvaluateStreamsMachine(cs, m); got != want {
+			t.Fatalf("config %v: blocked %+v, generic %+v", cfg, got, want)
+		}
+		// The counter itself and its machine expansion must agree too.
+		asCounter := EvaluateStreams(cs, func() counters.Predictor { return counters.NewSUD(cfg) })
+		if asCounter != want {
+			t.Fatalf("config %v: SUD %+v, machine runner %+v", cfg, asCounter, want)
+		}
+	}
+	prev := fsm.SetBlockKernel(false)
+	defer fsm.SetBlockKernel(prev)
+	cfg := counters.PaperSweep()[0]
+	m := cfg.Machine()
+	want := EvaluateStreams(cs, func() counters.Predictor { return m.NewRunner() })
+	if got := EvaluateStreamsMachine(cs, m); got != want {
+		t.Fatalf("kernel off: %+v, want %+v", got, want)
+	}
+}
+
+// TestEvaluateStreamsMachineAllocs guards the blocked replay's
+// steady-state loop: after the table is cached, a full evaluation
+// allocates nothing.
+func TestEvaluateStreamsMachineAllocs(t *testing.T) {
+	_, cs := streamFixtures(t)
+	m := counters.PaperSweep()[0].Machine()
+	EvaluateStreamsMachine(cs, m) // warm the table cache
+	if avg := testing.AllocsPerRun(10, func() { EvaluateStreamsMachine(cs, m) }); avg != 0 {
+		t.Errorf("EvaluateStreamsMachine allocates %.1f per run, want 0", avg)
 	}
 }
 

@@ -219,6 +219,7 @@ func FromModel(m *markov.Model, opt Options) (*Design, error) {
 		d.Machine = fsm.FromDFA(final)
 		d.Machine.Name = opt.Name
 		opt.observe("direct", start)
+		fsm.BlockTableFor(d.Machine) // warm the superstep table cache
 		return d, nil
 	}
 	start = opt.now()
@@ -244,6 +245,7 @@ func FromModel(m *markov.Model, opt Options) (*Design, error) {
 	d.Machine = fsm.FromDFA(final)
 	d.Machine.Name = opt.Name
 	opt.observe("reduce", start)
+	fsm.BlockTableFor(d.Machine) // warm the superstep table cache
 	return d, nil
 }
 

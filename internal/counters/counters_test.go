@@ -4,6 +4,9 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/fsm"
 )
 
 func TestTwoBitBehaviour(t *testing.T) {
@@ -129,6 +132,38 @@ func TestMachineMatchesCounter(t *testing.T) {
 			b := rng.Intn(2) == 1
 			ctr.Update(b)
 			r.Update(b)
+		}
+	}
+}
+
+// TestMachineBlockTableMatchesCounter closes the loop from the counter
+// abstraction to the byte-blocked superstep kernel: a full blocked
+// replay of a packed stream must flag exactly the events the stepped
+// counter is confident on. This is what lets SUDSweepStreams run
+// saturating counters through the same kernel as designed FSMs.
+func TestMachineBlockTableMatchesCounter(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, cfg := range PaperSweep()[:10] {
+		tab := fsm.BlockTableFor(cfg.Machine())
+		if tab == nil {
+			t.Fatalf("%v: no block table for counter machine", cfg)
+		}
+		stream := &bitseq.Bits{}
+		ctr := NewSUD(cfg)
+		correct := 0
+		const n = 4000
+		for i := 0; i < n; i++ {
+			b := rng.Intn(3) > 0 // biased, like a real correctness stream
+			if ctr.Predict() == b {
+				correct++
+			}
+			ctr.Update(b)
+			stream.Append(b)
+		}
+		got := tab.SimulatePacked(stream.Words(), stream.Len(), 0)
+		if got.Total != n || got.Correct != correct {
+			t.Fatalf("%v: blocked (%d/%d), counter (%d/%d)",
+				cfg, got.Correct, got.Total, correct, n)
 		}
 	}
 }

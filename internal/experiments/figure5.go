@@ -109,10 +109,12 @@ func Figure5(program string, cfg Config, fsmArea func(states int) float64) (*Fig
 	// One area point per custom-predictor count. Under the update-all
 	// policy every prefix of the entry set shares base and runner state,
 	// so the whole sweep is two single-pass prefix simulations (train and
-	// test input, run concurrently) instead of one pass per point.
+	// test input, run concurrently) instead of one pass per point — and
+	// within each pass the per-entry blocked replays shard across the
+	// configured workers.
 	sweeps, err := par.MapSlice(ctx, 2, []*tracestore.Packed{train, test},
 		func(_ int, tr *tracestore.Packed) ([]bpred.Result, error) {
-			return bpred.RunCustomPrefixes(entries, tr), nil
+			return bpred.RunCustomPrefixesParallel(entries, tr, cfg.Workers), nil
 		})
 	if err != nil {
 		return nil, err

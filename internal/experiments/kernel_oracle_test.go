@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"fsmpredict/internal/fsm"
+)
+
+// TestFiguresKernelOnOffIdentical is the figure-level oracle for the
+// byte-blocked superstep kernel: every figure result must be
+// byte-identical (reflect.DeepEqual over the full result structs, exact
+// float equality included) with the kernel enabled and disabled. This
+// pins the kernel's exactness end to end — trace generation, packing,
+// training, replay, and statistics — not just per-kernel.
+func TestFiguresKernelOnOffIdentical(t *testing.T) {
+	cfg := Config{
+		BranchEvents: 20_000,
+		LoadEvents:   15_000,
+		MaxCustom:    4,
+		Order:        5,
+		Histories:    []int{2, 4},
+		TableLog2:    7,
+		Workers:      1,
+	}
+	area := func(states int) float64 { return 12.5 * float64(states) }
+
+	type run struct {
+		name string
+		do   func() (any, error)
+	}
+	runs := []run{
+		{"figure2", func() (any, error) { return Figure2("gcc", cfg) }},
+		{"figure4", func() (any, error) { return Figure4(cfg, 1.0) }},
+		{"figure5", func() (any, error) { return Figure5("gsm", cfg, area) }},
+		{"figure6", func() (any, error) { return Figure6(cfg) }},
+		{"figure7", func() (any, error) { return Figure7(cfg) }},
+	}
+	for _, r := range runs {
+		t.Run(r.name, func(t *testing.T) {
+			on, err := r.do()
+			if err != nil {
+				t.Fatal(err)
+			}
+			prev := fsm.SetBlockKernel(false)
+			defer fsm.SetBlockKernel(prev)
+			off, err := r.do()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(on, off) {
+				t.Fatalf("kernel on/off results differ:\non:  %+v\noff: %+v", on, off)
+			}
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 	"io"
 	"strings"
 
+	"fsmpredict/internal/bitseq"
 	"fsmpredict/internal/dfa"
 )
 
@@ -121,6 +122,16 @@ func (r *Runner) State() int { return r.state }
 // Reset returns the runner to the start state.
 func (r *Runner) Reset() { r.state = r.m.Start }
 
+// SetState positions the runner at an arbitrary state — the bridge
+// that lets a blocked kernel advance a runner bank out-of-band and
+// write the exit states back. It panics on an out-of-range state.
+func (r *Runner) SetState(s int) {
+	if s < 0 || s >= r.m.NumStates() {
+		panic(fmt.Sprintf("fsm: state %d out of range [0,%d)", s, r.m.NumStates()))
+	}
+	r.state = s
+}
+
 // Machine returns the shared machine.
 func (r *Runner) Machine() *Machine { return r.m }
 
@@ -149,12 +160,54 @@ func (s SimResult) Accuracy() float64 {
 // Simulate predicts every bit of the trace in sequence, updating after
 // each outcome, and tallies correctness. skip outcomes at the head are
 // consumed as warm-up without being scored (the paper scores steady-state
-// behaviour). The walk is inlined rather than going through a Runner so a
-// simulation performs no allocations.
+// behaviour). It runs on the byte-blocked superstep kernel (block.go)
+// via the shared table cache — compiling the machine's closure table on
+// first use, so steady-state calls allocate nothing — and falls back to
+// the scalar walk when the kernel is disabled or the machine exceeds
+// the table bound. Results are bit-identical either way.
 func (m *Machine) Simulate(trace []bool, skip int) SimResult {
+	if t := BlockTableFor(m); t != nil {
+		return t.simulateBools(trace, skip)
+	}
+	return m.SimulateScalar(trace, skip)
+}
+
+// SimulateScalar is the bit-at-a-time reference walk — the
+// differential oracle every blocked kernel is tested against. The walk
+// is inlined rather than going through a Runner so a simulation
+// performs no allocations.
+func (m *Machine) SimulateScalar(trace []bool, skip int) SimResult {
 	state := m.Start
 	var res SimResult
 	for i, b := range trace {
+		if i >= skip {
+			res.Total++
+			if m.Output[state] == b {
+				res.Correct++
+			}
+		}
+		if b {
+			state = m.Next[state][1]
+		} else {
+			state = m.Next[state][0]
+		}
+	}
+	return res
+}
+
+// SimulateBits is Simulate over a packed sequence: the hot entry point
+// for callers that already hold bit-packed outcomes (the serving
+// layer, the packed trace store), avoiding the []bool unpacking
+// entirely.
+func (m *Machine) SimulateBits(trace *bitseq.Bits, skip int) SimResult {
+	if t := BlockTableFor(m); t != nil {
+		return t.SimulatePacked(trace.Words(), trace.Len(), skip)
+	}
+	state := m.Start
+	var res SimResult
+	n := trace.Len()
+	for i := 0; i < n; i++ {
+		b := trace.At(i)
 		if i >= skip {
 			res.Total++
 			if m.Output[state] == b {

@@ -1,0 +1,202 @@
+// Package memo provides the bounded content-addressed cache primitive
+// shared by the serving layer and the simulation kernels: an LRU map
+// with singleflight request coalescing and hit/miss/byte statistics.
+//
+// It generalizes the two caches that grew independently in earlier
+// revisions — the service's design-result LRU and the trace store's
+// singleflight table — into one type: values are immutable once
+// inserted and shared by all readers, concurrent requests for a missing
+// key block on the one in-flight computation instead of duplicating
+// it, and an optional validator lets callers content-verify a hit when
+// the key is a lossy digest of the source (the fsm block-table cache
+// keys on a 64-bit machine hash and re-checks the machine itself).
+package memo
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Stats is a point-in-time snapshot of cache effectiveness.
+type Stats struct {
+	// Hits counts lookups served from the cache, including requests
+	// coalesced onto another caller's in-flight computation.
+	Hits uint64
+	// Misses counts computations actually run.
+	Misses uint64
+	// Entries is the current number of cached values.
+	Entries uint64
+	// Bytes is the retained size of the cached values, as reported by
+	// the size function (0 when no size function was given).
+	Bytes uint64
+}
+
+// Cache is a bounded LRU keyed by K. The zero value is not usable;
+// construct with New. All methods are safe for concurrent use.
+type Cache[K comparable, V any] struct {
+	mu     sync.Mutex
+	max    int
+	size   func(V) uint64
+	order  *list.List // front = most recently used; values are *entry[K, V]
+	byKey  map[K]*list.Element
+	flight map[K]*flight[V]
+	hits   uint64
+	misses uint64
+	bytes  uint64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+}
+
+// New returns a cache holding at most max entries (max < 1 is treated
+// as 1). size, if non-nil, reports the retained bytes of a value for
+// the Stats accounting; it is called once per insertion and eviction.
+func New[K comparable, V any](max int, size func(V) uint64) *Cache[K, V] {
+	if max < 1 {
+		max = 1
+	}
+	return &Cache[K, V]{
+		max:    max,
+		size:   size,
+		order:  list.New(),
+		byKey:  make(map[K]*list.Element),
+		flight: make(map[K]*flight[V]),
+	}
+}
+
+// Get returns the cached value for the key, refreshing its recency.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[k]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.order.MoveToFront(el)
+	c.hits++
+	return el.Value.(*entry[K, V]).val, true
+}
+
+// Put inserts a value, replacing any existing entry for the key and
+// evicting the least recently used entries beyond the bound.
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.putLocked(k, v)
+}
+
+func (c *Cache[K, V]) putLocked(k K, v V) {
+	if el, ok := c.byKey[k]; ok {
+		e := el.Value.(*entry[K, V])
+		if c.size != nil {
+			c.bytes += c.size(v) - c.size(e.val)
+		}
+		e.val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[k] = c.order.PushFront(&entry[K, V]{key: k, val: v})
+	if c.size != nil {
+		c.bytes += c.size(v)
+	}
+	for c.order.Len() > c.max {
+		c.removeLocked(c.order.Back())
+	}
+}
+
+func (c *Cache[K, V]) removeLocked(el *list.Element) {
+	e := el.Value.(*entry[K, V])
+	c.order.Remove(el)
+	delete(c.byKey, e.key)
+	if c.size != nil {
+		c.bytes -= c.size(e.val)
+	}
+}
+
+// Do returns the value for the key, computing and inserting it on a
+// miss. Concurrent Do calls for the same key coalesce: one runs
+// compute, the rest block and share its result (counted as hits).
+//
+// valid, if non-nil, content-verifies a candidate value before it is
+// returned; a cached entry that fails validation is dropped and
+// recomputed. This is the guard for lossy keys — when K is a hash of
+// the value's source, a collision (or a caller mutating the source
+// after insertion) yields a stale entry that validation catches.
+func (c *Cache[K, V]) Do(k K, valid func(V) bool, compute func() V) V {
+	for {
+		c.mu.Lock()
+		if el, ok := c.byKey[k]; ok {
+			e := el.Value.(*entry[K, V])
+			if valid == nil || valid(e.val) {
+				c.order.MoveToFront(el)
+				c.hits++
+				c.mu.Unlock()
+				return e.val
+			}
+			c.removeLocked(el)
+		}
+		if f, ok := c.flight[k]; ok {
+			c.mu.Unlock()
+			<-f.done
+			// The in-flight computation may have been for a colliding
+			// source; re-validate before sharing, else retry as the
+			// computing caller.
+			if valid == nil || valid(f.val) {
+				c.mu.Lock()
+				c.hits++
+				c.mu.Unlock()
+				return f.val
+			}
+			continue
+		}
+		f := &flight[V]{done: make(chan struct{})}
+		c.flight[k] = f
+		c.misses++
+		c.mu.Unlock()
+
+		// Always release waiters and clear the flight, even if compute
+		// panics (waiters then see the zero value, fail validation and
+		// recompute for themselves).
+		computed := false
+		defer func() {
+			close(f.done)
+			c.mu.Lock()
+			delete(c.flight, k)
+			if computed {
+				c.putLocked(k, f.val)
+			}
+			c.mu.Unlock()
+		}()
+		f.val = compute()
+		computed = true
+		return f.val
+	}
+}
+
+// Len reports the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache[K, V]) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:    c.hits,
+		Misses:  c.misses,
+		Entries: uint64(c.order.Len()),
+		Bytes:   c.bytes,
+	}
+}

@@ -1,0 +1,128 @@
+package memo
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestGetPutLRU(t *testing.T) {
+	c := New[int, string](2, func(s string) uint64 { return uint64(len(s)) })
+	if _, ok := c.Get(1); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(1, "a")
+	c.Put(2, "bb")
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatalf("Get(1) = %q, %v", v, ok)
+	}
+	// 2 is now least recently used; inserting 3 must evict it.
+	c.Put(3, "ccc")
+	if _, ok := c.Get(2); ok {
+		t.Fatal("expected 2 evicted")
+	}
+	if v, ok := c.Get(3); !ok || v != "ccc" {
+		t.Fatalf("Get(3) = %q, %v", v, ok)
+	}
+	if got := c.Len(); got != 2 {
+		t.Fatalf("Len = %d, want 2", got)
+	}
+	st := c.Stats()
+	if st.Bytes != uint64(len("a")+len("ccc")) {
+		t.Fatalf("Bytes = %d, want %d", st.Bytes, len("a")+len("ccc"))
+	}
+	if st.Entries != 2 {
+		t.Fatalf("Entries = %d, want 2", st.Entries)
+	}
+}
+
+func TestPutReplaceAdjustsBytes(t *testing.T) {
+	c := New[int, string](4, func(s string) uint64 { return uint64(len(s)) })
+	c.Put(1, "aaaa")
+	c.Put(1, "b")
+	if st := c.Stats(); st.Bytes != 1 || st.Entries != 1 {
+		t.Fatalf("after replace: %+v", st)
+	}
+}
+
+func TestDoComputesOnceAndCaches(t *testing.T) {
+	c := New[string, int](8, nil)
+	calls := 0
+	compute := func() int { calls++; return 42 }
+	if v := c.Do("k", nil, compute); v != 42 {
+		t.Fatalf("Do = %d", v)
+	}
+	if v := c.Do("k", nil, compute); v != 42 {
+		t.Fatalf("Do = %d", v)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats %+v, want 1 hit / 1 miss", st)
+	}
+}
+
+func TestDoValidationDropsStaleEntry(t *testing.T) {
+	c := New[int, int](8, nil)
+	c.Put(7, 100)
+	got := c.Do(7, func(v int) bool { return v == 200 }, func() int { return 200 })
+	if got != 200 {
+		t.Fatalf("Do = %d, want recomputed 200", got)
+	}
+	// The recomputed value now validates and is served from cache.
+	calls := 0
+	got = c.Do(7, func(v int) bool { return v == 200 }, func() int { calls++; return 200 })
+	if got != 200 || calls != 0 {
+		t.Fatalf("Do = %d (calls %d), want cached 200", got, calls)
+	}
+}
+
+func TestDoSingleflight(t *testing.T) {
+	c := New[int, int](8, nil)
+	const goroutines = 32
+	var (
+		calls   atomic.Int32
+		release = make(chan struct{})
+		wg      sync.WaitGroup
+	)
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			defer wg.Done()
+			v := c.Do(1, nil, func() int {
+				calls.Add(1)
+				<-release
+				return 9
+			})
+			if v != 9 {
+				t.Errorf("Do = %d, want 9", v)
+			}
+		}()
+	}
+	// Let the flight start, then release it; every waiter shares it.
+	for c.Stats().Misses == 0 {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	if n := calls.Load(); n != 1 {
+		t.Fatalf("compute ran %d times, want 1", n)
+	}
+	st := c.Stats()
+	if st.Hits+st.Misses != goroutines {
+		t.Fatalf("hits %d + misses %d != %d goroutines", st.Hits, st.Misses, goroutines)
+	}
+}
+
+func TestBoundNeverExceeded(t *testing.T) {
+	c := New[int, int](3, nil)
+	for i := 0; i < 100; i++ {
+		c.Put(i, i)
+		if c.Len() > 3 {
+			t.Fatalf("Len = %d after %d inserts, bound 3", c.Len(), i+1)
+		}
+	}
+}

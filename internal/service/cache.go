@@ -1,13 +1,12 @@
 package service
 
 import (
-	"container/list"
 	"crypto/sha256"
 	"fmt"
-	"sync"
 
 	"fsmpredict/internal/bitseq"
 	"fsmpredict/internal/core"
+	"fsmpredict/internal/memo"
 	"fsmpredict/internal/trace"
 )
 
@@ -40,26 +39,29 @@ func requestKey(bits *bitseq.Bits, opt core.Options) cacheKey {
 }
 
 // designCache is a bounded LRU of finished design results, keyed by
-// content address. Results are immutable once inserted, so a cached
-// *Result is shared by all readers.
+// content address — a thin wrapper over the shared memo.Cache (the same
+// machinery backing the fsm block-table cache) that preserves the
+// service's nil-receiver semantics for the caching-disabled mode.
+// Results are immutable once inserted, so a cached *Result is shared by
+// all readers. Request deduplication stays in the Service's inflight
+// map: design execution must flow through the bounded worker pool, not
+// memo's caller-side singleflight.
 type designCache struct {
-	mu    sync.Mutex
-	max   int
-	order *list.List // front = most recently used; values are *cacheEntry
-	byKey map[cacheKey]*list.Element
+	c *memo.Cache[cacheKey, *Result]
 }
 
-type cacheEntry struct {
-	key cacheKey
-	res *Result
+// resultBytes approximates a cached result's retained size for the
+// cache's Bytes stat: the dominant payloads are the canonical machine
+// JSON and the VHDL source.
+func resultBytes(r *Result) uint64 {
+	if r == nil {
+		return 0
+	}
+	return uint64(len(r.Machine) + len(r.VHDL) + len(r.Key))
 }
 
 func newDesignCache(max int) *designCache {
-	return &designCache{
-		max:   max,
-		order: list.New(),
-		byKey: make(map[cacheKey]*list.Element),
-	}
+	return &designCache{c: memo.New[cacheKey, *Result](max, resultBytes)}
 }
 
 // get returns the cached result for the key, refreshing its recency.
@@ -67,14 +69,7 @@ func (c *designCache) get(k cacheKey) (*Result, bool) {
 	if c == nil {
 		return nil, false
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.byKey[k]
-	if !ok {
-		return nil, false
-	}
-	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).res, true
+	return c.c.Get(k)
 }
 
 // put inserts a result, evicting the least recently used entry when the
@@ -83,19 +78,7 @@ func (c *designCache) put(k cacheKey, res *Result) {
 	if c == nil {
 		return
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.byKey[k]; ok {
-		el.Value.(*cacheEntry).res = res
-		c.order.MoveToFront(el)
-		return
-	}
-	c.byKey[k] = c.order.PushFront(&cacheEntry{key: k, res: res})
-	for c.order.Len() > c.max {
-		last := c.order.Back()
-		c.order.Remove(last)
-		delete(c.byKey, last.Value.(*cacheEntry).key)
-	}
+	c.c.Put(k, res)
 }
 
 // len reports the number of cached designs.
@@ -103,7 +86,13 @@ func (c *designCache) len() int {
 	if c == nil {
 		return 0
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+	return c.c.Len()
+}
+
+// stats reports the cache's hit/miss/size counters.
+func (c *designCache) stats() memo.Stats {
+	if c == nil {
+		return memo.Stats{}
+	}
+	return c.c.Stats()
 }
