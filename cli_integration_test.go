@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"os"
 	"os/exec"
@@ -281,6 +282,155 @@ func TestFSMServedEndToEnd(t *testing.T) {
 	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
 	}
+	var rest string
+	select {
+	case rest = <-drained:
+	case <-time.After(15 * time.Second):
+		t.Fatal("daemon did not exit within 15s of SIGTERM")
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited with %v after SIGTERM\nstderr:\n%s", err, rest)
+	}
+	if !strings.Contains(rest, "shut down cleanly") {
+		t.Errorf("daemon log missing clean-shutdown line:\n%s", rest)
+	}
+}
+
+// TestFSMServedBatchDrainOnSIGTERM terminates the daemon while an
+// NDJSON batch request is mid-flight with items parked in the
+// coalescing batcher: every accepted line must still get its response
+// line and the daemon must exit 0 — shutdown drains the batch plane,
+// it does not drop it.
+func TestFSMServedBatchDrainOnSIGTERM(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries")
+	}
+	dir := t.TempDir()
+	bin := buildTool(t, dir, "fsmserved")
+
+	// A long batch wait guarantees the items are still waiting for
+	// company in the batcher when SIGTERM lands.
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-workers", "2", "-batch", "64", "-batch-wait", "2s")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	sc := bufio.NewScanner(stderr)
+	var base string
+	for sc.Scan() {
+		line := sc.Text()
+		if i := strings.Index(line, "listening on "); i >= 0 {
+			base = "http://" + strings.TrimSpace(line[i+len("listening on "):])
+			break
+		}
+	}
+	if base == "" {
+		t.Fatalf("daemon never reported its address: %v", sc.Err())
+	}
+	drained := make(chan string, 1)
+	go func() {
+		var rest strings.Builder
+		for sc.Scan() {
+			rest.WriteString(sc.Text())
+			rest.WriteByte('\n')
+		}
+		drained <- rest.String()
+	}()
+
+	// Stream the batch request through a pipe so the connection is
+	// still open — and the lines already accepted — when the signal
+	// arrives.
+	const n = 6
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, base+"/v1/batch/design", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	type batchLine struct {
+		Index  int    `json:"index"`
+		ID     string `json:"id"`
+		Error  string `json:"error"`
+		Result *struct {
+			States int `json:"states"`
+		} `json:"result"`
+	}
+	type lineResult struct {
+		lines map[int]batchLine
+		err   error
+	}
+	resc := make(chan lineResult, 1)
+	go func() {
+		out := lineResult{lines: make(map[int]batchLine)}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			out.err = err
+			resc <- out
+			return
+		}
+		defer resp.Body.Close()
+		rsc := bufio.NewScanner(resp.Body)
+		for rsc.Scan() {
+			var line batchLine
+			if err := json.Unmarshal(rsc.Bytes(), &line); err != nil {
+				out.err = err
+				resc <- out
+				return
+			}
+			out.lines[line.Index] = line
+		}
+		out.err = rsc.Err()
+		resc <- out
+	}()
+
+	for i := 0; i < n; i++ {
+		line := fmt.Sprintf(`{"id":"d%d","trace":"000010001011110111101111","options":{"order":2,"name":"m%d"}}`+"\n", i, i)
+		if _, err := io.WriteString(pw, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The lines are accepted and parked (2s batch wait); terminate now,
+	// then end the request body so the handler can finish draining.
+	time.Sleep(100 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	pw.Close()
+
+	var res lineResult
+	select {
+	case res = <-resc:
+	case <-time.After(20 * time.Second):
+		t.Fatal("batch response did not complete after SIGTERM")
+	}
+	if res.err != nil {
+		t.Fatalf("batch response: %v", res.err)
+	}
+	if len(res.lines) != n {
+		t.Fatalf("got %d response lines, want %d — accepted requests were dropped on shutdown", len(res.lines), n)
+	}
+	for i := 0; i < n; i++ {
+		line, ok := res.lines[i]
+		if !ok {
+			t.Fatalf("no response for index %d", i)
+		}
+		if line.Error != "" {
+			t.Errorf("index %d dropped on shutdown: %s", i, line.Error)
+		} else if line.Result == nil || line.Result.States != 3 {
+			t.Errorf("index %d: result %+v, want the paper's 3 states", i, line.Result)
+		}
+		if want := fmt.Sprintf("d%d", i); line.ID != want {
+			t.Errorf("index %d: id %q, want %q", i, line.ID, want)
+		}
+	}
+
 	var rest string
 	select {
 	case rest = <-drained:

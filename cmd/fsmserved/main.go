@@ -9,10 +9,20 @@
 //
 // Endpoints:
 //
-//	POST /v1/design   {"trace":"0000 1000 ...","options":{"order":2}}
-//	POST /v1/simulate {"machine":{...},"trace":"0101...","skip":2}
+//	POST /v1/design         {"trace":"0000 1000 ...","options":{"order":2}}
+//	POST /v1/simulate       {"machine":{...},"trace":"0101...","skip":2}
+//	POST /v1/batch/design   NDJSON stream of design requests
+//	POST /v1/batch/simulate NDJSON stream of simulate requests
 //	GET  /healthz
 //	GET  /metrics
+//
+// The /v1/batch endpoints accept one JSON request per line and stream
+// one JSON response line per request, possibly out of order; each line
+// carries an "index" (and the client's optional "id") for correlation.
+// Arrivals within -batch-wait of each other that target the same trace
+// coalesce into grouped kernel passes (-batch bounds the group size);
+// /metrics reports the achieved coalesce ratio
+// (fsmpredict_batch_*_coalesce_ratio_milli).
 //
 // Instead of an inline "trace", both POST endpoints accept a "workload"
 // reference ({"program":"gsm","variant":"train","events":250000,
@@ -78,6 +88,8 @@ func main() {
 		queue     = flag.Int("queue", 0, "design queue depth before shedding load (0 = 8x workers)")
 		cache     = flag.Int("cache", 0, "design cache entries (0 = 1024, negative disables)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		batchMax  = flag.Int("batch", 0, "max requests coalesced into one batch flush (0 = 64)")
+		batchWait = flag.Duration("batch-wait", 0, "max time a batched request waits for company (0 = 2ms)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty disables)")
 	)
 	flag.Parse()
@@ -89,6 +101,12 @@ func main() {
 	}
 	if *timeout <= 0 {
 		cliutil.BadUsage("fsmserved: -timeout must be positive, got %v", *timeout)
+	}
+	if *batchMax < 0 {
+		cliutil.BadUsage("fsmserved: -batch must be >= 0, got %d", *batchMax)
+	}
+	if *batchWait < 0 {
+		cliutil.BadUsage("fsmserved: -batch-wait must be >= 0, got %v", *batchWait)
 	}
 	if flag.NArg() > 0 {
 		cliutil.BadUsage("fsmserved: unexpected arguments %v", flag.Args())
@@ -106,6 +124,8 @@ func main() {
 		Workers:      *workers,
 		QueueDepth:   *queue,
 		CacheEntries: *cache,
+		BatchMaxSize: *batchMax,
+		BatchMaxWait: *batchWait,
 	})
 	defer svc.Close()
 
@@ -114,9 +134,18 @@ func main() {
 		log.Fatal(err)
 	}
 	// http.TimeoutHandler also cancels the request context, which
-	// releases the service-side wait for a worker slot.
+	// releases the service-side wait for a worker slot — but it buffers
+	// the whole response, which would break the batch endpoints'
+	// line-by-line streaming. Route /v1/batch/ around it; those streams
+	// are instead bounded per line by the service and by the client's
+	// connection lifetime.
+	api := service.NewHandler(svc)
+	timed := http.TimeoutHandler(api, *timeout, "request timed out\n")
+	root := http.NewServeMux()
+	root.Handle("/v1/batch/", api)
+	root.Handle("/", timed)
 	srv := &http.Server{
-		Handler:           http.TimeoutHandler(service.NewHandler(svc), *timeout, "request timed out\n"),
+		Handler:           root,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

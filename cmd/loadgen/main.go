@@ -1,0 +1,492 @@
+// Command loadgen drives an fsmserved instance with design or simulate
+// traffic and reports throughput, latency percentiles, and the batch
+// plane's coalesce ratio as a JSON summary — the measurement harness
+// for the coalescing micro-batch subsystem.
+//
+// Usage:
+//
+//	loadgen -url http://host:8080 -mode simulate -transport batch -duration 5s -c 8
+//	loadgen -inprocess -transport compare -duration 3s
+//
+// Two transports hit the same service: "unary" issues one HTTP request
+// per item against /v1/design or /v1/simulate; "batch" streams items
+// as NDJSON lines over /v1/batch/... with -batch lines per request.
+// "compare" runs both back to back at equal concurrency and reports
+// the batched-over-unary throughput speedup.
+//
+// The load is closed-loop by default (-c workers issue back to back);
+// -qps switches to an open loop that fires items at the target rate.
+// Traffic cycles through -distinct request variants over the stored
+// workload traces named by -programs, so batches both coalesce
+// (duplicates, shared kernel passes) and stay heterogeneous.
+//
+// With -min-coalesce the exit status enforces a floor on the measured
+// coalesce ratio (CI uses this to prove batching actually batches);
+// -min-speedup does the same for the compare transport's speedup.
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fsmpredict/internal/cliutil"
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/service"
+)
+
+// opts is the parsed flag set.
+type opts struct {
+	url         string
+	inprocess   bool
+	mode        string // design | simulate
+	transport   string // unary | batch | compare
+	duration    time.Duration
+	conc        int
+	qps         float64
+	batch       int
+	programs    []string
+	events      int
+	order       int
+	distinct    int
+	minCoalesce float64
+	minSpeedup  float64
+	cache       int
+	srvBatch    int
+	srvWait     time.Duration
+}
+
+// latencySummary is the percentile digest of per-item latencies.
+type latencySummary struct {
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// runSummary is one transport's measured result.
+type runSummary struct {
+	Transport  string         `json:"transport"`
+	Items      uint64         `json:"items"`
+	Requests   uint64         `json:"requests"`
+	Errors     uint64         `json:"errors"`
+	Seconds    float64        `json:"seconds"`
+	ItemsPerS  float64        `json:"items_per_s"`
+	Latency    latencySummary `json:"latency"`
+	BatchItems uint64         `json:"batch_items,omitempty"`
+	Passes     uint64         `json:"batch_passes,omitempty"`
+	Coalesce   float64        `json:"coalesce_ratio,omitempty"`
+}
+
+// summary is the JSON document loadgen prints.
+type summary struct {
+	Mode        string       `json:"mode"`
+	Concurrency int          `json:"concurrency"`
+	TargetQPS   float64      `json:"target_qps,omitempty"`
+	BatchLines  int          `json:"batch_lines"`
+	Runs        []runSummary `json:"runs"`
+	Speedup     float64      `json:"speedup,omitempty"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("loadgen: ")
+	var o opts
+	var programs string
+	flag.StringVar(&o.url, "url", "", "base URL of a running fsmserved (empty with -inprocess)")
+	flag.BoolVar(&o.inprocess, "inprocess", false, "serve an in-process fsmserved instead of targeting -url")
+	flag.StringVar(&o.mode, "mode", "simulate", "request kind: design or simulate")
+	flag.StringVar(&o.transport, "transport", "batch", "unary, batch, or compare (unary then batch)")
+	flag.DurationVar(&o.duration, "duration", 3*time.Second, "measurement window per transport")
+	flag.IntVar(&o.conc, "c", 8, "concurrent workers (closed loop) or max in-flight (open loop)")
+	flag.Float64Var(&o.qps, "qps", 0, "open-loop target items/s (0 = closed loop)")
+	flag.IntVar(&o.batch, "batch", 16, "NDJSON lines per batch request")
+	flag.StringVar(&programs, "programs", "gsm,vortex", "comma-separated stored workload programs to mix")
+	flag.IntVar(&o.events, "events", 20_000, "events per referenced workload trace")
+	flag.IntVar(&o.order, "order", 2, "design history order")
+	flag.IntVar(&o.distinct, "distinct", 8, "distinct request variants per program")
+	flag.Float64Var(&o.minCoalesce, "min-coalesce", 0, "exit 1 if the batch coalesce ratio is below this")
+	flag.Float64Var(&o.minSpeedup, "min-speedup", 0, "exit 1 if compare's batched/unary speedup is below this")
+	flag.IntVar(&o.cache, "cache", 0, "in-process design cache entries (0 = default, negative disables)")
+	flag.IntVar(&o.srvBatch, "server-batch", 0, "in-process server max batch size (0 = service default)")
+	flag.DurationVar(&o.srvWait, "server-batch-wait", 0, "in-process server batch wait (0 = service default)")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		cliutil.BadUsage("loadgen: unexpected arguments %v", flag.Args())
+	}
+	if o.mode != "design" && o.mode != "simulate" {
+		cliutil.BadUsage("loadgen: -mode must be design or simulate, got %q", o.mode)
+	}
+	switch o.transport {
+	case "unary", "batch", "compare":
+	default:
+		cliutil.BadUsage("loadgen: -transport must be unary, batch, or compare, got %q", o.transport)
+	}
+	if (o.url == "") == !o.inprocess {
+		cliutil.BadUsage("loadgen: exactly one of -url and -inprocess is required")
+	}
+	if o.duration <= 0 || o.conc <= 0 || o.batch <= 0 || o.distinct <= 0 || o.events <= 0 {
+		cliutil.BadUsage("loadgen: -duration, -c, -batch, -distinct, -events must be positive")
+	}
+	if o.qps < 0 || o.minCoalesce < 0 || o.minSpeedup < 0 || o.srvBatch < 0 || o.srvWait < 0 {
+		cliutil.BadUsage("loadgen: -qps, -min-coalesce, -min-speedup, -server-batch, -server-batch-wait must be >= 0")
+	}
+	o.programs = strings.Split(programs, ",")
+
+	base := o.url
+	if o.inprocess {
+		svc := service.New(service.Config{
+			CacheEntries: o.cache,
+			BatchMaxSize: o.srvBatch,
+			BatchMaxWait: o.srvWait,
+		})
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatal(err)
+		}
+		srv := &http.Server{Handler: service.NewHandler(svc)}
+		go srv.Serve(ln)
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		log.Printf("in-process fsmserved on %s", base)
+	}
+
+	items, err := buildItems(o)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sum := summary{Mode: o.mode, Concurrency: o.conc, TargetQPS: o.qps, BatchLines: o.batch}
+	transports := []string{o.transport}
+	if o.transport == "compare" {
+		transports = []string{"unary", "batch"}
+	}
+	for _, tr := range transports {
+		run, err := drive(base, tr, o, items)
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("%s: %.0f items/s (%d items, %d errors, p50 %.2fms p99 %.2fms, coalesce %.2f)",
+			tr, run.ItemsPerS, run.Items, run.Errors, run.Latency.P50Ms, run.Latency.P99Ms, run.Coalesce)
+		sum.Runs = append(sum.Runs, run)
+	}
+	if o.transport == "compare" && sum.Runs[0].ItemsPerS > 0 {
+		sum.Speedup = sum.Runs[1].ItemsPerS / sum.Runs[0].ItemsPerS
+		log.Printf("batched/unary speedup: %.2fx", sum.Speedup)
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		log.Fatal(err)
+	}
+
+	if o.minCoalesce > 0 {
+		last := sum.Runs[len(sum.Runs)-1]
+		if last.Coalesce < o.minCoalesce {
+			log.Fatalf("coalesce ratio %.3f below floor %.3f", last.Coalesce, o.minCoalesce)
+		}
+	}
+	if o.minSpeedup > 0 {
+		if o.transport != "compare" {
+			cliutil.BadUsage("loadgen: -min-speedup requires -transport compare")
+		}
+		if sum.Speedup < o.minSpeedup {
+			log.Fatalf("speedup %.2fx below floor %.2fx", sum.Speedup, o.minSpeedup)
+		}
+	}
+}
+
+// buildItems precomputes the request-line mix: -distinct variants per
+// program, each line a complete JSON document (without trailing
+// newline) valid on both the unary and batch endpoints.
+func buildItems(o opts) ([]string, error) {
+	var items []string
+	for _, prog := range o.programs {
+		prog = strings.TrimSpace(prog)
+		for i := 0; i < o.distinct; i++ {
+			ref := fmt.Sprintf(`{"program":%q,"variant":"train","events":%d}`, prog, o.events)
+			switch o.mode {
+			case "design":
+				items = append(items, fmt.Sprintf(
+					`{"workload":%s,"options":{"order":%d,"name":"lg_%s_%d"}}`,
+					ref, o.order, prog, i))
+			case "simulate":
+				m := counterMachine(2 + i%7)
+				mj, err := json.Marshal(m)
+				if err != nil {
+					return nil, err
+				}
+				items = append(items, fmt.Sprintf(`{"machine":%s,"workload":%s}`, mj, ref))
+			}
+		}
+	}
+	return items, nil
+}
+
+// counterMachine builds an n-state saturating up/down counter — cheap
+// distinct machines whose batched simulations share one kernel pass
+// per trace group.
+func counterMachine(n int) *fsm.Machine {
+	m := &fsm.Machine{Output: make([]bool, n), Next: make([][2]int, n)}
+	for s := 0; s < n; s++ {
+		m.Output[s] = s >= n/2
+		m.Next[s] = [2]int{max(s-1, 0), min(s+1, n-1)}
+	}
+	return m
+}
+
+// drive runs one transport for the measurement window and returns its
+// summary. The coalesce ratio is computed from the /metrics deltas of
+// the batch plane's item and pass counters across the window.
+func drive(base, transport string, o opts, items []string) (runSummary, error) {
+	run := runSummary{Transport: transport}
+	before, err := scrapeBatchMetrics(base, o.mode)
+	if err != nil {
+		return run, err
+	}
+
+	var (
+		done         = make(chan struct{})
+		itemsN, reqN atomic.Uint64
+		errN         atomic.Uint64
+		latMu        sync.Mutex
+		lats         []time.Duration
+		next         atomic.Uint64
+		tickets      chan struct{} // open loop: one token per item
+	)
+	record := func(d time.Duration, n int) {
+		itemsN.Add(uint64(n))
+		latMu.Lock()
+		for i := 0; i < n; i++ {
+			lats = append(lats, d)
+		}
+		latMu.Unlock()
+	}
+	if o.qps > 0 {
+		tickets = make(chan struct{}, o.conc*o.batch)
+		interval := time.Duration(float64(time.Second) / o.qps)
+		go func() {
+			tick := time.NewTicker(interval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-done:
+					return
+				case <-tick.C:
+					select {
+					case tickets <- struct{}{}:
+					default: // generator ahead of the service: shed
+					}
+				}
+			}
+		}()
+	}
+	// await blocks until the worker may take n more items (open loop)
+	// or returns immediately (closed loop); false means the window is
+	// over.
+	await := func(n int) bool {
+		if tickets == nil {
+			select {
+			case <-done:
+				return false
+			default:
+				return true
+			}
+		}
+		for i := 0; i < n; i++ {
+			select {
+			case <-done:
+				return false
+			case <-tickets:
+			}
+		}
+		return true
+	}
+
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.conc}}
+	var wg sync.WaitGroup
+	for w := 0; w < o.conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				switch transport {
+				case "unary":
+					if !await(1) {
+						return
+					}
+					item := items[next.Add(1)%uint64(len(items))]
+					start := time.Now()
+					reqN.Add(1)
+					if err := postUnary(client, base, o.mode, item); err != nil {
+						errN.Add(1)
+					} else {
+						record(time.Since(start), 1)
+					}
+				case "batch":
+					if !await(o.batch) {
+						return
+					}
+					var body strings.Builder
+					for i := 0; i < o.batch; i++ {
+						body.WriteString(items[next.Add(1)%uint64(len(items))])
+						body.WriteByte('\n')
+					}
+					start := time.Now()
+					reqN.Add(1)
+					ok, failed, err := postBatch(client, base, o.mode, body.String())
+					if err != nil {
+						errN.Add(uint64(o.batch))
+						continue
+					}
+					errN.Add(uint64(failed))
+					record(time.Since(start), ok)
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	time.AfterFunc(o.duration, func() { close(done) })
+	<-done
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := scrapeBatchMetrics(base, o.mode)
+	if err != nil {
+		return run, err
+	}
+	run.Items = itemsN.Load()
+	run.Requests = reqN.Load()
+	run.Errors = errN.Load()
+	run.Seconds = elapsed.Seconds()
+	run.ItemsPerS = float64(run.Items) / elapsed.Seconds()
+	run.Latency = percentiles(lats)
+	run.BatchItems = after.items - before.items
+	run.Passes = after.passes - before.passes
+	if run.Passes > 0 {
+		run.Coalesce = float64(run.BatchItems) / float64(run.Passes)
+	}
+	return run, nil
+}
+
+// postUnary issues one per-request call and drains the response.
+func postUnary(client *http.Client, base, mode, item string) error {
+	resp, err := client.Post(base+"/v1/"+mode, "application/json", strings.NewReader(item))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// postBatch issues one NDJSON request and counts per-line outcomes.
+func postBatch(client *http.Client, base, mode, body string) (ok, failed int, err error) {
+	resp, err := client.Post(base+"/v1/batch/"+mode, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
+	for sc.Scan() {
+		var line struct {
+			Error string `json:"error"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil || line.Error != "" {
+			failed++
+			continue
+		}
+		ok++
+	}
+	return ok, failed, sc.Err()
+}
+
+// batchCounters is one scrape of the mode's batch item/pass counters.
+type batchCounters struct {
+	items  uint64
+	passes uint64
+}
+
+// scrapeBatchMetrics reads /metrics and extracts the mode's batch-plane
+// counters.
+func scrapeBatchMetrics(base, mode string) (batchCounters, error) {
+	var c batchCounters
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return c, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return c, err
+	}
+	defer resp.Body.Close()
+	itemsName := "fsmpredict_batch_" + mode + "_items_total"
+	passesName := "fsmpredict_batch_" + mode + "_passes_total"
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		name, val, found := strings.Cut(strings.TrimSpace(sc.Text()), " ")
+		if !found {
+			continue
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case itemsName:
+			c.items = n
+		case passesName:
+			c.passes = n
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return c, err
+	}
+	if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return c, ctx.Err()
+	}
+	return c, nil
+}
+
+// percentiles digests a latency sample.
+func percentiles(lats []time.Duration) latencySummary {
+	if len(lats) == 0 {
+		return latencySummary{}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	at := func(q float64) float64 {
+		i := int(q * float64(len(lats)-1))
+		return float64(lats[i]) / float64(time.Millisecond)
+	}
+	return latencySummary{
+		P50Ms: at(0.50),
+		P90Ms: at(0.90),
+		P99Ms: at(0.99),
+		MaxMs: float64(lats[len(lats)-1]) / float64(time.Millisecond),
+	}
+}

@@ -1,0 +1,284 @@
+// Package batch implements a generic coalescing micro-batcher: the
+// building block that turns a stream of independent requests into
+// grouped kernel passes.
+//
+// Callers Submit items under a grouping key; the batcher accumulates
+// items per key and hands each group to a single flush callback when
+// the group reaches MaxBatch items or MaxWait after the group's first
+// item arrived, whichever comes first. Every submitter blocks on its
+// own result channel, so from the caller's point of view Submit looks
+// exactly like a synchronous call — the batching is invisible except
+// for the bounded added latency.
+//
+// The serving layer uses this to aim concurrent /v1/batch requests at
+// the single-pass simulation kernels (bpred.RunAll, fsm.BlockTable):
+// requests grouped by trace-store key collapse into one pass over the
+// shared trace instead of one pass per request.
+//
+// A Batcher makes these guarantees:
+//
+//   - Every item accepted by Submit receives exactly one outcome, even
+//     if the flush callback panics (the panic is recovered and reported
+//     as that group's error) and even if Close runs concurrently
+//     (pending groups are flushed during Close, not dropped).
+//   - Flush runs at most once per accepted item.
+//   - A caller whose context ends stops waiting but its item still
+//     flushes; the outcome is discarded.
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrClosed is returned by Submit after Close has begun: the item was
+// not accepted and will not be flushed.
+var ErrClosed = errors.New("batch: batcher closed")
+
+// DefaultMaxBatch bounds a group when Config.MaxBatch is zero.
+const DefaultMaxBatch = 64
+
+// DefaultMaxWait is the flush deadline when Config.MaxWait is zero.
+const DefaultMaxWait = 2 * time.Millisecond
+
+// Config sizes a Batcher. The zero value picks the defaults above.
+type Config struct {
+	// MaxBatch flushes a group as soon as it holds this many items.
+	MaxBatch int
+	// MaxWait flushes a non-full group this long after its first item
+	// arrived, bounding the latency batching can add.
+	MaxWait time.Duration
+	// OnFlush, if set, observes every flush: the group's item count and
+	// the flush callback's wall time. It runs on the flushing goroutine
+	// and must be safe for concurrent use.
+	OnFlush func(size int, elapsed time.Duration)
+}
+
+func (c Config) maxBatch() int {
+	if c.MaxBatch <= 0 {
+		return DefaultMaxBatch
+	}
+	return c.MaxBatch
+}
+
+func (c Config) maxWait() time.Duration {
+	if c.MaxWait <= 0 {
+		return DefaultMaxWait
+	}
+	return c.MaxWait
+}
+
+// Outcome is one item's result from a flush.
+type Outcome[R any] struct {
+	Val R
+	Err error
+}
+
+// FlushFunc processes one group in a single pass and returns one
+// outcome per item, index-aligned with items. Returning a slice of any
+// other length fails the whole group (a flush bug must not strand or
+// misdeliver results).
+type FlushFunc[K comparable, T, R any] func(key K, items []T) []Outcome[R]
+
+// Stats is a snapshot of a batcher's counters.
+type Stats struct {
+	// Submitted counts items accepted by Submit.
+	Submitted uint64
+	// Flushed counts items delivered through completed flushes.
+	Flushed uint64
+	// Flushes counts flush callback invocations (groups processed).
+	Flushes uint64
+	// Pending counts accepted items still waiting to flush.
+	Pending int
+}
+
+// group is one key's accumulating batch. The timer belongs to the
+// group, not the key: a key whose group flushed by size can start a
+// fresh group (with a fresh timer) while the old flush still runs.
+type group[T, R any] struct {
+	items []T
+	outs  []chan Outcome[R]
+	timer *time.Timer
+}
+
+// Batcher coalesces submitted items into per-key groups and flushes
+// each group in one callback invocation. Construct with New; release
+// with Close. Safe for concurrent use.
+type Batcher[K comparable, T, R any] struct {
+	cfg   Config
+	flush FlushFunc[K, T, R]
+
+	mu      sync.Mutex
+	closed  bool
+	groups  map[K]*group[T, R]
+	pending int
+	wg      sync.WaitGroup // in-flight flushes
+
+	submitted atomic.Uint64
+	flushed   atomic.Uint64
+	flushes   atomic.Uint64
+}
+
+// New returns a Batcher that groups items with cfg's flush policy and
+// processes each group with flush.
+func New[K comparable, T, R any](cfg Config, flush FlushFunc[K, T, R]) *Batcher[K, T, R] {
+	if flush == nil {
+		panic("batch: nil flush func")
+	}
+	return &Batcher[K, T, R]{
+		cfg:    cfg,
+		flush:  flush,
+		groups: make(map[K]*group[T, R]),
+	}
+}
+
+// Stats snapshots the batcher's counters.
+func (b *Batcher[K, T, R]) Stats() Stats {
+	b.mu.Lock()
+	pending := b.pending
+	b.mu.Unlock()
+	return Stats{
+		Submitted: b.submitted.Load(),
+		Flushed:   b.flushed.Load(),
+		Flushes:   b.flushes.Load(),
+		Pending:   pending,
+	}
+}
+
+// Submit queues item under key and blocks until the group it joined is
+// flushed (returning this item's outcome) or ctx ends (returning
+// ctx.Err(); the item still flushes, its outcome is discarded). After
+// Close has begun it returns ErrClosed without accepting the item.
+func (b *Batcher[K, T, R]) Submit(ctx context.Context, key K, item T) (R, error) {
+	ch := make(chan Outcome[R], 1)
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		var zero R
+		return zero, ErrClosed
+	}
+	b.submitted.Add(1)
+	b.pending++
+	g := b.groups[key]
+	if g == nil {
+		g = &group[T, R]{}
+		b.groups[key] = g
+		// The timer closure identifies the group by pointer: if the
+		// group flushes by size (or Close detaches it) before the timer
+		// fires, the fire finds a different (or no) group under the key
+		// and does nothing.
+		g.timer = time.AfterFunc(b.cfg.maxWait(), func() { b.flushByTimer(key, g) })
+	}
+	g.items = append(g.items, item)
+	g.outs = append(g.outs, ch)
+	if len(g.items) >= b.cfg.maxBatch() {
+		b.detachLocked(key, g)
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.runFlush(key, g)
+		}()
+	}
+	b.mu.Unlock()
+
+	select {
+	case out := <-ch:
+		return out.Val, out.Err
+	case <-ctx.Done():
+		var zero R
+		return zero, ctx.Err()
+	}
+}
+
+// flushByTimer is the MaxWait path, running on the timer goroutine.
+func (b *Batcher[K, T, R]) flushByTimer(key K, g *group[T, R]) {
+	b.mu.Lock()
+	if b.groups[key] != g {
+		// Already flushed by size, or detached by Close (which flushes
+		// it itself).
+		b.mu.Unlock()
+		return
+	}
+	b.detachLocked(key, g)
+	b.wg.Add(1)
+	b.mu.Unlock()
+	defer b.wg.Done()
+	b.runFlush(key, g)
+}
+
+// detachLocked removes a group from the pending set so a flush can run
+// on it outside the lock. Callers hold b.mu.
+func (b *Batcher[K, T, R]) detachLocked(key K, g *group[T, R]) {
+	delete(b.groups, key)
+	b.pending -= len(g.items)
+	g.timer.Stop()
+}
+
+// Close stops accepting submissions, flushes every pending group, and
+// waits for all in-flight flushes to complete, so every item accepted
+// before Close receives its outcome. Close is idempotent; concurrent
+// and repeated calls all block until the drain finishes.
+func (b *Batcher[K, T, R]) Close() {
+	b.mu.Lock()
+	if !b.closed {
+		b.closed = true
+		for key, g := range b.groups {
+			b.detachLocked(key, g)
+			b.wg.Add(1)
+			go func() {
+				defer b.wg.Done()
+				b.runFlush(key, g)
+			}()
+		}
+	}
+	b.mu.Unlock()
+	b.wg.Wait()
+}
+
+// runFlush invokes the flush callback on one detached group and
+// delivers each item's outcome. The result channels are buffered, so
+// delivery never blocks on a departed waiter.
+func (b *Batcher[K, T, R]) runFlush(key K, g *group[T, R]) {
+	start := time.Now()
+	outs := b.safeFlush(key, g.items)
+	elapsed := time.Since(start)
+	b.flushes.Add(1)
+	b.flushed.Add(uint64(len(g.items)))
+	if b.cfg.OnFlush != nil {
+		b.cfg.OnFlush(len(g.items), elapsed)
+	}
+	for i, ch := range g.outs {
+		ch <- outs[i]
+	}
+}
+
+// safeFlush runs the callback with panic containment: a panicking
+// flush fails its group (every item gets the error) instead of killing
+// the process and stranding the group's waiters.
+func (b *Batcher[K, T, R]) safeFlush(key K, items []T) (outs []Outcome[R]) {
+	defer func() {
+		if p := recover(); p != nil {
+			outs = errOutcomes[R](len(items), fmt.Errorf("batch: flush panicked: %v", p))
+		}
+	}()
+	outs = b.flush(key, items)
+	if len(outs) != len(items) {
+		outs = errOutcomes[R](len(items),
+			fmt.Errorf("batch: flush returned %d outcomes for %d items", len(outs), len(items)))
+	}
+	return outs
+}
+
+// errOutcomes fails a whole group with one error.
+func errOutcomes[R any](n int, err error) []Outcome[R] {
+	outs := make([]Outcome[R], n)
+	for i := range outs {
+		outs[i].Err = err
+	}
+	return outs
+}

@@ -1,0 +1,294 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoFlush doubles every item, recording the groups it saw.
+type echoFlush struct {
+	mu     sync.Mutex
+	groups [][]int
+	keys   []string
+}
+
+func (f *echoFlush) fn(key string, items []int) []Outcome[int] {
+	f.mu.Lock()
+	f.groups = append(f.groups, append([]int(nil), items...))
+	f.keys = append(f.keys, key)
+	f.mu.Unlock()
+	outs := make([]Outcome[int], len(items))
+	for i, v := range items {
+		outs[i] = Outcome[int]{Val: 2 * v}
+	}
+	return outs
+}
+
+// submitN submits 0..n-1 under key from n goroutines and returns the
+// results (index-aligned) once all have completed.
+func submitN(t *testing.T, b *Batcher[string, int, int], key string, n int) []int {
+	t.Helper()
+	res := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res[i], errs[i] = b.Submit(context.Background(), key, i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("Submit(%d): %v", i, err)
+		}
+	}
+	return res
+}
+
+func TestFlushBySize(t *testing.T) {
+	var f echoFlush
+	// MaxWait far away: only the size trigger can flush.
+	b := New(Config{MaxBatch: 4, MaxWait: time.Hour}, f.fn)
+	res := submitN(t, b, "k", 8)
+	for i, v := range res {
+		if v != 2*i {
+			t.Errorf("result[%d] = %d, want %d", i, v, 2*i)
+		}
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.groups) != 2 {
+		t.Fatalf("flushes = %d, want 2 groups of 4", len(f.groups))
+	}
+	for _, g := range f.groups {
+		if len(g) != 4 {
+			t.Errorf("group size = %d, want 4", len(g))
+		}
+	}
+	st := b.Stats()
+	if st.Submitted != 8 || st.Flushed != 8 || st.Flushes != 2 || st.Pending != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	b.Close()
+}
+
+func TestFlushByTimer(t *testing.T) {
+	var f echoFlush
+	b := New(Config{MaxBatch: 1000, MaxWait: 5 * time.Millisecond}, f.fn)
+	defer b.Close()
+	if got, err := b.Submit(context.Background(), "k", 21); err != nil || got != 42 {
+		t.Fatalf("Submit = %d, %v; want 42", got, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.groups) != 1 || len(f.groups[0]) != 1 {
+		t.Fatalf("groups = %v, want one group of one item", f.groups)
+	}
+}
+
+func TestGroupsByKey(t *testing.T) {
+	var f echoFlush
+	b := New(Config{MaxBatch: 100, MaxWait: 5 * time.Millisecond}, f.fn)
+	defer b.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 30; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := fmt.Sprintf("key-%d", i%3)
+			if _, err := b.Submit(context.Background(), key, i); err != nil {
+				t.Errorf("Submit: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	// Every flushed group must be pure: all items congruent mod 3, and
+	// matching the group's key.
+	for gi, g := range f.groups {
+		want := fmt.Sprintf("key-%d", g[0]%3)
+		if f.keys[gi] != want {
+			t.Errorf("group %d under key %q, items %v", gi, f.keys[gi], g)
+		}
+		for _, v := range g {
+			if v%3 != g[0]%3 {
+				t.Errorf("group %d mixes keys: %v", gi, g)
+			}
+		}
+	}
+}
+
+func TestPanicFailsGroupOnly(t *testing.T) {
+	b := New(Config{MaxBatch: 4, MaxWait: 10 * time.Millisecond}, func(key string, items []int) []Outcome[int] {
+		if key == "boom" {
+			panic("kernel exploded")
+		}
+		outs := make([]Outcome[int], len(items))
+		for i, v := range items {
+			outs[i].Val = v
+		}
+		return outs
+	})
+	defer b.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Submit(context.Background(), "boom", i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil || err.Error() != "batch: flush panicked: kernel exploded" {
+			t.Errorf("item %d error = %v, want flush panic error", i, err)
+		}
+	}
+	// The batcher must still work for other groups.
+	if got, err := b.Submit(context.Background(), "ok", 7); err != nil || got != 7 {
+		t.Errorf("post-panic Submit = %d, %v", got, err)
+	}
+}
+
+func TestMiscountedFlushFailsGroup(t *testing.T) {
+	b := New(Config{MaxBatch: 2, MaxWait: time.Hour}, func(key string, items []int) []Outcome[int] {
+		return make([]Outcome[int], 1) // wrong length
+	})
+	defer b.Close()
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = b.Submit(context.Background(), "k", i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			t.Errorf("item %d: nil error from miscounted flush", i)
+		}
+	}
+}
+
+func TestCloseDrainsPending(t *testing.T) {
+	var f echoFlush
+	// Neither trigger can fire on its own: MaxWait is an hour, and the
+	// batch never fills. Close must flush the stragglers.
+	b := New(Config{MaxBatch: 1000, MaxWait: time.Hour}, f.fn)
+	const n = 17
+	res := make([]int, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res[i], errs[i] = b.Submit(context.Background(), fmt.Sprintf("key-%d", i%5), i)
+		}(i)
+	}
+	// Wait until all n items are pending, then close.
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		if b.Stats().Pending == n {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("items never queued: %+v", b.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	b.Close()
+	wg.Wait()
+	for i := range res {
+		if errs[i] != nil {
+			t.Errorf("item %d dropped by Close: %v", i, errs[i])
+		} else if res[i] != 2*i {
+			t.Errorf("item %d = %d, want %d", i, res[i], 2*i)
+		}
+	}
+	if st := b.Stats(); st.Flushed != n || st.Pending != 0 {
+		t.Errorf("stats after Close = %+v", st)
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	var f echoFlush
+	b := New(Config{}, f.fn)
+	b.Close()
+	if _, err := b.Submit(context.Background(), "k", 1); !errors.Is(err, ErrClosed) {
+		t.Fatalf("Submit after Close = %v, want ErrClosed", err)
+	}
+	b.Close() // idempotent
+}
+
+func TestContextCancelAbandonsWaitNotItem(t *testing.T) {
+	flushed := make(chan []int, 1)
+	b := New(Config{MaxBatch: 1000, MaxWait: 20 * time.Millisecond}, func(key string, items []int) []Outcome[int] {
+		flushed <- append([]int(nil), items...)
+		return make([]Outcome[int], len(items))
+	})
+	defer b.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := b.Submit(ctx, "k", 5); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Submit with dead ctx = %v, want context.Canceled", err)
+	}
+	// The abandoned item still flushes.
+	select {
+	case items := <-flushed:
+		if len(items) != 1 || items[0] != 5 {
+			t.Errorf("flushed %v, want [5]", items)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("abandoned item never flushed")
+	}
+}
+
+// TestBatcherStress hammers one batcher from many goroutines across
+// many keys with both triggers active, checking under -race that every
+// item gets exactly its own result.
+func TestBatcherStress(t *testing.T) {
+	var f echoFlush
+	b := New(Config{MaxBatch: 8, MaxWait: 500 * time.Microsecond}, f.fn)
+	const (
+		workers = 16
+		perW    = 200
+	)
+	var wrong atomic.Uint64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				v := w*perW + i
+				got, err := b.Submit(context.Background(), fmt.Sprintf("key-%d", v%7), v)
+				if err != nil || got != 2*v {
+					wrong.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.Close()
+	if wrong.Load() != 0 {
+		t.Fatalf("%d submissions returned the wrong result", wrong.Load())
+	}
+	st := b.Stats()
+	if st.Submitted != workers*perW || st.Flushed != workers*perW || st.Pending != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.Flushes == 0 || st.Flushes > st.Flushed {
+		t.Fatalf("implausible flush count: %+v", st)
+	}
+}

@@ -1,0 +1,82 @@
+package fsm
+
+import "math/bits"
+
+// RunManyPacked replays ONE packed outcome stream through MANY block
+// tables in a single pass: per 8-event block the kernel extracts the
+// byte once and advances every machine's state through its own closure
+// table, so the trace words are read len(tabs) times fewer than
+// running SimulatePacked per machine. It returns one SimResult per
+// table, each bit-identical to tabs[j].SimulatePacked(words, n, skip)
+// — the loop structure (byte warm-up, ragged head, aligned body,
+// ragged tail) is RunFrom's with the machine loop innermost.
+//
+// This is the serving-side kernel behind coalesced /v1/batch/simulate
+// flushes: requests grouped on the same stored trace become one pass.
+func RunManyPacked(tabs []*BlockTable, words []uint64, n, skip int) []SimResult {
+	res := make([]SimResult, len(tabs))
+	if len(tabs) == 0 {
+		return res
+	}
+	if n < 0 {
+		n = 0
+	}
+	if skip < 0 {
+		skip = 0
+	}
+	if skip > n {
+		skip = n
+	}
+	states := make([]uint8, len(tabs))
+	correct := make([]int, len(tabs))
+	for j, t := range tabs {
+		states[j] = t.start
+	}
+	i := 0
+	// Warm-up: advance without scoring, whole bytes then the ragged
+	// remainder. i starts byte-aligned, so extraction stays in-word.
+	for ; i+8 <= skip; i += 8 {
+		b := uint8(words[i>>6] >> uint(i&63))
+		for j, t := range tabs {
+			states[j] = uint8(t.tab[int(states[j])<<blockShift|int(b)])
+		}
+	}
+	for ; i < skip; i++ {
+		b := words[i>>6] >> uint(i&63) & 1
+		for j, t := range tabs {
+			states[j] = t.step[int(states[j])<<1|int(b)]
+		}
+	}
+	// Scalar-step to the next byte boundary, then run aligned bytes,
+	// then the scalar tail.
+	for ; i < n && i&7 != 0; i++ {
+		b := uint8(words[i>>6] >> uint(i&63) & 1)
+		for j, t := range tabs {
+			if t.out[states[j]] == b {
+				correct[j]++
+			}
+			states[j] = t.step[int(states[j])<<1|int(b)]
+		}
+	}
+	for ; i+8 <= n; i += 8 {
+		b := uint8(words[i>>6] >> uint(i&63))
+		for j, t := range tabs {
+			e := t.tab[int(states[j])<<blockShift|int(b)]
+			correct[j] += 8 - bits.OnesCount8(uint8(e>>8)^b)
+			states[j] = uint8(e)
+		}
+	}
+	for ; i < n; i++ {
+		b := uint8(words[i>>6] >> uint(i&63) & 1)
+		for j, t := range tabs {
+			if t.out[states[j]] == b {
+				correct[j]++
+			}
+			states[j] = t.step[int(states[j])<<1|int(b)]
+		}
+	}
+	for j := range res {
+		res[j] = SimResult{Total: n - skip, Correct: correct[j]}
+	}
+	return res
+}

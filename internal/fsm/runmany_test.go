@@ -1,0 +1,76 @@
+package fsm
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRunManyPackedMatchesSimulatePacked checks the multi-machine pass
+// against the single-machine kernel (itself verified against the
+// scalar oracle) for mixed machine sizes, every ragged head/tail
+// combination and a range of skips.
+func TestRunManyPackedMatchesSimulatePacked(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		count := 1 + rng.Intn(12)
+		tabs := make([]*BlockTable, count)
+		for j := range tabs {
+			var err error
+			if tabs[j], err = CompileBlockTable(randomMachine(rng, 1+rng.Intn(40))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, n := range []int{0, 1, 7, 8, 9, 64, 65, 200} {
+			bits := randomBits(rng, n)
+			for _, skip := range []int{0, 1, 3, 8, 17, n / 2, n, n + 5} {
+				got := RunManyPacked(tabs, bits.Words(), n, skip)
+				if len(got) != count {
+					t.Fatalf("len = %d, want %d", len(got), count)
+				}
+				for j, tab := range tabs {
+					want := tab.SimulatePacked(bits.Words(), n, skip)
+					if got[j] != want {
+						t.Fatalf("machines=%d n=%d skip=%d machine %d: many %+v, single %+v",
+							count, n, skip, j, got[j], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunManyPackedEmpty(t *testing.T) {
+	if res := RunManyPacked(nil, nil, 0, 0); len(res) != 0 {
+		t.Fatalf("RunManyPacked(nil) = %v", res)
+	}
+}
+
+// BenchmarkRunManyPacked measures the amortization the batched pass
+// buys over per-machine passes at a serving-realistic group size.
+func BenchmarkRunManyPacked(b *testing.B) {
+	rng := rand.New(rand.NewSource(77))
+	const machines = 16
+	tabs := make([]*BlockTable, machines)
+	for j := range tabs {
+		var err error
+		if tabs[j], err = CompileBlockTable(randomMachine(rng, 4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	bits := randomBits(rng, 1<<16)
+	words, n := bits.Words(), bits.Len()
+	b.Run("many", func(b *testing.B) {
+		b.SetBytes(int64(machines * n / 8))
+		for i := 0; i < b.N; i++ {
+			RunManyPacked(tabs, words, n, 0)
+		}
+	})
+	b.Run("per-machine", func(b *testing.B) {
+		b.SetBytes(int64(machines * n / 8))
+		for i := 0; i < b.N; i++ {
+			for _, tab := range tabs {
+				tab.SimulatePacked(words, n, 0)
+			}
+		}
+	})
+}

@@ -108,48 +108,71 @@ type errorResponse struct {
 	Error string `json:"error"`
 }
 
+// ref converts the wire form into a TraceRef, parsing the PC.
+func (r *TraceRefJSON) ref() (TraceRef, error) {
+	var pc uint64
+	if r.PC != "" {
+		var err error
+		pc, err = strconv.ParseUint(r.PC, 0, 64)
+		if err != nil {
+			return TraceRef{}, fmt.Errorf("%w: bad pc %q: %v", ErrInvalid, r.PC, err)
+		}
+	}
+	return TraceRef{Program: r.Program, Variant: r.Variant, Events: r.Events, PC: pc}, nil
+}
+
 // requestTrace resolves a request's outcome stream from whichever of
 // the inline trace string and the stored-trace reference was supplied,
 // rejecting requests that carry both.
 func requestTrace(s *Service, inline string, ref *TraceRefJSON) (*bitseq.Bits, error) {
+	bits, _, err := requestTraceGrouped(s, inline, ref)
+	return bits, err
+}
+
+// requestTraceGrouped is requestTrace plus the coalescing group key the
+// batch plane buckets the request under: the trace-store key for a
+// stored-trace reference, a content hash for an inline trace.
+func requestTraceGrouped(s *Service, inline string, ref *TraceRefJSON) (*bitseq.Bits, string, error) {
 	if ref == nil {
 		bits, err := bitseq.FromString(inline)
 		if err != nil {
-			return nil, fmt.Errorf("%w: %v", ErrInvalid, err)
+			return nil, "", fmt.Errorf("%w: %v", ErrInvalid, err)
 		}
-		return bits, nil
+		return bits, GroupKeyForTrace(bits), nil
 	}
 	if inline != "" {
-		return nil, fmt.Errorf("%w: request carries both an inline trace and a workload reference", ErrInvalid)
+		return nil, "", fmt.Errorf("%w: request carries both an inline trace and a workload reference", ErrInvalid)
 	}
-	var pc uint64
-	if ref.PC != "" {
-		var err error
-		pc, err = strconv.ParseUint(ref.PC, 0, 64)
-		if err != nil {
-			return nil, fmt.Errorf("%w: bad pc %q: %v", ErrInvalid, ref.PC, err)
-		}
+	r, err := ref.ref()
+	if err != nil {
+		return nil, "", err
 	}
-	return s.ResolveTrace(TraceRef{
-		Program: ref.Program,
-		Variant: ref.Variant,
-		Events:  ref.Events,
-		PC:      pc,
-	})
+	bits, err := s.ResolveTrace(r)
+	if err != nil {
+		return nil, "", err
+	}
+	return bits, r.GroupKey(), nil
 }
 
 // NewHandler exposes the service over HTTP:
 //
-//	POST /v1/design   — trace + options → machine JSON, VHDL, area, stats
-//	POST /v1/simulate — machine + trace → prediction accuracy
-//	GET  /healthz     — liveness probe
-//	GET  /metrics     — text metrics exposition
+//	POST /v1/design         — trace + options → machine JSON, VHDL, area, stats
+//	POST /v1/simulate       — machine + trace → prediction accuracy
+//	POST /v1/batch/design   — NDJSON stream of design requests, coalesced
+//	POST /v1/batch/simulate — NDJSON stream of simulate requests, coalesced
+//	GET  /healthz           — liveness probe
+//	GET  /metrics           — text metrics exposition
 //
 // Request bodies and responses are JSON except /healthz and /metrics.
-// Both POST endpoints accept either an inline "trace" string or a
-// "workload" stored-trace reference (see TraceRefJSON).
+// All POST endpoints accept either an inline "trace" string or a
+// "workload" stored-trace reference (see TraceRefJSON). The batch
+// endpoints stream one response line per request line, possibly out of
+// order (see BatchDesignLine); they must be served without response
+// buffering (http.TimeoutHandler breaks the streaming contract).
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/batch/design", ndjsonHandler(s.processBatchDesign))
+	mux.HandleFunc("POST /v1/batch/simulate", ndjsonHandler(s.processBatchSimulate))
 	mux.HandleFunc("POST /v1/design", func(w http.ResponseWriter, r *http.Request) {
 		var req DesignRequest
 		if err := decodeJSON(w, r, &req); err != nil {

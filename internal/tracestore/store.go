@@ -1,6 +1,7 @@
 package tracestore
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -21,6 +22,12 @@ type Key struct {
 	Variant string
 	// Events is the requested event count.
 	Events int
+}
+
+// String renders the key in its canonical one-line form — the content
+// address the serving layer's batch plane groups coalesced requests by.
+func (k Key) String() string {
+	return fmt.Sprintf("%s:%s/%s/%d", k.Kind, k.Program, k.Variant, k.Events)
 }
 
 // BranchKey addresses a branch trace.
