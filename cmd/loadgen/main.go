@@ -90,6 +90,13 @@ type runSummary struct {
 	BatchItems uint64         `json:"batch_items,omitempty"`
 	Passes     uint64         `json:"batch_passes,omitempty"`
 	Coalesce   float64        `json:"coalesce_ratio,omitempty"`
+	// FleetMBps is the aggregate trace throughput the fleet kernel
+	// sustained across the window (machine-bytes simulated per second,
+	// from the fsmpredict_fleet_* counters; simulate mode only).
+	FleetMBps float64 `json:"fleet_sim_mb_per_s,omitempty"`
+	// FleetDedup is the fraction of fleet machines served by a
+	// structural twin's walk instead of their own.
+	FleetDedup float64 `json:"fleet_dedup_ratio,omitempty"`
 }
 
 // summary is the JSON document loadgen prints.
@@ -183,6 +190,10 @@ func main() {
 		}
 		log.Printf("%s: %.0f items/s (%d items, %d errors, p50 %.2fms p99 %.2fms, coalesce %.2f)",
 			tr, run.ItemsPerS, run.Items, run.Errors, run.Latency.P50Ms, run.Latency.P99Ms, run.Coalesce)
+		if run.FleetMBps > 0 {
+			log.Printf("%s: fleet simulated %.1f MB/s aggregate (dedup ratio %.2f)",
+				tr, run.FleetMBps, run.FleetDedup)
+		}
 		sum.Runs = append(sum.Runs, run)
 	}
 	if o.transport == "compare" && sum.Runs[0].ItemsPerS > 0 {
@@ -382,6 +393,12 @@ func drive(base, transport string, o opts, items []string) (runSummary, error) {
 	if run.Passes > 0 {
 		run.Coalesce = float64(run.BatchItems) / float64(run.Passes)
 	}
+	if bytes := after.fleetBytes - before.fleetBytes; bytes > 0 {
+		run.FleetMBps = float64(bytes) / elapsed.Seconds() / 1e6
+	}
+	if m := after.fleetMachines - before.fleetMachines; m > 0 {
+		run.FleetDedup = float64(after.fleetDeduped-before.fleetDeduped) / float64(m)
+	}
 	return run, nil
 }
 
@@ -424,10 +441,14 @@ func postBatch(client *http.Client, base, mode, body string) (ok, failed int, er
 	return ok, failed, sc.Err()
 }
 
-// batchCounters is one scrape of the mode's batch item/pass counters.
+// batchCounters is one scrape of the mode's batch item/pass counters
+// plus the fleet kernel's aggregate counters (zero in design mode).
 type batchCounters struct {
-	items  uint64
-	passes uint64
+	items         uint64
+	passes        uint64
+	fleetMachines uint64
+	fleetDeduped  uint64
+	fleetBytes    uint64
 }
 
 // scrapeBatchMetrics reads /metrics and extracts the mode's batch-plane
@@ -462,6 +483,12 @@ func scrapeBatchMetrics(base, mode string) (batchCounters, error) {
 			c.items = n
 		case passesName:
 			c.passes = n
+		case "fsmpredict_fleet_machines_total":
+			c.fleetMachines = n
+		case "fsmpredict_fleet_deduped_total":
+			c.fleetDeduped = n
+		case "fsmpredict_fleet_simulated_bytes_total":
+			c.fleetBytes = n
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -223,10 +223,24 @@ func FSMCurveGlobal(model *markov.Model, thresholds []float64, loads []trace.Loa
 }
 
 func fsmCurve(model *markov.Model, thresholds []float64, eval func(*fsm.Machine) Result) ([]FSMPoint, error) {
+	out, err := designCurve(model, thresholds)
+	if err != nil {
+		return nil, err
+	}
+	for i := range out {
+		out[i].Result = eval(out[i].Machine)
+	}
+	return out, nil
+}
+
+// designCurve designs the threshold sweep's machines without evaluating
+// them, so batch evaluators (FSMCurveStreams' fleet pass) can score the
+// whole sweep in one trace read.
+func designCurve(model *markov.Model, thresholds []float64) ([]FSMPoint, error) {
 	if len(thresholds) == 0 {
 		thresholds = DefaultThresholds()
 	}
-	var out []FSMPoint
+	out := make([]FSMPoint, 0, len(thresholds))
 	for _, thr := range thresholds {
 		design, err := core.FromModel(model, core.Options{
 			BiasThreshold: thr,
@@ -235,7 +249,7 @@ func fsmCurve(model *markov.Model, thresholds []float64, eval func(*fsm.Machine)
 		if err != nil {
 			return nil, fmt.Errorf("confidence: threshold %v: %v", thr, err)
 		}
-		out = append(out, FSMPoint{Threshold: thr, Machine: design.Machine, Result: eval(design.Machine)})
+		out = append(out, FSMPoint{Threshold: thr, Machine: design.Machine})
 	}
 	return out, nil
 }

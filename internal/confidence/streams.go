@@ -97,6 +97,44 @@ func EvaluateStreamsMachine(cs *tracestore.ConfStreams, m *fsm.Machine) Result {
 	return r
 }
 
+// EvaluateStreamsFleet is EvaluateStreamsMachine batched across
+// machines: the whole set replays each segment in one Fleet.ReplayGated
+// pass (structurally identical machines dedup to one walk), and the
+// segment popcounts for Accesses/Correct — the same for every machine —
+// are computed once and shared. Falls back to per-machine evaluation
+// when the block kernel is off or a machine will not compile; both
+// paths are pinned together by the package's differential tests.
+func EvaluateStreamsFleet(cs *tracestore.ConfStreams, machines []*fsm.Machine) []Result {
+	out := make([]Result, len(machines))
+	if len(machines) == 0 {
+		return out
+	}
+	var fl *fsm.Fleet
+	if fsm.BlockKernelEnabled() {
+		fl, _ = fsm.NewFleet(machines)
+	}
+	if fl == nil {
+		for i, m := range machines {
+			out[i] = EvaluateStreamsMachine(cs, m)
+		}
+		return out
+	}
+	for _, seg := range cs.Segments {
+		n := seg.Valid.Len()
+		cw, vw := seg.Correct.Words(), seg.Valid.Words()
+		flagged, flaggedCorrect := fl.ReplayGated(cw, vw, n)
+		accesses := seg.Valid.Ones()
+		correct := onesAnd(vw, cw)
+		for i := range out {
+			out[i].Flagged += flagged[i]
+			out[i].FlaggedCorrect += flaggedCorrect[i]
+			out[i].Accesses += accesses
+			out[i].Correct += correct
+		}
+	}
+	return out
+}
+
 // onesAnd counts positions set in both packed streams (valid AND
 // correct accesses; the streams have equal bit length).
 func onesAnd(a, b []uint64) int {
@@ -145,9 +183,21 @@ func GlobalModel(cs *tracestore.ConfStreams, order int) *markov.Model {
 
 // FSMCurveStreams designs one confidence FSM per bias threshold from the
 // given per-entry correctness model and evaluates each by segment
-// replay, matching FSMCurve.
+// replay, matching FSMCurve. The whole threshold sweep is designed
+// first, then scored in a single fleet pass — one trace read for the
+// curve instead of one per point.
 func FSMCurveStreams(model *markov.Model, thresholds []float64, cs *tracestore.ConfStreams) ([]FSMPoint, error) {
-	return fsmCurve(model, thresholds, func(machine *fsm.Machine) Result {
-		return EvaluateStreamsMachine(cs, machine)
-	})
+	points, err := designCurve(model, thresholds)
+	if err != nil {
+		return nil, err
+	}
+	machines := make([]*fsm.Machine, len(points))
+	for i := range points {
+		machines[i] = points[i].Machine
+	}
+	results := EvaluateStreamsFleet(cs, machines)
+	for i := range points {
+		points[i].Result = results[i]
+	}
+	return points, nil
 }

@@ -119,6 +119,39 @@ func TestEvaluateStreamsMachineMatches(t *testing.T) {
 	}
 }
 
+// TestEvaluateStreamsFleetMatches pins the batched fleet replay to the
+// per-machine path: every machine of a mixed set (counter machines,
+// including structural duplicates) must score exactly as it does alone,
+// with the kernel on and off.
+func TestEvaluateStreamsFleetMatches(t *testing.T) {
+	_, cs := streamFixtures(t)
+	var machines []*fsm.Machine
+	for _, cfg := range counters.PaperSweep()[:6] {
+		machines = append(machines, cfg.Machine())
+	}
+	// A structural duplicate: dedup must not change its result.
+	machines = append(machines, counters.PaperSweep()[0].Machine())
+	check := func(label string) {
+		t.Helper()
+		got := EvaluateStreamsFleet(cs, machines)
+		if len(got) != len(machines) {
+			t.Fatalf("%s: %d results for %d machines", label, len(got), len(machines))
+		}
+		for i, m := range machines {
+			if want := EvaluateStreamsMachine(cs, m); got[i] != want {
+				t.Fatalf("%s: machine %d fleet %+v, solo %+v", label, i, got[i], want)
+			}
+		}
+		if got[0] != got[len(got)-1] {
+			t.Fatalf("%s: duplicate machines disagree: %+v vs %+v", label, got[0], got[len(got)-1])
+		}
+	}
+	check("kernel on")
+	prev := fsm.SetBlockKernel(false)
+	defer fsm.SetBlockKernel(prev)
+	check("kernel off")
+}
+
 // TestEvaluateStreamsMachineAllocs guards the blocked replay's
 // steady-state loop: after the table is cached, a full evaluation
 // allocates nothing.

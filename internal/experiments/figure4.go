@@ -6,6 +6,7 @@ import (
 	"math/rand"
 
 	"fsmpredict/internal/bpred"
+	"fsmpredict/internal/fsm"
 	"fsmpredict/internal/par"
 	"fsmpredict/internal/stats"
 	"fsmpredict/internal/tracestore"
@@ -24,6 +25,13 @@ import (
 type Figure4Result struct {
 	// Points are all (states, gate-equivalent area) samples.
 	Points []stats.Point
+	// MissRates[i] is sampled machine i's training miss rate, scored in
+	// the paper's update-all replay (§7.3): the machine advances on
+	// every global outcome of its program trace and is scored at its
+	// own branch's positions. The whole sample is scored in one fleet
+	// pass per program, so the synthesis figure also reports how well
+	// each synthesized predictor actually predicts.
+	MissRates []float64
 	// Kept are the samples the trimmed fit retained (the linear bulk).
 	Kept []stats.Point
 	// Fit is the least-squares line through Kept.
@@ -39,7 +47,7 @@ func Figure4(cfg Config, sampleFrac float64) (*Figure4Result, error) {
 	if sampleFrac <= 0 || sampleFrac > 1 {
 		sampleFrac = 0.1
 	}
-	var all []*bpred.CustomEntry
+	var all []sampledEntry
 	for _, prog := range workload.BranchSuite() {
 		packed := tracestore.Shared.Branches(prog, workload.Train, cfg.BranchEvents)
 		entries, err := bpred.TrainCustomPacked(packed, bpred.TrainOptions{
@@ -51,7 +59,9 @@ func Figure4(cfg Config, sampleFrac float64) (*Figure4Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiments: figure4 %s: %v", prog.Name, err)
 		}
-		all = append(all, entries...)
+		for _, e := range entries {
+			all = append(all, sampledEntry{entry: e, packed: packed})
+		}
 	}
 	if len(all) == 0 {
 		return nil, fmt.Errorf("experiments: figure4 produced no machines")
@@ -60,7 +70,7 @@ func Figure4(cfg Config, sampleFrac float64) (*Figure4Result, error) {
 	// Draw the random sample sequentially (one rng stream, machine order),
 	// then synthesize the chosen machines in parallel.
 	rng := rand.New(rand.NewSource(97))
-	sampled := make([]*bpred.CustomEntry, 0, len(all))
+	sampled := make([]sampledEntry, 0, len(all))
 	for _, e := range all {
 		if sampleFrac < 1 && rng.Float64() >= sampleFrac {
 			continue
@@ -72,21 +82,78 @@ func Figure4(cfg Config, sampleFrac float64) (*Figure4Result, error) {
 		sampled = all
 	}
 	points, err := par.MapSlice(context.Background(), cfg.Workers, sampled,
-		func(_ int, e *bpred.CustomEntry) (stats.Point, error) {
-			area, err := vhdl.EstimateArea(e.Machine)
+		func(_ int, e sampledEntry) (stats.Point, error) {
+			area, err := vhdl.EstimateArea(e.entry.Machine)
 			if err != nil {
 				return stats.Point{}, err
 			}
-			return stats.Point{X: float64(e.Machine.NumStates()), Y: area}, nil
+			return stats.Point{X: float64(e.entry.Machine.NumStates()), Y: area}, nil
 		})
 	if err != nil {
 		return nil, err
 	}
-	res := &Figure4Result{Points: points}
+	res := &Figure4Result{Points: points, MissRates: customMissRates(sampled)}
 	if err := res.fitTrimmed(); err != nil {
 		return nil, err
 	}
 	return res, nil
+}
+
+// sampledEntry pairs a trained custom predictor with the packed program
+// trace it was trained on, so the synthesis sample can be scored
+// against the right outcome stream.
+type sampledEntry struct {
+	entry  *bpred.CustomEntry
+	packed *tracestore.Packed
+}
+
+// customMissRates scores every sampled machine over its program's
+// training trace in the update-all replay. Machines are grouped by
+// program and each group runs as ONE fleet pass (one trace read for the
+// whole group) when the block kernel is on; with the kernel off each
+// machine replays through the scalar bit-at-a-time oracle, and the two
+// paths are bit-identical (the figure-level kernel on/off test covers
+// this field like every other).
+func customMissRates(sampled []sampledEntry) []float64 {
+	rates := make([]float64, len(sampled))
+	groups := make(map[*tracestore.Packed][]int)
+	var order []*tracestore.Packed
+	for i, s := range sampled {
+		if _, ok := groups[s.packed]; !ok {
+			order = append(order, s.packed)
+		}
+		groups[s.packed] = append(groups[s.packed], i)
+	}
+	for _, p := range order {
+		idxs := groups[p]
+		words, n := p.Outcomes().Words(), p.Len()
+		machines := make([]*fsm.Machine, len(idxs))
+		pos := make([][]int32, len(idxs))
+		for k, i := range idxs {
+			machines[k] = sampled[i].entry.Machine
+			if id, ok := p.IDOf(sampled[i].entry.Tag); ok {
+				pos[k] = p.SubOf(id).Pos
+			}
+		}
+		var misses []int
+		if fsm.BlockKernelEnabled() {
+			if fl, err := fsm.NewFleet(machines); err == nil {
+				misses = fl.RunSampled(words, n, pos)
+			}
+		}
+		if misses == nil {
+			misses = make([]int, len(machines))
+			for k, m := range machines {
+				misses[k], _ = m.RunSampledScalar(m.Start, words, n, pos[k])
+			}
+		}
+		for k, i := range idxs {
+			if len(pos[k]) > 0 {
+				rates[i] = float64(misses[k]) / float64(len(pos[k]))
+			}
+		}
+	}
+	return rates
 }
 
 // fitTrimmed fits the linear bulk: a robust Theil–Sen line locates the

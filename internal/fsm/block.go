@@ -165,17 +165,11 @@ func (t *BlockTable) SimulatePacked(words []uint64, n, skip int) SimResult {
 
 // RunFrom is SimulatePacked from an arbitrary state, additionally
 // returning the exit state; it is the building block for stateful
-// replay (bpred runner banks advance mid-stream).
+// replay (bpred runner banks advance mid-stream). n beyond the words'
+// bit capacity is clamped rather than trusted, so a caller passing an
+// over-long event count reads garbage from no one.
 func (t *BlockTable) RunFrom(state int, words []uint64, n, skip int) (SimResult, int) {
-	if n < 0 {
-		n = 0
-	}
-	if skip < 0 {
-		skip = 0
-	}
-	if skip > n {
-		skip = n
-	}
+	n, skip = clampSpan(words, n, skip)
 	s := uint8(state)
 	i := 0
 	// Warm-up: advance without scoring, whole bytes then the ragged
@@ -223,6 +217,7 @@ func (t *BlockTable) RunFrom(state int, words []uint64, n, skip int) (SimResult,
 // own branch's occurrences. It returns the misprediction count over
 // the sampled positions and the exit state, and allocates nothing.
 func (t *BlockTable) RunSampled(state int, words []uint64, n int, pos []int32) (misses, end int) {
+	n, _ = clampSpan(words, n, 0)
 	s := uint8(state)
 	c := 0
 	i := 0

@@ -195,6 +195,36 @@ func (m *Machine) SimulateScalar(trace []bool, skip int) SimResult {
 	return res
 }
 
+// RunSampledScalar is the bit-at-a-time form of BlockTable.RunSampled —
+// advance on every event of the packed stream from the given state,
+// score only the listed positions (strictly ascending, each in [0, n))
+// — kept as the differential oracle and as the fallback when the block
+// kernel is disabled. n beyond the words' capacity is clamped.
+func (m *Machine) RunSampledScalar(state int, words []uint64, n int, pos []int32) (misses, end int) {
+	if n < 0 {
+		n = 0
+	}
+	if max := len(words) << 6; n > max {
+		n = max
+	}
+	c := 0
+	for i := 0; i < n; i++ {
+		b := words[i>>6]>>uint(i&63)&1 == 1
+		if c < len(pos) && int(pos[c]) == i {
+			if m.Output[state] != b {
+				misses++
+			}
+			c++
+		}
+		if b {
+			state = m.Next[state][1]
+		} else {
+			state = m.Next[state][0]
+		}
+	}
+	return misses, state
+}
+
 // SimulateBits is Simulate over a packed sequence: the hot entry point
 // for callers that already hold bit-packed outcomes (the serving
 // layer, the packed trace store), avoiding the []bool unpacking

@@ -11,22 +11,19 @@ import "math/bits"
 // — the loop structure (byte warm-up, ragged head, aligned body,
 // ragged tail) is RunFrom's with the machine loop innermost.
 //
-// This is the serving-side kernel behind coalesced /v1/batch/simulate
-// flushes: requests grouped on the same stored trace become one pass.
+// This was the serving-side kernel behind coalesced /v1/batch/simulate
+// flushes before the fleet kernel (fleet.go) superseded it: flushes now
+// pack their tables into a Fleet, whose tiled loop keeps each machine's
+// table cache-hot instead of touching every table per byte as this loop
+// does. RunManyPacked stays as the fleet's baseline in BenchmarkFleet
+// and as an independent multi-machine implementation the differential
+// tests cross-check. n beyond the words' bit capacity is clamped.
 func RunManyPacked(tabs []*BlockTable, words []uint64, n, skip int) []SimResult {
 	res := make([]SimResult, len(tabs))
 	if len(tabs) == 0 {
 		return res
 	}
-	if n < 0 {
-		n = 0
-	}
-	if skip < 0 {
-		skip = 0
-	}
-	if skip > n {
-		skip = n
-	}
+	n, skip = clampSpan(words, n, skip)
 	states := make([]uint8, len(tabs))
 	correct := make([]int, len(tabs))
 	for j, t := range tabs {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"fsmpredict/internal/bitseq"
 	"fsmpredict/internal/fsm"
 )
 
@@ -33,6 +34,10 @@ type Options struct {
 	Seed int64
 	// Warmup outcomes at the head of the trace are not scored.
 	Warmup int
+	// Workers bounds the goroutines the fleet evaluation pass shards
+	// machine chunks over (<= 0 means GOMAXPROCS). Fleet chunks are
+	// independent, so results are bit-identical for any setting.
+	Workers int
 }
 
 func (o Options) withDefaults() Options {
@@ -95,17 +100,54 @@ func Search(trace []bool, opt Options) (*Result, error) {
 	rng := rand.New(rand.NewSource(opt.Seed))
 	res := &Result{}
 
-	evaluate := func(g *genome) {
-		r := g.m.Simulate(trace, opt.Warmup)
-		g.miss = r.MissRate()
-		res.Evaluations++
+	// The trace is packed once; every generation is then scored in ONE
+	// fleet pass over the packed words instead of a scalar walk per
+	// genome. This batching is legal because fitness evaluation consumes
+	// no randomness: generating a whole cohort first and scoring it
+	// afterwards leaves the RNG stream — and therefore every machine the
+	// search constructs — identical to interleaved evaluation, and the
+	// fleet kernel itself is bit-identical to Machine.Simulate, so the
+	// search trajectory does not change, only its wall clock.
+	bits := bitseq.FromBools(trace)
+	words, n := bits.Words(), bits.Len()
+
+	evaluateAll := func(batch []*genome) {
+		res.Evaluations += len(batch)
+		if fsm.BlockKernelEnabled() {
+			// Compile directly rather than through the shared block
+			// cache: a search burns through thousands of transient
+			// machines that would evict the serving workload's entries.
+			tabs := make([]*fsm.BlockTable, len(batch))
+			ok := true
+			for i, g := range batch {
+				t, err := fsm.CompileBlockTable(g.m)
+				if err != nil {
+					ok = false
+					break
+				}
+				tabs[i] = t
+			}
+			if ok {
+				fl := fsm.FleetOfTables(tabs)
+				rs := fl.RunParallel(opt.Workers, words, n, opt.Warmup)
+				for i, g := range batch {
+					g.miss = rs[i].MissRate()
+				}
+				return
+			}
+		}
+		// Scalar oracle: per-genome bit-at-a-time simulation. The
+		// kernel on/off differential test pins the two paths together.
+		for _, g := range batch {
+			g.miss = g.m.Simulate(trace, opt.Warmup).MissRate()
+		}
 	}
 
 	pop := make([]*genome, opt.Population)
 	for i := range pop {
 		pop[i] = &genome{m: randomMachine(rng, opt.States)}
-		evaluate(pop[i])
 	}
+	evaluateAll(pop)
 	sortByFitness(pop)
 
 	for gen := 0; gen < opt.Generations; gen++ {
@@ -113,14 +155,17 @@ func Search(trace []bool, opt Options) (*Result, error) {
 		for i := 0; i < opt.Elite; i++ {
 			next = append(next, pop[i])
 		}
+		// Children's fitness is first read by the NEXT generation's
+		// tournaments, so the whole cohort can be generated up front and
+		// scored by one fleet pass.
 		for len(next) < opt.Population {
 			a := tournament(rng, pop, opt.TournamentK)
 			b := tournament(rng, pop, opt.TournamentK)
 			child := &genome{m: crossover(rng, a.m, b.m)}
 			mutate(rng, child.m, opt.MutationRate)
-			evaluate(child)
 			next = append(next, child)
 		}
+		evaluateAll(next[opt.Elite:])
 		pop = next
 		sortByFitness(pop)
 		res.PerGeneration = append(res.PerGeneration, pop[0].miss)

@@ -2,9 +2,11 @@ package gasearch
 
 import (
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"fsmpredict/internal/core"
+	"fsmpredict/internal/fsm"
 )
 
 func alternatingTrace(n int) []bool {
@@ -117,4 +119,96 @@ func TestDesignerMatchesSearchQuality(t *testing.T) {
 	}
 	t.Logf("designed %.4f in 1 construction vs GA %.4f in %d evaluations",
 		designed, res.BestMissRate, res.Evaluations)
+}
+
+// TestSearchKernelOnOffIdentical pins the fleet-batched evaluation path
+// to the scalar per-genome oracle: the search trajectory — every
+// generation's best, the final machine, the evaluation count — must be
+// bit-identical with the block kernel on and off.
+func TestSearchKernelOnOffIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	trace := make([]bool, 1500)
+	for i := range trace {
+		trace[i] = i%5 < 3 || rng.Intn(4) == 0
+	}
+	opt := Options{States: 6, Population: 24, Generations: 12, Seed: 9, Warmup: 5}
+
+	was := fsm.SetBlockKernel(true)
+	defer fsm.SetBlockKernel(was)
+	on, err := Search(trace, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fsm.SetBlockKernel(false)
+	off, err := Search(trace, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(on.PerGeneration, off.PerGeneration) {
+		t.Fatalf("per-generation curves diverge:\non:  %v\noff: %v", on.PerGeneration, off.PerGeneration)
+	}
+	if on.BestMissRate != off.BestMissRate || on.Evaluations != off.Evaluations {
+		t.Fatalf("kernel on %v/%d, off %v/%d",
+			on.BestMissRate, on.Evaluations, off.BestMissRate, off.Evaluations)
+	}
+	if !reflect.DeepEqual(on.Best, off.Best) {
+		t.Fatal("best machines diverge")
+	}
+}
+
+// TestSearchWorkersInvariant checks that sharding the fleet evaluation
+// across goroutines does not change the search trajectory.
+func TestSearchWorkersInvariant(t *testing.T) {
+	trace := alternatingTrace(800)
+	base := Options{States: 4, Population: 20, Generations: 8, Seed: 13, Warmup: 2}
+	seq, err := Search(trace, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := base
+	par.Workers = 4
+	got, err := Search(trace, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.BestMissRate != got.BestMissRate || !reflect.DeepEqual(seq.PerGeneration, got.PerGeneration) {
+		t.Fatalf("workers changed the trajectory: %v vs %v", seq.PerGeneration, got.PerGeneration)
+	}
+}
+
+// BenchmarkGASearch measures a full search with population-batched
+// fleet evaluation against the scalar per-genome path — the wall-clock
+// headline for the search side of the fleet kernel.
+func BenchmarkGASearch(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	trace := make([]bool, 1<<15)
+	for i := range trace {
+		if i < 3 {
+			trace[i] = rng.Intn(2) == 1
+		} else {
+			trace[i] = trace[i-3] != (rng.Intn(20) == 0)
+		}
+	}
+	opt := Options{States: 8, Population: 64, Generations: 20, Seed: 3, Warmup: 3}
+	bytes := int64(opt.Population*(opt.Generations+1)) * int64(len(trace)) / 8
+	b.Run("fleet", func(b *testing.B) {
+		was := fsm.SetBlockKernel(true)
+		defer fsm.SetBlockKernel(was)
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			if _, err := Search(trace, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scalar", func(b *testing.B) {
+		was := fsm.SetBlockKernel(false)
+		defer fsm.SetBlockKernel(was)
+		b.SetBytes(bytes)
+		for i := 0; i < b.N; i++ {
+			if _, err := Search(trace, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

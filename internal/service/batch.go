@@ -26,8 +26,11 @@ import (
 //     together. The pool's bounded queue still applies — a flush that
 //     outruns it sheds the overflowing items with ErrOverloaded.
 //   - Simulate flushes run every grouped machine over the shared trace
-//     in one fsm.RunManyPacked pass (machines without a block table
-//     fall back to their own scalar pass).
+//     in one fsm.Fleet pass: the group's block tables are packed into
+//     one contiguous fleet, structurally identical machines dedup to a
+//     single walk, and the whole group advances through one trace read
+//     (machines without a block table fall back to their own scalar
+//     pass).
 //
 // The plane drains before the worker pool on Close: every batched
 // request accepted before shutdown still flushes and completes.
@@ -62,6 +65,11 @@ type batchPlane struct {
 	designCoalesced *Counter // design items folded into another item's run
 	designPasses    *Counter // unique pipeline submissions from flushes
 	simPasses       *Counter // simulation kernel passes from flushes
+
+	fleetPasses   *Counter // fleet passes run by simulate flushes
+	fleetMachines *Counter // machines scored across those passes
+	fleetDeduped  *Counter // machines served by a structural twin's walk
+	fleetBytes    *Counter // trace bytes simulated, summed per machine
 }
 
 // newBatchPlane wires the batchers and registers the batch metrics.
@@ -70,6 +78,10 @@ func newBatchPlane(s *Service, maxBatch int, maxWait time.Duration) *batchPlane 
 		designCoalesced: s.registry.Counter("fsmpredict_batch_design_coalesced_total"),
 		designPasses:    s.registry.Counter("fsmpredict_batch_design_passes_total"),
 		simPasses:       s.registry.Counter("fsmpredict_batch_simulate_passes_total"),
+		fleetPasses:     s.registry.Counter("fsmpredict_fleet_passes_total"),
+		fleetMachines:   s.registry.Counter("fsmpredict_fleet_machines_total"),
+		fleetDeduped:    s.registry.Counter("fsmpredict_fleet_deduped_total"),
+		fleetBytes:      s.registry.Counter("fsmpredict_fleet_simulated_bytes_total"),
 	}
 	cfg := func(kind string) batch.Config {
 		size := s.registry.SizeHistogram("fsmpredict_batch_" + kind + "_flush_size")
@@ -211,9 +223,10 @@ func (s *Service) flushDesigns(groupKey string, items []designItem) []batch.Outc
 }
 
 // flushSimulations executes one coalesced simulate group: every grouped
-// machine with a block table advances through ONE shared pass over the
-// group's trace (fsm.RunManyPacked); machines over the block-table
-// state bound fall back to their own scalar replay.
+// machine with a block table advances through ONE fleet pass over the
+// group's trace, with structurally identical machines deduped to a
+// single walk; machines over the block-table state bound fall back to
+// their own scalar replay.
 func (s *Service) flushSimulations(key string, items []simItem) []batch.Outcome[fsm.SimResult] {
 	outs := make([]batch.Outcome[fsm.SimResult], len(items))
 	tr, skip := items[0].trace, items[0].skip
@@ -230,11 +243,16 @@ func (s *Service) flushSimulations(key string, items []simItem) []batch.Outcome[
 		}
 	}
 	if len(tabs) > 0 {
-		res := fsm.RunManyPacked(tabs, tr.Words(), tr.Len(), skip)
+		fl := fsm.FleetOfTables(tabs)
+		res := fl.Run(tr.Words(), tr.Len(), skip)
 		for k, i := range idxs {
 			outs[i].Val = res[k]
 		}
 		s.batch.simPasses.Inc()
+		s.batch.fleetPasses.Inc()
+		s.batch.fleetMachines.Add(uint64(fl.Len()))
+		s.batch.fleetDeduped.Add(uint64(fl.Deduped()))
+		s.batch.fleetBytes.Add(uint64(fl.Len()) * uint64((tr.Len()+7)/8))
 	}
 	return outs
 }

@@ -183,6 +183,57 @@ func TestSimulateBatchGroupedPass(t *testing.T) {
 	}
 }
 
+// TestSimulateBatchFleetDedup aims a group holding structural duplicates
+// at one trace: every request still gets its own (correct) result, but
+// the fleet walks each distinct machine once and the /metrics counters
+// report the pass, its size, and how many machines rode a twin's walk.
+func TestSimulateBatchFleetDedup(t *testing.T) {
+	const machines = 6 // 3 distinct structures, each submitted twice
+	s := New(Config{Workers: 2, BatchMaxSize: machines, BatchMaxWait: time.Hour})
+	defer s.Close()
+	bits, err := bitseq.FromString(paperTrace + " " + paperTrace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := make([]*fsm.Machine, machines)
+	for i := range ms {
+		ms[i] = counterMachine(2 + i%3)
+	}
+	var wg sync.WaitGroup
+	got := make([]fsm.SimResult, machines)
+	errs := make([]error, machines)
+	for i := range ms {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i], errs[i] = s.SimulateBatch(context.Background(), ms[i], bits, 0, "dedup-group")
+		}(i)
+	}
+	wg.Wait()
+	for i := range ms {
+		if errs[i] != nil {
+			t.Fatalf("machine %d: %v", i, errs[i])
+		}
+		if want := ms[i].SimulateBits(bits, 0); got[i] != want {
+			t.Errorf("machine %d: batch %+v, direct %+v", i, got[i], want)
+		}
+	}
+	metric := func(name string) uint64 { return s.registry.Counter(name).Value() }
+	if p := metric("fsmpredict_fleet_passes_total"); p != 1 {
+		t.Errorf("fleet passes = %d, want 1", p)
+	}
+	if n := metric("fsmpredict_fleet_machines_total"); n != machines {
+		t.Errorf("fleet machines = %d, want %d", n, machines)
+	}
+	if d := metric("fsmpredict_fleet_deduped_total"); d != machines-3 {
+		t.Errorf("fleet deduped = %d, want %d", d, machines-3)
+	}
+	wantBytes := uint64(machines) * uint64((bits.Len()+7)/8)
+	if b := metric("fsmpredict_fleet_simulated_bytes_total"); b != wantBytes {
+		t.Errorf("fleet simulated bytes = %d, want %d", b, wantBytes)
+	}
+}
+
 // TestCloseDrainsBatchedRequests is the shutdown guarantee: requests
 // accepted by the batch plane before Close must flush and complete,
 // not be dropped, even when neither flush trigger could fire on its
