@@ -16,6 +16,7 @@ import (
 	"log"
 	"sort"
 
+	"fsmpredict/internal/cachewire"
 	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/experiments"
 	"fsmpredict/internal/stats"
@@ -28,10 +29,16 @@ func main() {
 		events  = flag.Int("n", 250_000, "branch events per benchmark")
 		csv     = flag.Bool("csv", false, "emit CSV points instead of a table")
 		workers = flag.Int("workers", 0, "parallel design/synthesis workers (0 = GOMAXPROCS)")
+
+		cacheDir  = flag.String("cache-dir", "", "persistent artifact cache directory (empty disables the disk tier)")
+		cacheSize = flag.String("cache-size", "", "disk cache size bound, e.g. 512M (empty = store default)")
 	)
 	profile := cliutil.ProfileFlags()
 	flag.Parse()
 	stop := profile.Start()
+	if _, err := cachewire.SetupSized(*cacheDir, *cacheSize); err != nil {
+		cliutil.BadUsage("areabench: %v", err)
+	}
 	if *sample <= 0 || *sample > 1 {
 		cliutil.BadUsage("areabench: -sample %v out of range (0,1]", *sample)
 	}

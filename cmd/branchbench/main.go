@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"fsmpredict/internal/bpred"
+	"fsmpredict/internal/cachewire"
 	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/experiments"
 	"fsmpredict/internal/fsm"
@@ -33,10 +34,17 @@ func main() {
 		ppm     = flag.Bool("ppm", false, "also run the Chen et al. PPM baseline (§3.2)")
 		workers = flag.Int("workers", 0, "parallel design/simulation workers (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "report trace-store and block-table cache statistics to stderr")
+
+		cacheDir  = flag.String("cache-dir", "", "persistent artifact cache directory (empty disables the disk tier)")
+		cacheSize = flag.String("cache-size", "", "disk cache size bound, e.g. 512M (empty = store default)")
 	)
 	profile := cliutil.ProfileFlags()
 	flag.Parse()
 	stop := profile.Start()
+	disk, err := cachewire.SetupSized(*cacheDir, *cacheSize)
+	if err != nil {
+		cliutil.BadUsage("branchbench: %v", err)
+	}
 	cliutil.CheckPositive("n", *events)
 	if *prog != "" {
 		cliutil.CheckOneOf("prog", *prog, "compress", "gs", "gsm", "g721", "ijpeg", "vortex")
@@ -90,6 +98,11 @@ func main() {
 		bt := fsm.BlockStats()
 		fmt.Fprintf(os.Stderr, "blocktable: %d hits, %d misses, %d tables, %.1f KiB retained\n",
 			bt.Hits, bt.Misses, bt.Entries, float64(bt.Bytes)/(1<<10))
+		if disk != nil {
+			ds := disk.Stats()
+			fmt.Fprintf(os.Stderr, "disktier: %d hits, %d misses, %d entries, %.1f MiB on disk\n",
+				ds.Hits, ds.Misses, ds.Entries, float64(ds.Bytes)/(1<<20))
+		}
 	}
 	stop()
 }

@@ -17,6 +17,7 @@ import (
 	"os"
 	"sort"
 
+	"fsmpredict/internal/cachewire"
 	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/experiments"
 	"fsmpredict/internal/fsm"
@@ -32,10 +33,17 @@ func main() {
 		csv     = flag.Bool("csv", false, "emit CSV series instead of tables")
 		workers = flag.Int("workers", 0, "parallel design/simulation workers (0 = GOMAXPROCS)")
 		verbose = flag.Bool("v", false, "report trace-store cache statistics to stderr")
+
+		cacheDir  = flag.String("cache-dir", "", "persistent artifact cache directory (empty disables the disk tier)")
+		cacheSize = flag.String("cache-size", "", "disk cache size bound, e.g. 512M (empty = store default)")
 	)
 	profile := cliutil.ProfileFlags()
 	flag.Parse()
 	stop := profile.Start()
+	disk, err := cachewire.SetupSized(*cacheDir, *cacheSize)
+	if err != nil {
+		cliutil.BadUsage("confbench: %v", err)
+	}
 	cliutil.CheckPositive("n", *events)
 	if *prog != "" {
 		cliutil.CheckOneOf("prog", *prog, "gcc", "go", "groff", "li", "perl")
@@ -79,6 +87,11 @@ func main() {
 		bt := fsm.BlockStats()
 		fmt.Fprintf(os.Stderr, "blocktable: %d hits, %d misses, %d tables, %.1f KiB retained\n",
 			bt.Hits, bt.Misses, bt.Entries, float64(bt.Bytes)/(1<<10))
+		if disk != nil {
+			ds := disk.Stats()
+			fmt.Fprintf(os.Stderr, "disktier: %d hits, %d misses, %d entries, %.1f MiB on disk\n",
+				ds.Hits, ds.Misses, ds.Entries, float64(ds.Bytes)/(1<<20))
+		}
 	}
 	stop()
 }

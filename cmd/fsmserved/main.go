@@ -31,6 +31,13 @@
 // and /metrics exposes the store's hit/miss/byte gauges
 // (fsmpredict_tracestore_{hits,misses,bytes}).
 //
+// Passing -cache-dir gives the design cache, the block-table cache, and
+// the trace store a persistent disk tier: a restarted daemon serves
+// previously computed artifacts (byte-identical) instead of redesigning
+// them. -cache-size bounds the directory (LRU eviction); -cache-serve
+// exposes GET /v1/cache/manifest and GET /v1/cache/artifact for peer
+// warming, and -warm-from pulls a peer's artifacts at startup.
+//
 // Passing -pprof host:port additionally serves the net/http/pprof
 // endpoints (/debug/pprof/...) on that address, on a mux separate from the
 // public listener so profiling is never exposed to API clients.
@@ -52,6 +59,7 @@ import (
 	"syscall"
 	"time"
 
+	"fsmpredict/internal/cachewire"
 	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/service"
 )
@@ -83,14 +91,18 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("fsmserved: ")
 	var (
-		addr      = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		workers   = flag.Int("workers", 0, "concurrent design pipelines (0 = GOMAXPROCS)")
-		queue     = flag.Int("queue", 0, "design queue depth before shedding load (0 = 8x workers)")
-		cache     = flag.Int("cache", 0, "design cache entries (0 = 1024, negative disables)")
-		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout")
-		batchMax  = flag.Int("batch", 0, "max requests coalesced into one batch flush (0 = 64)")
-		batchWait = flag.Duration("batch-wait", 0, "max time a batched request waits for company (0 = 2ms)")
-		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty disables)")
+		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers    = flag.Int("workers", 0, "concurrent design pipelines (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "design queue depth before shedding load (0 = 8x workers)")
+		cache      = flag.Int("cache", 0, "design cache entries (0 = 1024, negative disables)")
+		timeout    = flag.Duration("timeout", 30*time.Second, "per-request timeout")
+		batchMax   = flag.Int("batch", 0, "max requests coalesced into one batch flush (0 = 64)")
+		batchWait  = flag.Duration("batch-wait", 0, "max time a batched request waits for company (0 = 2ms)")
+		pprofAddr  = flag.String("pprof", "", "serve net/http/pprof on this separate address (empty disables)")
+		cacheDir   = flag.String("cache-dir", "", "persistent artifact cache directory (empty disables the disk tier)")
+		cacheSize  = flag.String("cache-size", "", "disk cache size bound, e.g. 512M or 2G (empty = 512M)")
+		cacheServe = flag.Bool("cache-serve", false, "expose the disk tier's peer-warming endpoints under /v1/cache")
+		warmFrom   = flag.String("warm-from", "", "pull missing cache artifacts from a peer fsmserved base URL at startup")
 	)
 	flag.Parse()
 	if *workers < 0 {
@@ -111,6 +123,31 @@ func main() {
 	if flag.NArg() > 0 {
 		cliutil.BadUsage("fsmserved: unexpected arguments %v", flag.Args())
 	}
+	maxBytes, err := cachewire.ParseSize(*cacheSize)
+	if err != nil {
+		cliutil.BadUsage("fsmserved: %v", err)
+	}
+	if *cacheDir == "" && (*cacheSize != "" || *cacheServe || *warmFrom != "") {
+		cliutil.BadUsage("fsmserved: -cache-size, -cache-serve and -warm-from require -cache-dir")
+	}
+	disk, err := cachewire.Setup(*cacheDir, maxBytes)
+	if err != nil {
+		log.Fatalf("opening cache dir: %v", err)
+	}
+	if disk != nil {
+		log.Printf("disk cache at %s (%d artifacts)", disk.Dir(), disk.Len())
+	}
+	if *warmFrom != "" {
+		warmCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		pulled, err := disk.PullFrom(warmCtx, *warmFrom, nil)
+		cancel()
+		if err != nil {
+			// Warming is best-effort: a cold start is slower, not wrong.
+			log.Printf("peer warming from %s failed after %d artifacts: %v", *warmFrom, pulled, err)
+		} else {
+			log.Printf("pulled %d artifacts from %s", pulled, *warmFrom)
+		}
+	}
 
 	if *pprofAddr != "" {
 		pa, err := pprofServer(*pprofAddr)
@@ -126,6 +163,8 @@ func main() {
 		CacheEntries: *cache,
 		BatchMaxSize: *batchMax,
 		BatchMaxWait: *batchWait,
+		Disk:         disk,
+		CacheServe:   *cacheServe,
 	})
 	defer svc.Close()
 

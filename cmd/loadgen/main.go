@@ -23,6 +23,14 @@
 // With -min-coalesce the exit status enforces a floor on the measured
 // coalesce ratio (CI uses this to prove batching actually batches);
 // -min-speedup does the same for the compare transport's speedup.
+//
+// The -warm mode (requires -inprocess and -cache-dir) measures the
+// persistent artifact tier instead: it drives the work list once cold,
+// drops every in-process cache while keeping the disk tier, drives the
+// same list again, and reports cold/warm latency percentiles, the
+// warm-over-cold speedup, and the disk tier's hit counters.
+// -min-warm-speedup enforces a floor on that speedup plus at least one
+// disk hit (the CI warm-start smoke).
 package main
 
 import (
@@ -44,6 +52,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"fsmpredict/internal/cachewire"
 	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/fsm"
 	"fsmpredict/internal/service"
@@ -68,6 +77,10 @@ type opts struct {
 	cache       int
 	srvBatch    int
 	srvWait     time.Duration
+	warm        bool
+	cacheDir    string
+	cacheSize   string
+	minWarmSpd  float64
 }
 
 // latencySummary is the percentile digest of per-item latencies.
@@ -131,6 +144,10 @@ func main() {
 	flag.IntVar(&o.cache, "cache", 0, "in-process design cache entries (0 = default, negative disables)")
 	flag.IntVar(&o.srvBatch, "server-batch", 0, "in-process server max batch size (0 = service default)")
 	flag.DurationVar(&o.srvWait, "server-batch-wait", 0, "in-process server batch wait (0 = service default)")
+	flag.BoolVar(&o.warm, "warm", false, "two-phase warm-start measurement: one cold pass over the item set, drop in-process caches, one warm pass (requires -inprocess and -cache-dir)")
+	flag.StringVar(&o.cacheDir, "cache-dir", "", "persistent artifact cache directory for the in-process server")
+	flag.StringVar(&o.cacheSize, "cache-size", "", "disk cache size bound, e.g. 512M (empty = store default)")
+	flag.Float64Var(&o.minWarmSpd, "min-warm-speedup", 0, "exit 1 if the warm pass is not this many times faster than the cold pass")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		cliutil.BadUsage("loadgen: unexpected arguments %v", flag.Args())
@@ -149,17 +166,34 @@ func main() {
 	if o.duration <= 0 || o.conc <= 0 || o.batch <= 0 || o.distinct <= 0 || o.events <= 0 {
 		cliutil.BadUsage("loadgen: -duration, -c, -batch, -distinct, -events must be positive")
 	}
-	if o.qps < 0 || o.minCoalesce < 0 || o.minSpeedup < 0 || o.srvBatch < 0 || o.srvWait < 0 {
-		cliutil.BadUsage("loadgen: -qps, -min-coalesce, -min-speedup, -server-batch, -server-batch-wait must be >= 0")
+	if o.qps < 0 || o.minCoalesce < 0 || o.minSpeedup < 0 || o.srvBatch < 0 || o.srvWait < 0 || o.minWarmSpd < 0 {
+		cliutil.BadUsage("loadgen: -qps, -min-coalesce, -min-speedup, -min-warm-speedup, -server-batch, -server-batch-wait must be >= 0")
+	}
+	if o.warm && (!o.inprocess || o.cacheDir == "") {
+		cliutil.BadUsage("loadgen: -warm requires -inprocess and -cache-dir")
+	}
+	if o.cacheDir != "" && !o.inprocess {
+		cliutil.BadUsage("loadgen: -cache-dir requires -inprocess")
 	}
 	o.programs = strings.Split(programs, ",")
 
+	maxBytes, err := cachewire.ParseSize(o.cacheSize)
+	if err != nil {
+		cliutil.BadUsage("loadgen: %v", err)
+	}
+
 	base := o.url
+	var svc *service.Service
 	if o.inprocess {
-		svc := service.New(service.Config{
+		disk, err := cachewire.Setup(o.cacheDir, maxBytes)
+		if err != nil {
+			log.Fatalf("opening cache dir: %v", err)
+		}
+		svc = service.New(service.Config{
 			CacheEntries: o.cache,
 			BatchMaxSize: o.srvBatch,
 			BatchMaxWait: o.srvWait,
+			Disk:         disk,
 		})
 		defer svc.Close()
 		ln, err := net.Listen("tcp", "127.0.0.1:0")
@@ -176,6 +210,13 @@ func main() {
 	items, err := buildItems(o)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if o.warm {
+		if err := runWarm(o, svc, base, items); err != nil {
+			log.Fatal(err)
+		}
+		return
 	}
 
 	sum := summary{Mode: o.mode, Concurrency: o.conc, TargetQPS: o.qps, BatchLines: o.batch}
@@ -221,6 +262,180 @@ func main() {
 			log.Fatalf("speedup %.2fx below floor %.2fx", sum.Speedup, o.minSpeedup)
 		}
 	}
+}
+
+// warmSummary is the JSON document of -warm mode: one fixed pass over
+// the item set cold (empty in-process caches, disk tier filling), then
+// the same pass after DropCaches with the disk tier warm.
+type warmSummary struct {
+	Mode        string     `json:"mode"`
+	Items       int        `json:"items"`
+	Cold        runSummary `json:"cold"`
+	Warm        runSummary `json:"warm"`
+	Speedup     float64    `json:"warm_speedup"`
+	DiskHits    uint64     `json:"disk_hits"`
+	DiskMisses  uint64     `json:"disk_misses"`
+	DiskCorrupt uint64     `json:"disk_corrupt"`
+}
+
+// runWarm measures warm-start: pass 1 runs every item once against
+// empty caches (publishing artifacts to the disk tier as it goes),
+// DropCaches empties every in-process tier, and pass 2 repeats the
+// identical work against the warm disk tier. The speedup is wall-clock
+// cold/warm; the scraped diskcache counters prove the warm pass was
+// actually served from disk rather than from a tier that survived the
+// drop.
+func runWarm(o opts, svc *service.Service, base string, items []string) error {
+	before, err := scrapeDiskMetrics(base)
+	if err != nil {
+		return err
+	}
+	cold, err := driveOnce(base, o, items)
+	if err != nil {
+		return err
+	}
+	log.Printf("cold: %d items in %.3fs (p50 %.2fms p99 %.2fms)",
+		cold.Items, cold.Seconds, cold.Latency.P50Ms, cold.Latency.P99Ms)
+
+	svc.DropCaches()
+
+	mid, err := scrapeDiskMetrics(base)
+	if err != nil {
+		return err
+	}
+	warm, err := driveOnce(base, o, items)
+	if err != nil {
+		return err
+	}
+	after, err := scrapeDiskMetrics(base)
+	if err != nil {
+		return err
+	}
+	log.Printf("warm: %d items in %.3fs (p50 %.2fms p99 %.2fms)",
+		warm.Items, warm.Seconds, warm.Latency.P50Ms, warm.Latency.P99Ms)
+
+	sum := warmSummary{
+		Mode:        o.mode,
+		Items:       len(items),
+		Cold:        cold,
+		Warm:        warm,
+		DiskHits:    after.hits - mid.hits,
+		DiskMisses:  after.misses - before.misses,
+		DiskCorrupt: after.corrupt - before.corrupt,
+	}
+	if warm.Seconds > 0 {
+		sum.Speedup = cold.Seconds / warm.Seconds
+	}
+	log.Printf("warm-start speedup: %.2fx (%d disk hits in the warm pass)", sum.Speedup, sum.DiskHits)
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(sum); err != nil {
+		return err
+	}
+	if cold.Errors > 0 || warm.Errors > 0 {
+		return fmt.Errorf("request errors: %d cold, %d warm", cold.Errors, warm.Errors)
+	}
+	if o.minWarmSpd > 0 {
+		if sum.DiskHits == 0 {
+			return fmt.Errorf("warm pass recorded no disk hits; the tier did not serve")
+		}
+		if sum.Speedup < o.minWarmSpd {
+			return fmt.Errorf("warm speedup %.2fx below floor %.2fx", sum.Speedup, o.minWarmSpd)
+		}
+	}
+	return nil
+}
+
+// driveOnce issues every item exactly once over the unary endpoint with
+// -c workers and returns the pass's wall clock and latency digest.
+func driveOnce(base string, o opts, items []string) (runSummary, error) {
+	run := runSummary{Transport: "unary-once"}
+	client := &http.Client{Transport: &http.Transport{MaxIdleConnsPerHost: o.conc}}
+	var (
+		next  atomic.Uint64
+		errN  atomic.Uint64
+		latMu sync.Mutex
+		lats  []time.Duration
+		wg    sync.WaitGroup
+	)
+	start := time.Now()
+	for w := 0; w < o.conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := next.Add(1) - 1
+				if i >= uint64(len(items)) {
+					return
+				}
+				t0 := time.Now()
+				if err := postUnary(client, base, o.mode, items[i]); err != nil {
+					errN.Add(1)
+					continue
+				}
+				d := time.Since(t0)
+				latMu.Lock()
+				lats = append(lats, d)
+				latMu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	run.Items = uint64(len(lats))
+	run.Requests = uint64(len(items))
+	run.Errors = errN.Load()
+	run.Seconds = elapsed.Seconds()
+	if elapsed > 0 {
+		run.ItemsPerS = float64(run.Items) / elapsed.Seconds()
+	}
+	run.Latency = percentiles(lats)
+	return run, nil
+}
+
+// diskCounters is one scrape of the disk tier's counters.
+type diskCounters struct {
+	hits    uint64
+	misses  uint64
+	corrupt uint64
+}
+
+// scrapeDiskMetrics reads the fsmpredict_diskcache_* counters from
+// /metrics.
+func scrapeDiskMetrics(base string) (diskCounters, error) {
+	var c diskCounters
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return c, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return c, err
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		name, val, found := strings.Cut(strings.TrimSpace(sc.Text()), " ")
+		if !found {
+			continue
+		}
+		n, err := strconv.ParseUint(val, 10, 64)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "fsmpredict_diskcache_hits_total":
+			c.hits = n
+		case "fsmpredict_diskcache_misses_total":
+			c.misses = n
+		case "fsmpredict_diskcache_corrupt_total":
+			c.corrupt = n
+		}
+	}
+	return c, sc.Err()
 }
 
 // buildItems precomputes the request-line mix: -distinct variants per

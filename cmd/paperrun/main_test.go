@@ -1,0 +1,104 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/tracestore"
+)
+
+// TestSmokeGridMatchesGolden runs the checked-in smoke grid and diffs
+// every table against the golden directory, byte for byte. This is the
+// determinism contract: any change to the experiment pipelines that
+// shifts a published number must update the goldens explicitly.
+func TestSmokeGridMatchesGolden(t *testing.T) {
+	res, err := run(options{
+		grid:   filepath.Join("testdata", "grid.smoke.json"),
+		out:    t.TempDir(),
+		golden: filepath.Join("testdata", "golden.smoke"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Files) == 0 {
+		t.Fatal("run produced no tables")
+	}
+}
+
+// TestWarmStartProducesIdenticalTables is the in-process warm-start
+// smoke: a cold run fills a shared cache directory, the in-memory tiers
+// are dropped (fresh-process stand-in), and the warm run must serve from
+// disk while still matching the goldens exactly.
+func TestWarmStartProducesIdenticalTables(t *testing.T) {
+	cacheDir := t.TempDir()
+	o := options{
+		grid:     filepath.Join("testdata", "grid.smoke.json"),
+		out:      t.TempDir(),
+		golden:   filepath.Join("testdata", "golden.smoke"),
+		cacheDir: cacheDir,
+	}
+	cold, err := run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Disk == nil || cold.Disk.Entries == 0 {
+		t.Fatal("cold run published nothing to the disk tier")
+	}
+
+	// Simulate a fresh process: drop the process-wide in-memory caches
+	// so the warm run can only be fast via the disk tier.
+	tracestore.Shared.Clear()
+	fsm.ResetBlockCache()
+
+	o.out = t.TempDir()
+	o.requireDiskHits = true
+	warm, err := run(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Disk.Hits <= cold.Disk.Hits {
+		t.Fatalf("warm run disk hits = %d, want more than cold run's %d", warm.Disk.Hits, cold.Disk.Hits)
+	}
+	if warm.Disk.Corrupt != 0 {
+		t.Fatalf("warm run reported %d corrupt artifacts", warm.Disk.Corrupt)
+	}
+}
+
+// TestGoldenDiffCatchesDrift corrupts one output and checks the golden
+// comparison actually fails.
+func TestGoldenDiffCatchesDrift(t *testing.T) {
+	out := t.TempDir()
+	if _, err := run(options{
+		grid: filepath.Join("testdata", "grid.smoke.json"),
+		out:  out,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(out, "figure4.csv")
+	if err := os.WriteFile(p, []byte("series,x,y\ndrifted,1,1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := diffGolden(filepath.Join("testdata", "golden.smoke"), out); err == nil {
+		t.Fatal("golden diff accepted a drifted table")
+	}
+}
+
+// TestGridValidation rejects malformed grids.
+func TestGridValidation(t *testing.T) {
+	dir := t.TempDir()
+	for name, body := range map[string]string{
+		"nofigures.json": `{"name":"x","figures":[]}`,
+		"unknown.json":   `{"figures":["figure9"]}`,
+		"badfield.json":  `{"figures":["figure6"],"nope":1}`,
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := run(options{grid: p, out: t.TempDir()}); err == nil {
+			t.Errorf("grid %s accepted, want error", name)
+		}
+	}
+}

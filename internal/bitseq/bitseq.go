@@ -54,6 +54,22 @@ func MustFromString(s string) *Bits {
 	return b
 }
 
+// FromWords builds a sequence of n bits over a packed word slice (bit i
+// of the sequence in bit i%64 of words[i/64], the layout Words exposes).
+// The slice is adopted, not copied — the caller must not reuse it — and
+// bits at n and beyond are cleared, restoring the zero-padding invariant
+// the packed kernels rely on. It panics if words is too short for n.
+func FromWords(words []uint64, n int) *Bits {
+	if n < 0 || (n+63)/64 > len(words) {
+		panic(fmt.Sprintf("bitseq: %d words cannot hold %d bits", len(words), n))
+	}
+	words = words[:(n+63)/64]
+	if rem := uint(n % 64); rem != 0 {
+		words[len(words)-1] &= (1 << rem) - 1
+	}
+	return &Bits{words: words, n: n}
+}
+
 // FromBools builds a sequence from a slice of booleans.
 func FromBools(vs []bool) *Bits {
 	b := &Bits{}

@@ -346,3 +346,36 @@ func TestCubeWidthPanics(t *testing.T) {
 	}()
 	NewCube(0, 0, 0)
 }
+
+func TestFromWords(t *testing.T) {
+	src := MustFromString("1011 0010 1110 0001 1")
+	words := append([]uint64(nil), src.Words()...)
+	got := FromWords(words, src.Len())
+	if got.Len() != src.Len() {
+		t.Fatalf("Len = %d, want %d", got.Len(), src.Len())
+	}
+	for i := 0; i < src.Len(); i++ {
+		if got.At(i) != src.At(i) {
+			t.Fatalf("bit %d differs", i)
+		}
+	}
+	// Dirty padding beyond n must be cleared so appends and window reads
+	// stay exact.
+	dirty := []uint64{0xFFFFFFFFFFFFFFFF}
+	b := FromWords(dirty, 3)
+	if b.Len() != 3 || b.Words()[0] != 0b111 {
+		t.Fatalf("padding not cleared: %#x", b.Words()[0])
+	}
+	b.Append(false)
+	b.Append(true)
+	if b.Len() != 5 || !b.At(4) || b.At(3) {
+		t.Fatal("append after FromWords broken")
+	}
+	// Too-short word slices must panic, not read garbage.
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FromWords(1 word, 65 bits) did not panic")
+		}
+	}()
+	FromWords(make([]uint64, 1), 65)
+}

@@ -1,0 +1,63 @@
+package cachewire
+
+import (
+	"testing"
+
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/tracestore"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		bad  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"1024", 1024, false},
+		{"4K", 4 << 10, false},
+		{"4KiB", 4 << 10, false},
+		{"512M", 512 << 20, false},
+		{"512MB", 512 << 20, false},
+		{"2G", 2 << 30, false},
+		{"2gib", 2 << 30, false},
+		{" 16 M ", 16 << 20, false},
+		{"-1", 0, true},
+		{"x", 0, true},
+		{"1T", 0, true}, // unknown suffix leaves "1T" unparsable
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.in)
+		if c.bad {
+			if err == nil {
+				t.Errorf("ParseSize(%q) = %d, want error", c.in, got)
+			}
+			continue
+		}
+		if err != nil || got != c.want {
+			t.Errorf("ParseSize(%q) = (%d, %v), want %d", c.in, got, err, c.want)
+		}
+	}
+}
+
+func TestSetupWiresGlobalCaches(t *testing.T) {
+	if d, err := Setup("", 0); d != nil || err != nil {
+		t.Fatalf("Setup(\"\") = (%v, %v), want nil store", d, err)
+	}
+	d, err := Setup(t.TempDir(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d == nil {
+		t.Fatal("Setup returned nil store")
+	}
+	// Detach the globals so other tests see a clean process.
+	defer func() {
+		fsm.SetDiskTier(nil)
+		tracestore.Shared.SetDisk(nil)
+	}()
+	if d.Dir() == "" {
+		t.Fatal("store has no directory")
+	}
+}

@@ -1,0 +1,26 @@
+//go:build linux
+
+package disktier
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapPayload maps the payload region of an artifact file read-only. The
+// mapping must start page-aligned, so the whole file is mapped and the
+// blob's Data slices past the header; unmapping releases the full
+// mapping. Returns ok=false to make the caller fall back to a heap
+// read (mmap can fail on exotic filesystems).
+func mapPayload(f *os.File, off, n int64) (*Blob, bool) {
+	total := int(off + n)
+	data, err := syscall.Mmap(int(f.Fd()), 0, total, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false
+	}
+	return &Blob{
+		Data:    data[off : off+n],
+		unmap:   func() { syscall.Munmap(data) },
+		mmapped: true,
+	}, true
+}

@@ -1,0 +1,13 @@
+//go:build !linux
+
+package disktier
+
+import "os"
+
+// mapPayload reports no mapping support; the caller falls back to a
+// plain heap read. Only linux carries the syscall.Mmap path — the
+// production target — and every other platform stays correct through
+// the same verified-read contract.
+func mapPayload(f *os.File, off, n int64) (*Blob, bool) {
+	return nil, false
+}

@@ -1,0 +1,210 @@
+package disktier
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+)
+
+// Peer warming: a fresh replica joining a daemon fleet bulk-pulls the
+// artifacts a warm peer already computed instead of recomputing them.
+// The protocol is two GET endpoints served by the warm side —
+//
+//	GET <prefix>/manifest           → JSON list of {kind, key, version, size}
+//	GET <prefix>/artifact?kind=&key= → the raw artifact file bytes
+//
+// — and PullFrom on the cold side, which fetches the manifest, skips
+// artifacts it already holds, and installs the rest after verifying
+// each one's header and checksum locally (a hostile or buggy peer can
+// at worst feed bytes that fail verification and are dropped). The
+// endpoints are mounted by fsmserved only when explicitly enabled.
+
+// ManifestEntry describes one stored artifact.
+type ManifestEntry struct {
+	Kind    string `json:"kind"`
+	Key     string `json:"key"`
+	Version byte   `json:"version"`
+	Size    int64  `json:"size"`
+}
+
+// maxPeerArtifactBytes bounds one pulled artifact (a packed 250k-event
+// trace is ~2 MiB; 64 MiB leaves ample headroom).
+const maxPeerArtifactBytes = 64 << 20
+
+// Manifest lists the stored artifacts, most recently used first. The
+// version is read from each file's header; unreadable files are
+// skipped (the next Get will reap them).
+func (s *Store) Manifest() []ManifestEntry {
+	s.mu.Lock()
+	infos := make([]entryInfo, 0, s.order.Len())
+	for el := s.order.Front(); el != nil; el = el.Next() {
+		infos = append(infos, *el.Value.(*entryInfo))
+	}
+	s.mu.Unlock()
+
+	out := make([]ManifestEntry, 0, len(infos))
+	for _, e := range infos {
+		ver, ok := s.headerVersion(e.ek)
+		if !ok {
+			continue
+		}
+		out = append(out, ManifestEntry{Kind: e.ek.kind, Key: e.ek.key, Version: ver, Size: e.size})
+	}
+	return out
+}
+
+// headerVersion reads just the format-version byte of an artifact file.
+func (s *Store) headerVersion(ek entryKey) (byte, bool) {
+	f, err := os.Open(s.path(ek))
+	if err != nil {
+		return 0, false
+	}
+	defer f.Close()
+	var hdr [5]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil || [4]byte(hdr[0:4]) != magic {
+		return 0, false
+	}
+	return hdr[4], true
+}
+
+// ReadEncoded returns the raw artifact file bytes at (kind, key) — the
+// transfer unit of peer warming. The container is verified (magic,
+// kind, length, CRC) before serving so a peer never receives bytes its
+// own verification would reject.
+func (s *Store) ReadEncoded(kind, key string) ([]byte, bool) {
+	if !validAddress(kind, key) {
+		return nil, false
+	}
+	ek := entryKey{kind: kind, key: key}
+	raw, err := os.ReadFile(s.path(ek))
+	if err != nil {
+		return nil, false
+	}
+	if !verifyEncoded(raw, kind) {
+		s.dropCorrupt(ek)
+		return nil, false
+	}
+	return raw, true
+}
+
+// PutEncoded installs a raw artifact file under (kind, key) after
+// verifying its container. It returns false (and installs nothing) if
+// the bytes are not a valid artifact of that kind.
+func (s *Store) PutEncoded(kind, key string, raw []byte) bool {
+	if !validAddress(kind, key) || !verifyEncoded(raw, kind) {
+		return false
+	}
+	s.publish(entryKey{kind: kind, key: key}, raw)
+	return true
+}
+
+// verifyEncoded checks a whole artifact file image: magic, kind,
+// length, payload CRC. The format version is deliberately not pinned —
+// the transfer side is version-agnostic; a version-skewed artifact is
+// detected (and dropped) by the eventual Get.
+func verifyEncoded(raw []byte, kind string) bool {
+	hdrLen := fixedHeaderLen + len(kind)
+	if len(raw) < hdrLen || [4]byte(raw[0:4]) != magic {
+		return false
+	}
+	if int(raw[5]) != len(kind) || string(raw[6:6+len(kind)]) != kind {
+		return false
+	}
+	r := NewReader(raw[6+len(kind) : hdrLen])
+	payloadLen := r.U64()
+	wantCRC := r.U32()
+	if int(payloadLen) != len(raw)-hdrLen {
+		return false
+	}
+	return crc32.Checksum(raw[hdrLen:], castagnoli) == wantCRC
+}
+
+// Handler serves the peer-warming endpoints for this store. Mount it
+// under a prefix with http.StripPrefix.
+func (s *Store) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /manifest", func(w http.ResponseWriter, r *http.Request) {
+		m := s.Manifest()
+		sort.Slice(m, func(i, j int) bool {
+			if m[i].Kind != m[j].Kind {
+				return m[i].Kind < m[j].Kind
+			}
+			return m[i].Key < m[j].Key
+		})
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(m)
+	})
+	mux.HandleFunc("GET /artifact", func(w http.ResponseWriter, r *http.Request) {
+		kind, key := r.URL.Query().Get("kind"), r.URL.Query().Get("key")
+		raw, ok := s.ReadEncoded(kind, key)
+		if !ok {
+			http.Error(w, "no such artifact", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(raw)
+	})
+	return mux
+}
+
+// PullFrom warms this store from a peer serving Handler at base (e.g.
+// "http://peer:8080/v1/cache"). Artifacts already present locally are
+// skipped; the rest are fetched, verified and installed. It returns the
+// number installed and the first hard error (manifest unreachable);
+// individual artifact failures are skipped, not fatal — warming is an
+// optimization, never a correctness dependency.
+func (s *Store) PullFrom(ctx context.Context, base string, client *http.Client) (int, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/manifest", nil)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("disktier: peer manifest: status %d", resp.StatusCode)
+	}
+	var manifest []ManifestEntry
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 64<<20)).Decode(&manifest); err != nil {
+		return 0, fmt.Errorf("disktier: peer manifest: %v", err)
+	}
+
+	pulled := 0
+	for _, e := range manifest {
+		if ctx.Err() != nil {
+			return pulled, ctx.Err()
+		}
+		if !validAddress(e.Kind, e.Key) || e.Size > maxPeerArtifactBytes || s.Has(e.Kind, e.Key) {
+			continue
+		}
+		url := fmt.Sprintf("%s/artifact?kind=%s&key=%s", base, e.Kind, e.Key)
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		if err != nil {
+			continue
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			continue
+		}
+		raw, err := io.ReadAll(io.LimitReader(resp.Body, maxPeerArtifactBytes+1))
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK || int64(len(raw)) > maxPeerArtifactBytes {
+			continue
+		}
+		if s.PutEncoded(e.Kind, e.Key, raw) {
+			pulled++
+		}
+	}
+	s.count(func(st *Stats) { st.PeerPulled += uint64(pulled) })
+	return pulled, nil
+}

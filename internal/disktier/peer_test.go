@@ -1,0 +1,118 @@
+package disktier
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestManifestListsArtifacts(t *testing.T) {
+	s := mustOpen(t, 0)
+	s.Put("trace", 1, "aa", testPayload(100))
+	s.Put("design", 2, "bb", testPayload(50))
+	m := s.Manifest()
+	if len(m) != 2 {
+		t.Fatalf("manifest has %d entries, want 2", len(m))
+	}
+	byKind := map[string]ManifestEntry{}
+	for _, e := range m {
+		byKind[e.Kind] = e
+	}
+	if e := byKind["trace"]; e.Key != "aa" || e.Version != 1 || e.Size == 0 {
+		t.Fatalf("trace entry = %+v", e)
+	}
+	if e := byKind["design"]; e.Key != "bb" || e.Version != 2 {
+		t.Fatalf("design entry = %+v", e)
+	}
+}
+
+func TestEncodedRoundTripRejectsTampering(t *testing.T) {
+	s := mustOpen(t, 0)
+	s.Put("trace", 1, "aa", testPayload(100))
+	raw, ok := s.ReadEncoded("trace", "aa")
+	if !ok {
+		t.Fatal("ReadEncoded failed")
+	}
+
+	dst := mustOpen(t, 0)
+	if !dst.PutEncoded("trace", "aa", raw) {
+		t.Fatal("PutEncoded rejected a valid artifact")
+	}
+	got, ok := get(dst, "trace", 1, "aa")
+	if !ok || !bytes.Equal(got, testPayload(100)) {
+		t.Fatal("transferred artifact mismatch")
+	}
+
+	// Tampered bytes must be rejected before touching disk.
+	bad := append([]byte(nil), raw...)
+	bad[len(bad)-1] ^= 1
+	if dst.PutEncoded("trace", "cc", bad) {
+		t.Fatal("PutEncoded accepted a corrupted artifact")
+	}
+	// Kind spoofing: valid trace bytes offered under another kind.
+	if dst.PutEncoded("design", "dd", raw) {
+		t.Fatal("PutEncoded accepted a kind-mismatched artifact")
+	}
+}
+
+func TestPeerWarming(t *testing.T) {
+	warm := mustOpen(t, 0)
+	warm.Put("trace", 1, "aa", testPayload(300))
+	warm.Put("blocktable", 1, "bb", testPayload(200))
+	warm.Put("design", 1, "cc", testPayload(100))
+
+	srv := httptest.NewServer(http.StripPrefix("/v1/cache", warm.Handler()))
+	defer srv.Close()
+
+	cold := mustOpen(t, 0)
+	// Pre-seed one artifact: the pull must skip it.
+	cold.Put("design", 1, "cc", testPayload(100))
+
+	pulled, err := cold.PullFrom(context.Background(), srv.URL+"/v1/cache", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pulled != 2 {
+		t.Fatalf("pulled %d artifacts, want 2", pulled)
+	}
+	for _, e := range []struct {
+		kind, key string
+		n         int
+	}{{"trace", "aa", 300}, {"blocktable", "bb", 200}, {"design", "cc", 100}} {
+		got, ok := get(cold, e.kind, 1, e.key)
+		if !ok || !bytes.Equal(got, testPayload(e.n)) {
+			t.Fatalf("artifact %s/%s wrong after warming", e.kind, e.key)
+		}
+	}
+	if st := cold.Stats(); st.PeerPulled != 2 {
+		t.Fatalf("peer_pulled = %d, want 2", st.PeerPulled)
+	}
+	// Warming is idempotent.
+	pulled, err = cold.PullFrom(context.Background(), srv.URL+"/v1/cache", nil)
+	if err != nil || pulled != 0 {
+		t.Fatalf("second pull = (%d, %v), want (0, nil)", pulled, err)
+	}
+}
+
+func TestPullFromUnreachablePeer(t *testing.T) {
+	cold := mustOpen(t, 0)
+	if _, err := cold.PullFrom(context.Background(), "http://127.0.0.1:1/v1/cache", nil); err == nil {
+		t.Fatal("expected an error from an unreachable peer")
+	}
+}
+
+func TestArtifactEndpointUnknown(t *testing.T) {
+	warm := mustOpen(t, 0)
+	srv := httptest.NewServer(warm.Handler())
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/artifact?kind=trace&key=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status = %d, want 404", resp.StatusCode)
+	}
+}

@@ -19,9 +19,13 @@ import (
 
 // Stats is a point-in-time snapshot of cache effectiveness.
 type Stats struct {
-	// Hits counts lookups served from the cache, including requests
-	// coalesced onto another caller's in-flight computation.
+	// Hits counts lookups served from the in-process tier, including
+	// requests coalesced onto another caller's in-flight computation.
 	Hits uint64
+	// TierHits counts lookups served by the second tier (disk) instead
+	// of a recompute. Before the tiered stats split, these were
+	// indistinguishable from Misses.
+	TierHits uint64
 	// Misses counts computations actually run.
 	Misses uint64
 	// Entries is the current number of cached values.
@@ -34,15 +38,22 @@ type Stats struct {
 // Cache is a bounded LRU keyed by K. The zero value is not usable;
 // construct with New. All methods are safe for concurrent use.
 type Cache[K comparable, V any] struct {
-	mu     sync.Mutex
-	max    int
-	size   func(V) uint64
-	order  *list.List // front = most recently used; values are *entry[K, V]
-	byKey  map[K]*list.Element
-	flight map[K]*flight[V]
-	hits   uint64
-	misses uint64
-	bytes  uint64
+	mu       sync.Mutex
+	max      int
+	size     func(V) uint64
+	order    *list.List // front = most recently used; values are *entry[K, V]
+	byKey    map[K]*list.Element
+	flight   map[K]*flight[V]
+	hits     uint64
+	tierHits uint64
+	misses   uint64
+	bytes    uint64
+
+	// Optional second tier, consulted inside the singleflight slot on a
+	// miss before compute runs, and filled after a compute. Both calls
+	// happen outside the cache lock — they are expected to do disk IO.
+	tier2Load  func(K) (V, bool)
+	tier2Store func(K, V)
 }
 
 type entry[K comparable, V any] struct {
@@ -122,6 +133,31 @@ func (c *Cache[K, V]) removeLocked(el *list.Element) {
 	}
 }
 
+// SetTier2 attaches (or, with nils, detaches) a second cache tier —
+// in practice a disk store. On a miss the owning Do call consults load
+// before computing; a validated tier-2 value is installed in the
+// in-process tier and counted in Stats.TierHits, distinguishable from
+// a recompute (Stats.Misses). After an actual compute, store publishes
+// the fresh value to the tier. Both functions run outside the cache
+// lock and must be safe for concurrent use.
+func (c *Cache[K, V]) SetTier2(load func(K) (V, bool), store func(K, V)) {
+	c.mu.Lock()
+	c.tier2Load, c.tier2Store = load, store
+	c.mu.Unlock()
+}
+
+// Clear drops every cached entry (statistics and the tier-2 hookup are
+// retained, and in-flight computations complete normally). It exists
+// for warm-start measurement: dropping the in-process tier exposes the
+// disk tier underneath.
+func (c *Cache[K, V]) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.order.Len() > 0 {
+		c.removeLocked(c.order.Back())
+	}
+}
+
 // Do returns the value for the key, computing and inserting it on a
 // miss. Concurrent Do calls for the same key coalesce: one runs
 // compute, the rest block and share its result (counted as hits).
@@ -130,7 +166,9 @@ func (c *Cache[K, V]) removeLocked(el *list.Element) {
 // returned; a cached entry that fails validation is dropped and
 // recomputed. This is the guard for lossy keys — when K is a hash of
 // the value's source, a collision (or a caller mutating the source
-// after insertion) yields a stale entry that validation catches.
+// after insertion) yields a stale entry that validation catches. The
+// same validation is applied to values surfacing from the second tier,
+// so a disk artifact can never be weaker-checked than a memory hit.
 func (c *Cache[K, V]) Do(k K, valid func(V) bool, compute func() V) V {
 	for {
 		c.mu.Lock()
@@ -160,7 +198,7 @@ func (c *Cache[K, V]) Do(k K, valid func(V) bool, compute func() V) V {
 		}
 		f := &flight[V]{done: make(chan struct{})}
 		c.flight[k] = f
-		c.misses++
+		t2load, t2store := c.tier2Load, c.tier2Store
 		c.mu.Unlock()
 
 		// Always release waiters and clear the flight, even if compute
@@ -176,8 +214,24 @@ func (c *Cache[K, V]) Do(k K, valid func(V) bool, compute func() V) V {
 			}
 			c.mu.Unlock()
 		}()
+		if t2load != nil {
+			if v, ok := t2load(k); ok && (valid == nil || valid(v)) {
+				c.mu.Lock()
+				c.tierHits++
+				c.mu.Unlock()
+				f.val = v
+				computed = true
+				return f.val
+			}
+		}
+		c.mu.Lock()
+		c.misses++
+		c.mu.Unlock()
 		f.val = compute()
 		computed = true
+		if t2store != nil {
+			t2store(k, f.val)
+		}
 		return f.val
 	}
 }
@@ -194,9 +248,10 @@ func (c *Cache[K, V]) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return Stats{
-		Hits:    c.hits,
-		Misses:  c.misses,
-		Entries: uint64(c.order.Len()),
-		Bytes:   c.bytes,
+		Hits:     c.hits,
+		TierHits: c.tierHits,
+		Misses:   c.misses,
+		Entries:  uint64(c.order.Len()),
+		Bytes:    c.bytes,
 	}
 }

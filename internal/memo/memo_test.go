@@ -126,3 +126,72 @@ func TestBoundNeverExceeded(t *testing.T) {
 		}
 	}
 }
+
+func TestTier2HitDistinguishedFromRecompute(t *testing.T) {
+	disk := map[int]int{7: 70}
+	var loads, stores, computes int
+	c := New[int, int](4, nil)
+	c.SetTier2(
+		func(k int) (int, bool) { loads++; v, ok := disk[k]; return v, ok },
+		func(k, v int) { stores++; disk[k] = v },
+	)
+
+	// Key 7 is on "disk": served by tier 2, not recomputed.
+	if v := c.Do(7, nil, func() int { computes++; return -1 }); v != 70 {
+		t.Fatalf("Do(7) = %d, want 70 from tier 2", v)
+	}
+	// Key 8 is nowhere: recomputed and published to tier 2.
+	if v := c.Do(8, nil, func() int { computes++; return 80 }); v != 80 {
+		t.Fatalf("Do(8) = %d, want 80", v)
+	}
+	// Both now hit tier 1.
+	c.Do(7, nil, func() int { computes++; return -1 })
+	c.Do(8, nil, func() int { computes++; return -1 })
+
+	st := c.Stats()
+	if st.Hits != 2 || st.TierHits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want hits=2 tierHits=1 misses=1", st)
+	}
+	if computes != 1 || loads != 2 || stores != 1 {
+		t.Fatalf("computes=%d loads=%d stores=%d, want 1/2/1", computes, loads, stores)
+	}
+	if disk[8] != 80 {
+		t.Fatalf("tier 2 not filled after compute: %v", disk)
+	}
+}
+
+func TestTier2ValueValidated(t *testing.T) {
+	c := New[int, int](4, nil)
+	c.SetTier2(
+		func(k int) (int, bool) { return 666, true }, // corrupt/stale tier-2 value
+		nil,
+	)
+	v := c.Do(1, func(v int) bool { return v == 42 }, func() int { return 42 })
+	if v != 42 {
+		t.Fatalf("Do = %d; invalid tier-2 value must fall through to compute", v)
+	}
+	st := c.Stats()
+	if st.TierHits != 0 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want the rejected tier-2 load counted as a recompute", st)
+	}
+}
+
+func TestClearDropsEntriesKeepsStats(t *testing.T) {
+	c := New[int, int](4, func(int) uint64 { return 1 })
+	c.Do(1, nil, func() int { return 10 })
+	c.Do(1, nil, func() int { return -1 })
+	c.Clear()
+	if c.Len() != 0 {
+		t.Fatalf("Len = %d after Clear", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Bytes != 0 {
+		t.Fatalf("stats after Clear = %+v", st)
+	}
+	// Cleared key recomputes.
+	var again bool
+	c.Do(1, nil, func() int { again = true; return 10 })
+	if !again {
+		t.Fatal("cleared entry still served")
+	}
+}

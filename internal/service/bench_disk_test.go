@@ -1,0 +1,107 @@
+package service
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/disktier"
+	"fsmpredict/internal/tracestore"
+)
+
+// benchTraces builds a deterministic set of design inputs: correlated
+// bit traces long enough that the design pipeline (model, cover,
+// minimize, synthesize) dominates over request plumbing.
+func benchTraces(n int) []string {
+	rng := rand.New(rand.NewSource(42))
+	traces := make([]string, n)
+	for i := range traces {
+		var sb strings.Builder
+		lag := 2 + i%5
+		bits := make([]byte, 8192)
+		for j := range bits {
+			if j < lag {
+				bits[j] = byte(rng.Intn(2))
+			} else if rng.Intn(10) == 0 {
+				bits[j] = 1 - bits[j-lag]
+			} else {
+				bits[j] = bits[j-lag]
+			}
+			sb.WriteByte('0' + bits[j])
+		}
+		traces[i] = sb.String()
+	}
+	return traces
+}
+
+// BenchmarkWarmStartDesign compares a cold design pass (full pipeline
+// every time) against a disk-warm pass (artifacts served from the
+// persistent tier after the in-memory caches are dropped). The ratio of
+// the two sub-benchmarks is the warm-start speedup the disk tier buys a
+// freshly started process.
+func BenchmarkWarmStartDesign(b *testing.B) {
+	traces := benchTraces(16)
+	// Order 8 makes the pipeline do real work (a 256-history model,
+	// cover extraction, minimization, synthesis); the artifact it
+	// produces stays a few KiB of JSON, which is the asymmetry the
+	// disk tier exploits.
+	opt := core.Options{Order: 8}
+	drive := func(b *testing.B, s *Service, wantHit bool) {
+		b.Helper()
+		for _, tr := range traces {
+			res, hit, err := s.DesignString(context.Background(), tr, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.States == 0 {
+				b.Fatal("empty design")
+			}
+			if hit != wantHit {
+				b.Fatalf("hit = %v, want %v", hit, wantHit)
+			}
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		s := New(Config{Workers: 1, Traces: tracestore.NewStore()})
+		defer s.Close()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s.DropCaches()
+			drive(b, s, false)
+		}
+		b.ReportMetric(float64(len(traces)*b.N)/b.Elapsed().Seconds(), "designs/s")
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		disk, err := disktier.Open(b.TempDir(), 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		s := New(Config{Workers: 1, Disk: disk, Traces: tracestore.NewStore()})
+		defer s.Close()
+		drive(b, s, false) // fill the disk tier
+		// Artifacts publish after the response (off the latency path);
+		// wait for the last ones to land before timing the warm pass.
+		for i := 0; disk.Len() < len(traces) && i < 5000; i++ {
+			time.Sleep(time.Millisecond)
+		}
+		if disk.Len() < len(traces) {
+			b.Fatalf("disk tier has %d artifacts, want %d", disk.Len(), len(traces))
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s.DropCaches()
+			drive(b, s, true)
+		}
+		b.StopTimer()
+		if n := s.met.cacheTierHits.Value(); n < uint64(len(traces)*b.N) {
+			b.Fatalf("tier hits = %d, want >= %d", n, len(traces)*b.N)
+		}
+		b.ReportMetric(float64(len(traces)*b.N)/b.Elapsed().Seconds(), "designs/s")
+	})
+}

@@ -81,6 +81,15 @@ func (c *designCache) put(k cacheKey, res *Result) {
 	c.c.Put(k, res)
 }
 
+// clear drops every cached design, keeping statistics (the warm-start
+// measurement hook behind Service.DropCaches).
+func (c *designCache) clear() {
+	if c == nil {
+		return
+	}
+	c.c.Clear()
+}
+
 // len reports the number of cached designs.
 func (c *designCache) len() int {
 	if c == nil {

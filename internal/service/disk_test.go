@@ -1,0 +1,195 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/core"
+	"fsmpredict/internal/disktier"
+	"fsmpredict/internal/tracestore"
+)
+
+// TestDesignDiskTier proves the design warm-start path: a service
+// fills the disk tier, a second service (fresh process stand-in, cold
+// memory cache) serves the identical result from disk without running
+// the pipeline, and a corrupted artifact falls back to a clean run.
+func TestDesignDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := disktier.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := New(Config{Workers: 2, Disk: disk, Traces: tracestore.NewStore()})
+	want, hit, err := warm.DesignString(context.Background(), paperTrace, figure1Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("first request reported as hit")
+	}
+	warm.Close()
+	if st := disk.Stats(); st.Entries == 0 {
+		t.Fatal("design artifact not published to disk")
+	}
+
+	cold := New(Config{Workers: 2, Disk: disk, Traces: tracestore.NewStore()})
+	defer cold.Close()
+	ran := false
+	inner := cold.designFn
+	cold.designFn = func(b *bitseq.Bits, o core.Options) (*core.Design, error) {
+		ran = true
+		return inner(b, o)
+	}
+	got, hit, err := cold.DesignString(context.Background(), paperTrace, figure1Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hit {
+		t.Fatal("disk-tier serve not reported as hit")
+	}
+	if ran {
+		t.Fatal("pipeline ran despite a warm disk tier")
+	}
+	if got.Key != want.Key || !bytes.Equal(got.Machine, want.Machine) ||
+		got.VHDL != want.VHDL || got.AreaGE != want.AreaGE || got.States != want.States {
+		t.Fatal("disk-tier result differs from the original")
+	}
+	if cold.met.cacheTierHits.Value() != 1 {
+		t.Fatalf("tier hits = %d, want 1", cold.met.cacheTierHits.Value())
+	}
+	// Once installed in the memory tier, repeats hit there.
+	if _, hit, _ := cold.DesignString(context.Background(), paperTrace, figure1Options()); !hit {
+		t.Fatal("second request missed the memory tier")
+	}
+	if n := cold.met.cacheTierHits.Value(); n != 1 {
+		t.Fatalf("tier hits after memory hit = %d, want still 1", n)
+	}
+
+	// DropCaches exposes the disk tier again.
+	cold.DropCaches()
+	if _, hit, _ := cold.DesignString(context.Background(), paperTrace, figure1Options()); !hit {
+		t.Fatal("post-DropCaches request missed both tiers")
+	}
+	if n := cold.met.cacheTierHits.Value(); n != 2 {
+		t.Fatalf("tier hits after DropCaches = %d, want 2", n)
+	}
+
+	// Corrupt the design artifact: a cold service must re-run the
+	// pipeline and produce the identical result.
+	ents, err := os.ReadDir(filepath.Join(dir, "design"))
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("design artifacts: %v %d", err, len(ents))
+	}
+	p := filepath.Join(dir, "design", ents[0].Name())
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-2] ^= 0x08
+	if err := os.WriteFile(p, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hurt := New(Config{Workers: 2, Disk: disk, Traces: tracestore.NewStore()})
+	defer hurt.Close()
+	redo, hit, err := hurt.DesignString(context.Background(), paperTrace, figure1Options())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hit {
+		t.Fatal("corrupted artifact served as a hit")
+	}
+	if !bytes.Equal(redo.Machine, want.Machine) || redo.VHDL != want.VHDL {
+		t.Fatal("recomputed result differs from the original")
+	}
+	if st := disk.Stats(); st.Corrupt == 0 {
+		t.Fatal("corruption not counted")
+	}
+}
+
+// TestCacheEndpointsGated checks /v1/cache is absent by default and
+// served only with CacheServe.
+func TestCacheEndpointsGated(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := disktier.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk.Put("design", 1, "aa", []byte("payload"))
+
+	off := New(Config{Workers: 1, Disk: disk, Traces: tracestore.NewStore()})
+	defer off.Close()
+	srvOff := httptest.NewServer(NewHandler(off))
+	defer srvOff.Close()
+	resp, err := http.Get(srvOff.URL + "/v1/cache/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("cache endpoints served without CacheServe")
+	}
+
+	on := New(Config{Workers: 1, Disk: disk, Traces: tracestore.NewStore(), CacheServe: true})
+	defer on.Close()
+	srvOn := httptest.NewServer(NewHandler(on))
+	defer srvOn.Close()
+	resp, err = http.Get(srvOn.URL + "/v1/cache/manifest")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("manifest status = %d", resp.StatusCode)
+	}
+	var m []disktier.ManifestEntry
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		t.Fatal(err)
+	}
+	if len(m) != 1 || m[0].Kind != "design" || m[0].Key != "aa" {
+		t.Fatalf("manifest = %+v", m)
+	}
+}
+
+// TestDiskMetricsExposed checks the diskcache counters and the tier
+// ratio gauges appear on /metrics when a disk tier is configured.
+func TestDiskMetricsExposed(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := disktier.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := New(Config{Workers: 1, Disk: disk, Traces: tracestore.NewStore()})
+	defer s.Close()
+	if _, _, err := s.DesignString(context.Background(), paperTrace, figure1Options()); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.Metrics().WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, name := range []string{
+		"fsmpredict_diskcache_hits_total",
+		"fsmpredict_diskcache_misses_total",
+		"fsmpredict_diskcache_bytes_total",
+		"fsmpredict_diskcache_evictions_total",
+		"fsmpredict_diskcache_corrupt_total",
+		"fsmpredict_design_cache_tier_hits_total",
+		"fsmpredict_design_cache_l1_hit_permille",
+		"fsmpredict_design_cache_l2_hit_permille",
+		"fsmpredict_tracestore_tier_hits",
+		"fsmpredict_blocktable_tier_hits",
+	} {
+		if !bytes.Contains(buf.Bytes(), []byte(name)) {
+			t.Errorf("metric %s missing from exposition:\n%s", name, out)
+		}
+	}
+}

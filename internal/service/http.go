@@ -162,6 +162,8 @@ func requestTraceGrouped(s *Service, inline string, ref *TraceRefJSON) (*bitseq.
 //	POST /v1/batch/simulate — NDJSON stream of simulate requests, coalesced
 //	GET  /healthz           — liveness probe
 //	GET  /metrics           — text metrics exposition
+//	GET  /v1/cache/manifest — disk-tier artifact listing (only with Config.CacheServe)
+//	GET  /v1/cache/artifact — one verified artifact by kind+key (only with Config.CacheServe)
 //
 // Request bodies and responses are JSON except /healthz and /metrics.
 // All POST endpoints accept either an inline "trace" string or a
@@ -214,6 +216,12 @@ func NewHandler(s *Service) http.Handler {
 			MissRate: res.MissRate(),
 		})
 	})
+	if s.disk != nil && s.cacheServe {
+		// Peer-warming plane (operator opt-in): a cold process lists this
+		// one's artifacts and fetches them by content address, verifying
+		// each locally before install.
+		mux.Handle("GET /v1/cache/", http.StripPrefix("/v1/cache", s.disk.Handler()))
+	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		io.WriteString(w, "ok\n")

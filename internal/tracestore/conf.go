@@ -95,10 +95,21 @@ func (s *Store) ConfStreams(p *workload.LoadProgram, v workload.Variant, n, tabl
 	}
 	f := &flight[*ConfStreams]{done: make(chan struct{})}
 	s.confs[key] = f
+	disk := s.disk
 	s.mu.Unlock()
-	s.misses.Add(1)
 
-	f.val = BuildConfStreams(s.Loads(p, v, n), tableLog2)
+	if cs, ok := s.diskLoadConf(disk, key); ok {
+		// A disk hit skips not only the stride-predictor simulation but
+		// the load-trace generation feeding it.
+		s.tierHits.Add(1)
+		f.val = cs
+	} else {
+		s.misses.Add(1)
+		f.val = BuildConfStreams(s.Loads(p, v, n), tableLog2)
+		if disk != nil {
+			disk.Put(confKind, confVersion, confAddress(key), encodeConfStreams(f.val))
+		}
+	}
 	// Four bit streams cover every load twice (global + segment view).
 	s.bytes.Add(uint64(4 * f.val.Loads() / 8))
 	close(f.done)

@@ -1,0 +1,195 @@
+package tracestore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fsmpredict/internal/disktier"
+	"fsmpredict/internal/workload"
+)
+
+func packedEqual(a, b *Packed) bool {
+	if a.Len() != b.Len() || a.NumStatics() != b.NumStatics() {
+		return false
+	}
+	if !reflect.DeepEqual(a.ids, b.ids) || !reflect.DeepEqual(a.pcs, b.pcs) {
+		return false
+	}
+	if !reflect.DeepEqual(a.outcomes.Words(), b.outcomes.Words()) {
+		return false
+	}
+	for id := range a.subs {
+		sa, sb := a.subs[id], b.subs[id]
+		if !reflect.DeepEqual(sa.Pos, sb.Pos) ||
+			sa.Outcomes.Len() != sb.Outcomes.Len() ||
+			!reflect.DeepEqual(sa.Outcomes.Words(), sb.Outcomes.Words()) {
+			return false
+		}
+	}
+	return reflect.DeepEqual(a.byPC, b.byPC)
+}
+
+func confEqual(a, b *ConfStreams) bool {
+	eq := func(x, y interface {
+		Len() int
+		Words() []uint64
+	}) bool {
+		return x.Len() == y.Len() && reflect.DeepEqual(x.Words(), y.Words())
+	}
+	if !eq(a.Valid, b.Valid) || !eq(a.Correct, b.Correct) || len(a.Segments) != len(b.Segments) {
+		return false
+	}
+	for i := range a.Segments {
+		if !eq(a.Segments[i].Valid, b.Segments[i].Valid) ||
+			!eq(a.Segments[i].Correct, b.Segments[i].Correct) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPackedDiskCodecRoundTrip(t *testing.T) {
+	prog, err := workload.ByName("gsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range []int{1, 63, 64, 65, 4000} {
+		want := Pack(prog.Generate(workload.Train, n))
+		got, ok := decodePacked(encodePacked(want))
+		if !ok {
+			t.Fatalf("n=%d: decode failed", n)
+		}
+		if !packedEqual(got, want) {
+			t.Fatalf("n=%d: decoded trace differs", n)
+		}
+	}
+}
+
+func TestPackedDecodeRejectsMalformed(t *testing.T) {
+	prog, _ := workload.ByName("gsm")
+	good := encodePacked(Pack(prog.Generate(workload.Train, 500)))
+	for _, bad := range [][]byte{
+		nil,
+		good[:len(good)-1],
+		append(append([]byte(nil), good...), 7),
+		good[:5],
+	} {
+		if _, ok := decodePacked(bad); ok {
+			t.Fatalf("malformed payload (%d bytes) accepted", len(bad))
+		}
+	}
+	// An out-of-range static ID must be rejected.
+	p := Pack(prog.Generate(workload.Train, 500))
+	p.ids[3] = int32(len(p.pcs)) + 5
+	if _, ok := decodePacked(encodePacked(p)); ok {
+		t.Fatal("out-of-range static ID accepted")
+	}
+}
+
+func TestConfStreamsDiskCodecRoundTrip(t *testing.T) {
+	lp, err := workload.LoadByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := BuildConfStreams(lp.Generate(workload.Train, 3000), 4)
+	got, ok := decodeConfStreams(encodeConfStreams(want))
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if !confEqual(got, want) {
+		t.Fatal("decoded streams differ")
+	}
+
+	// A Correct bit outside Valid violates the harness invariant.
+	evil := BuildConfStreams(lp.Generate(workload.Train, 3000), 4)
+	for i := 0; i < evil.Valid.Len(); i++ {
+		if !evil.Valid.At(i) {
+			w := evil.Correct.Words()
+			w[i/64] |= 1 << uint(i%64)
+			break
+		}
+	}
+	if _, ok := decodeConfStreams(encodeConfStreams(evil)); ok {
+		t.Fatal("Correct-without-Valid accepted")
+	}
+}
+
+// TestStoreDiskTier proves the warm-start path end to end: a store
+// fills the disk tier, a cold store (or a cleared one) serves the same
+// bits from disk without regenerating, and a corrupted artifact
+// regenerates cleanly.
+func TestStoreDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := disktier.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewStore()
+	warm.SetDisk(disk)
+
+	prog, _ := workload.ByName("gs")
+	lp, _ := workload.LoadByName("perl")
+	wantBranch := warm.Branches(prog, workload.Train, 2500)
+	wantConf := warm.ConfStreams(lp, workload.Train, 2000, 4)
+	if st := warm.Stats(); st.TierHits != 0 || st.Misses == 0 {
+		t.Fatalf("warm fill stats = %+v", st)
+	}
+
+	cold := NewStore()
+	cold.SetDisk(disk)
+	if got := cold.Branches(prog, workload.Train, 2500); !packedEqual(got, wantBranch) {
+		t.Fatal("disk-tier branch trace differs from generated")
+	}
+	if got := cold.ConfStreams(lp, workload.Train, 2000, 4); !confEqual(got, wantConf) {
+		t.Fatal("disk-tier conf streams differ from simulated")
+	}
+	if st := cold.Stats(); st.TierHits != 2 || st.Misses != 0 {
+		t.Fatalf("cold stats = %+v, want 2 tier hits and no generation", st)
+	}
+
+	// Clear exposes the disk tier again on the same store.
+	cold.Clear()
+	if cold.Len() != 0 {
+		t.Fatalf("Len after Clear = %d", cold.Len())
+	}
+	cold.Branches(prog, workload.Train, 2500)
+	if st := cold.Stats(); st.TierHits != 3 || st.Misses != 0 {
+		t.Fatalf("post-Clear stats = %+v", st)
+	}
+
+	// Corrupt every artifact: a fresh store must regenerate identical
+	// bits and count no tier hit.
+	for _, kind := range []string{"trace", "confstream"} {
+		ents, err := os.ReadDir(filepath.Join(dir, kind))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range ents {
+			p := filepath.Join(dir, kind, e.Name())
+			raw, err := os.ReadFile(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw[len(raw)/2] ^= 0x10
+			if err := os.WriteFile(p, raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	hurt := NewStore()
+	hurt.SetDisk(disk)
+	if got := hurt.Branches(prog, workload.Train, 2500); !packedEqual(got, wantBranch) {
+		t.Fatal("post-corruption branch trace differs")
+	}
+	if got := hurt.ConfStreams(lp, workload.Train, 2000, 4); !confEqual(got, wantConf) {
+		t.Fatal("post-corruption conf streams differ")
+	}
+	if st := hurt.Stats(); st.TierHits != 0 || st.Misses == 0 {
+		t.Fatalf("post-corruption stats = %+v, want clean regeneration", st)
+	}
+	if st := disk.Stats(); st.Corrupt == 0 {
+		t.Fatal("disk store did not flag the corrupted artifacts")
+	}
+}

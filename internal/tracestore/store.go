@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"fsmpredict/internal/disktier"
 	"fsmpredict/internal/trace"
 	"fsmpredict/internal/workload"
 )
@@ -51,6 +52,9 @@ type flight[T any] struct {
 type Stats struct {
 	// Hits counts lookups served from an existing (or in-flight) entry.
 	Hits uint64
+	// TierHits counts lookups served by the disk tier instead of a
+	// regeneration.
+	TierHits uint64
 	// Misses counts lookups that had to generate.
 	Misses uint64
 	// Bytes is the estimated retained size of all stored traces.
@@ -66,10 +70,12 @@ type Store struct {
 	branches map[Key]*flight[*Packed]
 	loads    map[Key]*flight[[]trace.LoadEvent]
 	confs    map[confKey]*flight[*ConfStreams] // lazily allocated
+	disk     *disktier.Store                   // optional second tier
 
-	hits   atomic.Uint64
-	misses atomic.Uint64
-	bytes  atomic.Uint64
+	hits     atomic.Uint64
+	tierHits atomic.Uint64
+	misses   atomic.Uint64
+	bytes    atomic.Uint64
 }
 
 // NewStore returns an empty store.
@@ -86,7 +92,12 @@ var Shared = NewStore()
 
 // Stats snapshots the hit/miss/bytes counters.
 func (s *Store) Stats() Stats {
-	return Stats{Hits: s.hits.Load(), Misses: s.misses.Load(), Bytes: s.bytes.Load()}
+	return Stats{
+		Hits:     s.hits.Load(),
+		TierHits: s.tierHits.Load(),
+		Misses:   s.misses.Load(),
+		Bytes:    s.bytes.Load(),
+	}
 }
 
 // Len reports how many traces the store holds (including in-flight
@@ -111,10 +122,19 @@ func (s *Store) Branches(p *workload.Program, v workload.Variant, n int) *Packed
 	}
 	f := &flight[*Packed]{done: make(chan struct{})}
 	s.branches[key] = f
+	disk := s.disk
 	s.mu.Unlock()
-	s.misses.Add(1)
 
-	f.val = Pack(p.Generate(v, n))
+	if packed, ok := s.diskLoadPacked(disk, key); ok {
+		s.tierHits.Add(1)
+		f.val = packed
+	} else {
+		s.misses.Add(1)
+		f.val = Pack(p.Generate(v, n))
+		if disk != nil {
+			disk.Put(traceKind, traceVersion, branchAddress(key), encodePacked(f.val))
+		}
+	}
 	s.bytes.Add(f.val.Bytes())
 	close(f.done)
 	return f.val
