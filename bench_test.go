@@ -20,11 +20,13 @@ import (
 	"fsmpredict/internal/confidence"
 	"fsmpredict/internal/counters"
 	"fsmpredict/internal/experiments"
+	"fsmpredict/internal/fsm"
 	"fsmpredict/internal/gasearch"
 	"fsmpredict/internal/gating"
 	"fsmpredict/internal/simpoint"
 	"fsmpredict/internal/stats"
 	"fsmpredict/internal/trace"
+	"fsmpredict/internal/tracestore"
 	"fsmpredict/internal/vhdl"
 	"fsmpredict/internal/workload"
 )
@@ -569,5 +571,42 @@ func BenchmarkBatchDesignThroughput(b *testing.B) {
 	}
 	if design.Flushes > 0 {
 		b.ReportMetric(float64(design.Flushed)/float64(design.Flushes), "items/flush")
+	}
+}
+
+// BenchmarkSpanWorkloadTraces measures the span kernel on the suite's
+// own branch traces — not the synthetic bias sweep — reporting each
+// program's skippable-event coverage alongside block and span kernel
+// throughput. The win here is whatever run structure the workloads
+// really have; EXPERIMENTS.md records both this and the bias sweep.
+func BenchmarkSpanWorkloadTraces(b *testing.B) {
+	for _, prog := range []string{"compress", "gs", "gsm", "g721", "ijpeg", "vortex"} {
+		p, err := workload.ByName(prog)
+		if err != nil {
+			b.Fatal(err)
+		}
+		packed := tracestore.Pack(p.Generate(workload.Train, 2_000_000))
+		words, n := packed.Outcomes().Words(), packed.Outcomes().Len()
+		runs := packed.SpanIndex()
+		covered := float64(bitseq.RunsCovered(runs)) / float64(n)
+		m := counters.SUDConfig{Max: 3, Inc: 1, Dec: 1, Threshold: 2}.Machine()
+		tab, err := fsm.CompileBlockTable(m)
+		if err != nil {
+			b.Fatal(err)
+		}
+		bytes := int64(n) / 8
+		b.Run("block/"+prog, func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				tab.SimulatePacked(words, n, 0)
+			}
+		})
+		b.Run("span/"+prog, func(b *testing.B) {
+			b.SetBytes(bytes)
+			b.ReportMetric(covered, "run-coverage")
+			for i := 0; i < b.N; i++ {
+				tab.SimulatePackedSpans(words, n, 0, runs)
+			}
+		})
 	}
 }

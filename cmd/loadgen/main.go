@@ -107,6 +107,11 @@ type runSummary struct {
 	// sustained across the window (machine-bytes simulated per second,
 	// from the fsmpredict_fleet_* counters; simulate mode only).
 	FleetMBps float64 `json:"fleet_sim_mb_per_s,omitempty"`
+	// SpanSkipRatio is the fraction of simulated events the span kernel
+	// advanced through run power tables instead of byte lookups (from
+	// fsmpredict_span_skipped_events_total over the fleet's simulated
+	// event volume; simulate mode only).
+	SpanSkipRatio float64 `json:"span_skip_ratio,omitempty"`
 	// FleetDedup is the fraction of fleet machines served by a
 	// structural twin's walk instead of their own.
 	FleetDedup float64 `json:"fleet_dedup_ratio,omitempty"`
@@ -232,8 +237,8 @@ func main() {
 		log.Printf("%s: %.0f items/s (%d items, %d errors, p50 %.2fms p99 %.2fms, coalesce %.2f)",
 			tr, run.ItemsPerS, run.Items, run.Errors, run.Latency.P50Ms, run.Latency.P99Ms, run.Coalesce)
 		if run.FleetMBps > 0 {
-			log.Printf("%s: fleet simulated %.1f MB/s aggregate (dedup ratio %.2f)",
-				tr, run.FleetMBps, run.FleetDedup)
+			log.Printf("%s: fleet simulated %.1f MB/s aggregate (dedup ratio %.2f, span skip %.2f)",
+				tr, run.FleetMBps, run.FleetDedup, run.SpanSkipRatio)
 		}
 		sum.Runs = append(sum.Runs, run)
 	}
@@ -614,6 +619,9 @@ func drive(base, transport string, o opts, items []string) (runSummary, error) {
 	if m := after.fleetMachines - before.fleetMachines; m > 0 {
 		run.FleetDedup = float64(after.fleetDeduped-before.fleetDeduped) / float64(m)
 	}
+	if bytes := after.fleetBytes - before.fleetBytes; bytes > 0 {
+		run.SpanSkipRatio = float64(after.spanSkipped-before.spanSkipped) / float64(bytes*8)
+	}
 	return run, nil
 }
 
@@ -664,6 +672,7 @@ type batchCounters struct {
 	fleetMachines uint64
 	fleetDeduped  uint64
 	fleetBytes    uint64
+	spanSkipped   uint64
 }
 
 // scrapeBatchMetrics reads /metrics and extracts the mode's batch-plane
@@ -704,6 +713,8 @@ func scrapeBatchMetrics(base, mode string) (batchCounters, error) {
 			c.fleetDeduped = n
 		case "fsmpredict_fleet_simulated_bytes_total":
 			c.fleetBytes = n
+		case "fsmpredict_span_skipped_events_total":
+			c.spanSkipped = n
 		}
 	}
 	if err := sc.Err(); err != nil {

@@ -34,6 +34,9 @@ func main() {
 		list    = flag.Bool("list", false, "list available benchmarks")
 		sample  = flag.Bool("simpoint", false, "emit only SimPoint-representative intervals (branches only)")
 		sampleK = flag.Int("simpoint-k", 4, "number of SimPoint clusters")
+		bias    = flag.Float64("bias", -1, "generate a synthetic biased branch trace with this taken fraction in (0,1) instead of a benchmark")
+		runlen  = flag.Float64("runlen", 0, "mean run length (events) of the biased trace's alternating runs; 0 = iid")
+		seed    = flag.Int64("seed", 1, "rng seed for the biased trace")
 	)
 	flag.Parse()
 
@@ -48,8 +51,12 @@ func main() {
 		}
 		return
 	}
-	if *bench == "" {
-		cliutil.BadUsage("tracegen: provide -bench (or -list)")
+	biased := *bias >= 0
+	if *bench == "" && !biased {
+		cliutil.BadUsage("tracegen: provide -bench or -bias (or -list)")
+	}
+	if biased && (*bench != "" || *loads || *sample) {
+		cliutil.BadUsage("tracegen: -bias replaces -bench and applies to branch traces only")
 	}
 	cliutil.CheckPositive("n", *n)
 	cliutil.CheckOneOf("variant", *variant, "train", "test")
@@ -78,6 +85,24 @@ func main() {
 			}
 		}()
 		w = f
+	}
+
+	if biased {
+		events, err := trace.GenBiased(*n, *bias, *runlen, *seed)
+		if err != nil {
+			cliutil.BadUsage("tracegen: %v", err)
+		}
+		if *text {
+			err = trace.WriteBranchesText(w, events)
+		} else {
+			err = trace.WriteBranches(w, events)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d branch events (bias %g, mean run %g, seed %d)\n",
+			len(events), *bias, *runlen, *seed)
+		return
 	}
 
 	if *loads {

@@ -1,0 +1,141 @@
+package bitseq
+
+// Run scanning: the span kernel's view of a packed stream. Real branch
+// streams are massively biased — loop back-edges and guard branches
+// emit long homogeneous stretches of taken/not-taken — and an FSM's
+// transition functions form a monoid, so a run of k identical outcome
+// bytes can be closed over in O(log k) composed lookups instead of k.
+// This file finds those runs: maximal stretches of 0x00/0xFF bytes in a
+// packed word stream, byte-aligned so the fsm kernels can hand them to
+// their power tables without re-examining the words. Scanning is
+// word-level (one comparison per 64 events on homogeneous stretches)
+// and runs once per trace; the index is tiny next to the stream for any
+// realistically biased input.
+
+// DefaultMinRunBytes is the shortest run worth indexing: below four
+// bytes the power-table walk saves at most two lookups over the plain
+// byte loop, not worth a run entry's index-walk overhead or its 12
+// bytes of index memory on near-random streams.
+const DefaultMinRunBytes = 4
+
+// Run is one maximal homogeneous stretch of a packed outcome stream.
+type Run struct {
+	// Start is the stretch's first event position, always a multiple
+	// of 8 (runs are whole-byte stretches).
+	Start int32
+	// Bytes is the stretch length in whole 8-event bytes.
+	Bytes int32
+	// One reports the repeated outcome bit (true = every event taken).
+	One bool
+}
+
+// End returns the event position just past the run.
+func (r Run) End() int { return int(r.Start) + int(r.Bytes)<<3 }
+
+// Runs scans the first n events of a packed word stream (bit i of the
+// sequence in words[i/64]>>(i%64), the Bits.Words layout) and returns
+// every maximal run of homogeneous bytes at least minBytes long, in
+// ascending position order. Only whole bytes are scanned — a ragged
+// sub-byte tail past n&^7 never joins a run — so every returned run
+// lies within [0, n&^7). minBytes below one is treated as one.
+func Runs(words []uint64, n, minBytes int) []Run {
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	nb := n >> 3
+	if max := len(words) << 3; nb > max {
+		nb = max
+	}
+	var out []Run
+	start, length := 0, 0 // current stretch, in bytes
+	var one bool
+	flush := func() {
+		if length >= minBytes {
+			out = append(out, Run{Start: int32(start << 3), Bytes: int32(length), One: one})
+		}
+		length = 0
+	}
+	extend := func(j int, v bool) {
+		if length > 0 && one != v {
+			flush()
+		}
+		if length == 0 {
+			start, one = j, v
+		}
+	}
+	for j := 0; j < nb; {
+		if j&7 == 0 && j+8 <= nb {
+			switch w := words[j>>3]; w {
+			case 0:
+				extend(j, false)
+				length += 8
+				j += 8
+				continue
+			case ^uint64(0):
+				extend(j, true)
+				length += 8
+				j += 8
+				continue
+			}
+		}
+		switch b := uint8(words[j>>3] >> uint((j&7)<<3)); b {
+		case 0x00, 0xFF:
+			extend(j, b == 0xFF)
+			length++
+		default:
+			flush()
+		}
+		j++
+	}
+	flush()
+	return out
+}
+
+// RunAt reports the maximal homogeneous byte run starting at event
+// position i of the packed stream: the run length in whole bytes (zero
+// when the byte at i is mixed or no whole byte remains below n) and the
+// repeated bit value. i must be byte-aligned and non-negative.
+func RunAt(words []uint64, i, n int) (bytes int, one bool) {
+	if i < 0 || i&7 != 0 {
+		panic("bitseq: RunAt position must be byte-aligned and non-negative")
+	}
+	nb := n >> 3
+	if max := len(words) << 3; nb > max {
+		nb = max
+	}
+	j := i >> 3
+	if j >= nb {
+		return 0, false
+	}
+	b := uint8(words[j>>3] >> uint((j&7)<<3))
+	if b != 0x00 && b != 0xFF {
+		return 0, false
+	}
+	one = b == 0xFF
+	var want uint64
+	if one {
+		want = ^uint64(0)
+	}
+	k := j + 1
+	for k < nb {
+		if k&7 == 0 && k+8 <= nb && words[k>>3] == want {
+			k += 8
+			continue
+		}
+		if uint8(words[k>>3]>>uint((k&7)<<3)) != uint8(want) {
+			break
+		}
+		k++
+	}
+	return k - j, one
+}
+
+// RunsCovered sums the events the runs span — the numerator of a skip
+// ratio against the stream length.
+func RunsCovered(runs []Run) int {
+	c := 0
+	for _, r := range runs {
+		c += int(r.Bytes) << 3
+	}
+	return c
+}

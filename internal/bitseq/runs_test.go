@@ -1,0 +1,153 @@
+package bitseq
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// naiveRuns is the byte-at-a-time reference for the word-level scanner.
+func naiveRuns(words []uint64, n, minBytes int) []Run {
+	if minBytes < 1 {
+		minBytes = 1
+	}
+	nb := n >> 3
+	if max := len(words) << 3; nb > max {
+		nb = max
+	}
+	byteAt := func(j int) uint8 { return uint8(words[j>>3] >> uint((j&7)<<3)) }
+	var out []Run
+	for j := 0; j < nb; {
+		b := byteAt(j)
+		if b != 0x00 && b != 0xFF {
+			j++
+			continue
+		}
+		k := j + 1
+		for k < nb && byteAt(k) == b {
+			k++
+		}
+		if k-j >= minBytes {
+			out = append(out, Run{Start: int32(j << 3), Bytes: int32(k - j), One: b == 0xFF})
+		}
+		j = k
+	}
+	return out
+}
+
+// runnyWords builds a packed stream with geometric run structure.
+func runnyWords(rng *rand.Rand, n int, bias, meanRun float64) *Bits {
+	b := &Bits{}
+	one := rng.Float64() < bias
+	for b.Len() < n {
+		mean := 2 * meanRun * (1 - bias)
+		if one {
+			mean = 2 * meanRun * bias
+		}
+		k := 1
+		for mean > 1 && rng.Float64() < 1-1/mean {
+			k++
+		}
+		for j := 0; j < k && b.Len() < n; j++ {
+			b.Append(one)
+		}
+		one = !one
+	}
+	return b
+}
+
+func TestRunsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(3000)
+		var bits *Bits
+		switch trial % 3 {
+		case 0:
+			bits = runnyWords(rng, n, 0.5+rng.Float64()*0.49, float64(1+rng.Intn(200)))
+		case 1: // iid coin flips: few runs, lots of mixed bytes
+			bits = runnyWords(rng, n, 0.5, 1)
+		default: // near-solid stream
+			bits = runnyWords(rng, n, 0.999, 500)
+		}
+		minBytes := rng.Intn(10)
+		got := Runs(bits.Words(), bits.Len(), minBytes)
+		want := naiveRuns(bits.Words(), bits.Len(), minBytes)
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d runs, want %d", trial, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d run %d: %+v, want %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestRunsProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(5000)
+		bits := runnyWords(rng, n, 0.9, 60)
+		runs := Runs(bits.Words(), bits.Len(), DefaultMinRunBytes)
+		prevEnd := 0
+		for i, r := range runs {
+			if r.Start&7 != 0 {
+				t.Fatalf("trial %d run %d: unaligned start %d", trial, i, r.Start)
+			}
+			if int(r.Bytes) < DefaultMinRunBytes {
+				t.Fatalf("trial %d run %d: short run %d bytes", trial, i, r.Bytes)
+			}
+			// Adjacent opposite-polarity runs may touch; never overlap.
+			if int(r.Start) < prevEnd {
+				t.Fatalf("trial %d run %d: out of order or overlapping", trial, i)
+			}
+			if r.End() > n&^7 {
+				t.Fatalf("trial %d run %d: end %d past whole-byte region %d", trial, i, r.End(), n&^7)
+			}
+			for p := int(r.Start); p < r.End(); p++ {
+				if bits.At(p) != r.One {
+					t.Fatalf("trial %d run %d: bit %d is %v inside a %v-run", trial, i, p, bits.At(p), r.One)
+				}
+			}
+			prevEnd = r.End()
+		}
+		if c := RunsCovered(runs); c > n {
+			t.Fatalf("trial %d: covered %d of %d", trial, c, n)
+		}
+	}
+}
+
+func TestRunAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(93))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(2000)
+		bits := runnyWords(rng, n, 0.9, 40)
+		words := bits.Words()
+		for probe := 0; probe < 20; probe++ {
+			i := rng.Intn(n/8+1) * 8
+			bytes, one := RunAt(words, i, n)
+			ref := naiveRuns(words, n, 1)
+			wantBytes, wantOne := 0, false
+			for _, r := range ref {
+				if int(r.Start) == i {
+					wantBytes, wantOne = int(r.Bytes), r.One
+				}
+			}
+			// RunAt reports the run FROM i, which for a position inside a
+			// maximal run is its remainder.
+			for _, r := range ref {
+				if int(r.Start) < i && r.End() > i {
+					wantBytes, wantOne = (r.End()-i)>>3, r.One
+				}
+			}
+			if bytes != wantBytes || (bytes > 0 && one != wantOne) {
+				t.Fatalf("trial %d i=%d: RunAt (%d,%v), want (%d,%v)", trial, i, bytes, one, wantBytes, wantOne)
+			}
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("RunAt accepted an unaligned position")
+		}
+	}()
+	RunAt([]uint64{0}, 3, 64)
+}

@@ -161,7 +161,7 @@ func runCustomBlocked(c *Custom, tr *tracestore.Packed) (Result, bool) {
 		if w := winner[i]; w >= 0 {
 			pos = tr.SubOf(w).Pos
 		}
-		m, end := tabs[i].RunSampled(state, words, n, pos)
+		m, end := tabs[i].RunSampledSpans(state, words, n, pos, tr.SpanIndex())
 		misses += m
 		c.runners[i].SetState(end)
 	}
@@ -284,7 +284,7 @@ func RunCustomPrefixesParallel(entries []*CustomEntry, tr *tracestore.Packed, wo
 		if !ok {
 			return 0, nil
 		}
-		m, _ := tabs[i].RunSampled(tabs[i].StartState(), words, events, tr.SubOf(id).Pos)
+		m, _ := tabs[i].RunSampledSpans(tabs[i].StartState(), words, events, tr.SubOf(id).Pos, tr.SpanIndex())
 		return m, nil
 	})
 

@@ -88,7 +88,10 @@ func EvaluateStreamsMachine(cs *tracestore.ConfStreams, m *fsm.Machine) Result {
 	for _, seg := range cs.Segments {
 		n := seg.Valid.Len()
 		cw, vw := seg.Correct.Words(), seg.Valid.Words()
-		flagged, flaggedCorrect := t.ReplayGated(cw, vw, n)
+		flagged, flaggedCorrect, err := t.ReplayGatedSpans(cw, vw, n, seg.Spans)
+		if err != nil {
+			return EvaluateStreams(cs, func() counters.Predictor { return m.NewRunner() })
+		}
 		r.Flagged += flagged
 		r.FlaggedCorrect += flaggedCorrect
 		r.Accesses += seg.Valid.Ones()
@@ -122,7 +125,13 @@ func EvaluateStreamsFleet(cs *tracestore.ConfStreams, machines []*fsm.Machine) [
 	for _, seg := range cs.Segments {
 		n := seg.Valid.Len()
 		cw, vw := seg.Correct.Words(), seg.Valid.Words()
-		flagged, flaggedCorrect := fl.ReplayGated(cw, vw, n)
+		flagged, flaggedCorrect, err := fl.ReplayGatedSpans(cw, vw, n, seg.Spans)
+		if err != nil {
+			for i, m := range machines {
+				out[i] = EvaluateStreamsMachine(cs, m)
+			}
+			return out
+		}
 		accesses := seg.Valid.Ones()
 		correct := onesAnd(vw, cw)
 		for i := range out {

@@ -36,12 +36,25 @@ func TestFiguresKernelOnOffIdentical(t *testing.T) {
 		{"figure6", func() (any, error) { return Figure6(cfg) }},
 		{"figure7", func() (any, error) { return Figure7(cfg) }},
 	}
+	// Both kernel toggles are axes: the span kernel must be invisible on
+	// top of the block kernel, and the block toggle must still be exact
+	// regardless of the span setting.
 	for _, r := range runs {
 		t.Run(r.name, func(t *testing.T) {
 			on, err := r.do()
 			if err != nil {
 				t.Fatal(err)
 			}
+			prevSpan := fsm.SetSpanKernel(false)
+			defer fsm.SetSpanKernel(prevSpan)
+			spanOff, err := r.do()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(on, spanOff) {
+				t.Fatalf("span kernel on/off results differ:\non:  %+v\noff: %+v", on, spanOff)
+			}
+			fsm.SetSpanKernel(prevSpan)
 			prev := fsm.SetBlockKernel(false)
 			defer fsm.SetBlockKernel(prev)
 			off, err := r.do()

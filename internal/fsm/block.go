@@ -54,6 +54,10 @@ type BlockTable struct {
 	// out[s] is state s's prediction as a bit.
 	out   []uint8
 	start uint8
+	// span holds the lazily built homogeneous-byte power tables the
+	// run-length span kernel walks (see span.go); the shell is built
+	// with the table, levels grow on first use.
+	span *SpanTable
 	// src is a private clone of the compiled machine, used to verify
 	// cache hits (the shared cache keys on a 64-bit content hash).
 	src *Machine
@@ -83,6 +87,7 @@ func CompileBlockTable(m *Machine) (*BlockTable, error) {
 			t.out[s] = 1
 		}
 	}
+	t.span = newSpanTable(t.step, t.out)
 	// Build T_8 by doubling composition from the 2-symbol table:
 	// T_2k[s][v] runs the low k bits through T_k, then the high k bits
 	// from the intermediate state, OR-ing the prediction masks. Each
@@ -250,8 +255,14 @@ func (t *BlockTable) RunSampled(state int, words []uint64, n int, pos []int32) (
 // is set count toward flagged (machine predicted confident) and
 // flaggedCorrect (confident and the access was correct) — exactly the
 // per-segment loop of confidence.EvaluateStreams. Both streams carry n
-// bits in bitseq layout with zero padding past n. Allocates nothing.
-func (t *BlockTable) ReplayGated(correct, valid []uint64, n int) (flagged, flaggedCorrect int) {
+// bits in bitseq layout with zero padding past n; mismatched stream
+// lengths (or n beyond their capacity) are an explicit error, never a
+// silent truncation. Allocates nothing.
+func (t *BlockTable) ReplayGated(correct, valid []uint64, n int) (flagged, flaggedCorrect int, err error) {
+	n, err = checkGatedStreams(correct, valid, n)
+	if err != nil {
+		return 0, 0, err
+	}
 	s := t.start
 	i := 0
 	for ; i+8 <= n; i += 8 {
@@ -273,7 +284,7 @@ func (t *BlockTable) ReplayGated(correct, valid []uint64, n int) (flagged, flagg
 		}
 		s = t.step[int(s)<<1|int(cb)]
 	}
-	return flagged, flaggedCorrect
+	return flagged, flaggedCorrect, nil
 }
 
 // simulateBools is the blocked kernel over an unpacked bool slice:

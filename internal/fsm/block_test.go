@@ -157,7 +157,10 @@ func TestReplayGatedMatchesScalar(t *testing.T) {
 			}
 			state = m.Step(state, cb)
 		}
-		f, fc := tab.ReplayGated(correct.Words(), valid.Words(), n)
+		f, fc, err := tab.ReplayGated(correct.Words(), valid.Words(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if f != wantF || fc != wantFC {
 			t.Fatalf("trial %d: got (%d,%d), want (%d,%d)", trial, f, fc, wantF, wantFC)
 		}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"fsmpredict/internal/bitseq"
 	"fsmpredict/internal/par"
 )
 
@@ -74,6 +75,9 @@ type Fleet struct {
 	out  []uint8
 	// start[u] is unique machine u's start state (machine-local).
 	start []uint8
+	// spans[u] is unique machine u's span power tables, shared with the
+	// source BlockTable so levels built anywhere serve everywhere.
+	spans []*SpanTable
 	// off is the cumulative state count, len(unique)+1.
 	off []uint32
 	// idx maps each input machine to its unique slot: idx[i] == idx[j]
@@ -141,12 +145,14 @@ func FleetOfTables(tabs []*BlockTable) *Fleet {
 	f.step = make([]uint8, total<<1)
 	f.out = make([]uint8, total)
 	f.start = make([]uint8, len(uniq))
+	f.spans = make([]*SpanTable, len(uniq))
 	for u, t := range uniq {
 		o := int(f.off[u])
 		copy(f.tab[o<<blockShift:], t.tab)
 		copy(f.step[o<<1:], t.step)
 		copy(f.out[o:], t.out)
 		f.start[u] = t.start
+		f.spans[u] = t.span
 	}
 	return f
 }
@@ -174,7 +180,15 @@ func (f *Fleet) TableBytes() uint64 {
 // (n over-long streams are clamped to the words' capacity). Sequential;
 // use RunParallel to shard chunks across cores.
 func (f *Fleet) Run(words []uint64, n, skip int) []SimResult {
-	return f.RunParallel(1, words, n, skip)
+	return f.RunParallelSpans(1, words, n, skip, nil)
+}
+
+// RunSpans is Run walking a run index (bitseq.Runs over the same
+// words): homogeneous runs advance every lane through its machine's
+// span power tables in O(log run) lookups, mixed stretches through the
+// interleaved byte loop. Bit-identical to Run for any index.
+func (f *Fleet) RunSpans(words []uint64, n, skip int, runs []bitseq.Run) []SimResult {
+	return f.RunParallelSpans(1, words, n, skip, runs)
 }
 
 // RunParallel is Run with the machine chunks sharded over at most
@@ -182,9 +196,19 @@ func (f *Fleet) Run(words []uint64, n, skip int) []SimResult {
 // each owns a disjoint range of unique machines and only reads the
 // trace — so results are bit-identical for any worker count.
 func (f *Fleet) RunParallel(workers int, words []uint64, n, skip int) []SimResult {
+	return f.RunParallelSpans(workers, words, n, skip, nil)
+}
+
+// RunParallelSpans is RunSpans with the machine chunks sharded over at
+// most workers goroutines; each chunk walks the shared run index with
+// its own cursor, so results stay bit-identical for any worker count.
+func (f *Fleet) RunParallelSpans(workers int, words []uint64, n, skip int, runs []bitseq.Run) []SimResult {
 	res := make([]SimResult, len(f.idx))
 	if len(f.idx) == 0 {
 		return res
+	}
+	if !SpanKernelEnabled() {
+		runs = nil
 	}
 	n, skip = clampSpan(words, n, skip)
 	nu := f.Unique()
@@ -194,7 +218,9 @@ func (f *Fleet) RunParallel(workers int, words []uint64, n, skip int) []SimResul
 	// The error is structurally impossible (the fn never fails and the
 	// context is never cancelled), so the result is always complete.
 	par.MapSlice(context.Background(), workers, chunks, func(_ int, c [2]int32) (struct{}, error) {
-		f.runChunk(int(c[0]), int(c[1]), words, n, skip, states, correct)
+		var tally spanTally
+		f.runChunk(int(c[0]), int(c[1]), words, n, skip, states, correct, runs, &tally)
+		tally.flush()
 		return struct{}{}, nil
 	})
 	for i, u := range f.idx {
@@ -232,25 +258,105 @@ func (f *Fleet) chunks() [][2]int32 {
 // runChunk advances unique machines [lo, hi) over the whole stream,
 // trace-segment outer / machine inner: per segment each lane group runs
 // the tight interleaved byte loop, so its table entries and the
-// segment's words stay cache-hot.
-func (f *Fleet) runChunk(lo, hi int, words []uint64, n, skip int, states []uint8, correct []int) {
+// segment's words stay cache-hot. With a run index, each segment is cut
+// at its run boundaries — mixed sub-ranges keep the lane-group loops,
+// homogeneous runs advance every machine through its power tables
+// (runSkipLane) — and a nil index degenerates to the one-region walk.
+func (f *Fleet) runChunk(lo, hi int, words []uint64, n, skip int, states []uint8, correct []int, runs []bitseq.Run, tally *spanTally) {
 	for u := lo; u < hi; u++ {
 		states[u] = f.start[u]
 	}
+	r := 0
 	for segLo := 0; segLo < n; segLo += fleetSegEvents {
 		segHi := segLo + fleetSegEvents
 		if segHi > n {
 			segHi = n
 		}
-		u := lo
-		for ; u+8 <= hi; u += 8 {
-			f.spanOct(u, words, segLo, segHi, skip, states, correct)
+		i := segLo
+		for i < segHi {
+			for r < len(runs) && runs[r].End() <= i {
+				r++
+			}
+			rs, re := segHi, segHi
+			if r < len(runs) {
+				rs, re = int(runs[r].Start), runs[r].End()
+				if rs < i {
+					rs = i
+				}
+				if rs > segHi {
+					rs = segHi
+				}
+				if re > segHi {
+					re = segHi
+				}
+			}
+			if i < rs {
+				u := lo
+				for ; u+8 <= hi; u += 8 {
+					f.spanOct(u, words, i, rs, skip, states, correct)
+				}
+				for ; u < hi; u++ {
+					s, c := f.span(u, states[u], words, i, rs, skip)
+					states[u] = s
+					correct[u] += c
+				}
+				i = rs
+			}
+			if i < re {
+				b := 0
+				if runs[r].One {
+					b = 1
+				}
+				for u := lo; u < hi; u++ {
+					f.runSkipLane(u, words, i, re, skip, b, states, correct)
+				}
+				tally.runs += hi - lo
+				tally.skipped += (re - i) * (hi - lo)
+				i = re
+			}
 		}
-		for ; u < hi; u++ {
-			s, c := f.span(u, states[u], words, segLo, segHi, skip)
-			states[u] = s
-			correct[u] += c
-		}
+	}
+}
+
+// runSkipLane advances one lane across a homogeneous run [lo, hi) — all
+// events the repeated bit b, both bounds byte-aligned — scoring events
+// at or after scoreFrom. A run straddling the warm-up boundary splits
+// there: whole warm-up bytes walk unscored, the ragged boundary byte
+// routes through the single-lane scalar walker (span) exactly as the
+// byte loops would, and the scored remainder walks with miss counts.
+func (f *Fleet) runSkipLane(u int, words []uint64, lo, hi, scoreFrom, b int, states []uint8, correct []int) {
+	st := f.spans[u]
+	s := states[u]
+	switch {
+	case scoreFrom <= lo:
+		s2, m := st.walk(s, (hi-lo)>>3, b)
+		states[u] = s2
+		correct[u] += (hi - lo) - m
+		return
+	case scoreFrom >= hi:
+		s2, _ := st.walk(s, (hi-lo)>>3, b)
+		states[u] = s2
+		return
+	}
+	wEnd := scoreFrom &^ 7
+	if wEnd > lo {
+		s, _ = st.walk(s, (wEnd-lo)>>3, b)
+		states[u] = s
+	}
+	head := (scoreFrom + 7) &^ 7
+	if head > hi {
+		head = hi
+	}
+	if head > wEnd {
+		s2, c := f.span(u, s, words, wEnd, head, scoreFrom)
+		s = s2
+		states[u] = s2
+		correct[u] += c
+	}
+	if hi > head {
+		s2, m := st.walk(s, (hi-head)>>3, b)
+		states[u] = s2
+		correct[u] += (hi - head) - m
 	}
 }
 
@@ -527,21 +633,43 @@ func (f *Fleet) sampled(u int, words []uint64, n int, pos []int32) int {
 // predicts confident count toward its flagged / flaggedCorrect tallies
 // — BlockTable.ReplayGated for N machines in one trace pass, with
 // structurally identical machines walked once and fanned out.
-func (f *Fleet) ReplayGated(correct, valid []uint64, n int) (flagged, flaggedCorrect []int) {
+// Mismatched stream lengths (or n beyond their capacity) are an
+// explicit error, never a silent truncation.
+func (f *Fleet) ReplayGated(correct, valid []uint64, n int) (flagged, flaggedCorrect []int, err error) {
+	return f.ReplayGatedSpans(correct, valid, n, nil)
+}
+
+// ReplayGatedSpans is ReplayGated walking a run index over the correct
+// stream: per unique machine, homogeneous correct runs whose valid bits
+// are saturated advance through the span power tables (the
+// BlockTable.ReplayGatedSpans closure identities), everything else
+// through the gated byte loop. Bit-identical to ReplayGated.
+func (f *Fleet) ReplayGatedSpans(correct, valid []uint64, n int, runs []bitseq.Run) (flagged, flaggedCorrect []int, err error) {
+	n, err = checkGatedStreams(correct, valid, n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !SpanKernelEnabled() {
+		runs = nil
+	}
 	flagged = make([]int, len(f.idx))
 	flaggedCorrect = make([]int, len(f.idx))
-	n, _ = clampSpan(correct, n, 0)
-	n, _ = clampSpan(valid, n, 0)
 	nu := f.Unique()
 	uf := make([]int, nu)
 	ufc := make([]int, nu)
+	var tally spanTally
 	for u := 0; u < nu; u++ {
-		uf[u], ufc[u] = f.gated(u, correct, valid, n)
+		if len(runs) > 0 {
+			uf[u], ufc[u] = f.gatedSpans(u, correct, valid, n, runs, &tally)
+		} else {
+			uf[u], ufc[u] = f.gated(u, correct, valid, n)
+		}
 	}
+	tally.flush()
 	for i, u := range f.idx {
 		flagged[i], flaggedCorrect[i] = uf[u], ufc[u]
 	}
-	return flagged, flaggedCorrect
+	return flagged, flaggedCorrect, nil
 }
 
 // gated is BlockTable.ReplayGated's loop over the fleet's packed table.
@@ -561,6 +689,90 @@ func (f *Fleet) gated(u int, correct, valid []uint64, n int) (flagged, flaggedCo
 		flagged += bits.OnesCount8(vb & pm)
 		flaggedCorrect += bits.OnesCount8(vb & pm & cb)
 		g = o + int(uint8(e))
+	}
+	s := uint8(g - o)
+	for ; i < n; i++ {
+		w, off := i>>6, uint(i&63)
+		cb := uint8(correct[w] >> off & 1)
+		if valid[w]>>off&1 == 1 && out[s] == 1 {
+			flagged++
+			flaggedCorrect += int(cb)
+		}
+		s = step[int(s)<<1|int(cb)]
+	}
+	return flagged, flaggedCorrect
+}
+
+// gatedSpans is gated walking a run index over the correct stream — the
+// fleet counterpart of BlockTable.ReplayGatedSpans, on the packed
+// table with absolute state indexing.
+func (f *Fleet) gatedSpans(u int, correct, valid []uint64, n int, runs []bitseq.Run, tally *spanTally) (flagged, flaggedCorrect int) {
+	o := int(f.off[u])
+	tab := f.tab
+	st := f.spans[u]
+	step := f.step[o<<1 : int(f.off[u+1])<<1]
+	out := f.out[o:f.off[u+1]]
+	g := o + int(f.start[u])
+	i, r := 0, 0
+	bodyEnd := n &^ 7
+	for i < bodyEnd {
+		for r < len(runs) && runs[r].End() <= i {
+			r++
+		}
+		rs, re := bodyEnd, bodyEnd
+		if r < len(runs) {
+			rs, re = int(runs[r].Start), runs[r].End()
+			if rs < i {
+				rs = i
+			}
+			if rs > bodyEnd {
+				rs = bodyEnd
+			}
+			if re > bodyEnd {
+				re = bodyEnd
+			}
+		}
+		for ; i < rs; i += 8 {
+			w, off := i>>6, uint(i&63)
+			cb := uint8(correct[w] >> off)
+			vb := uint8(valid[w] >> off)
+			e := tab[g<<blockShift|int(cb)]
+			pm := uint8(e >> 8)
+			flagged += bits.OnesCount8(vb & pm)
+			flaggedCorrect += bits.OnesCount8(vb & pm & cb)
+			g = o + int(uint8(e))
+		}
+		for i < re {
+			if j := allOnesTo(valid, i, re); j > i {
+				k := (j - i) >> 3
+				b := 0
+				if runs[r].One {
+					b = 1
+				}
+				s2, m := st.walk(uint8(g-o), k, b)
+				g = o + int(s2)
+				if b == 1 {
+					fl := k<<3 - m
+					flagged += fl
+					flaggedCorrect += fl
+				} else {
+					flagged += m
+				}
+				tally.runs++
+				tally.skipped += k << 3
+				i = j
+			} else {
+				w, off := i>>6, uint(i&63)
+				cb := uint8(correct[w] >> off)
+				vb := uint8(valid[w] >> off)
+				e := tab[g<<blockShift|int(cb)]
+				pm := uint8(e >> 8)
+				flagged += bits.OnesCount8(vb & pm)
+				flaggedCorrect += bits.OnesCount8(vb & pm & cb)
+				g = o + int(uint8(e))
+				i += 8
+			}
+		}
 	}
 	s := uint8(g - o)
 	for ; i < n; i++ {

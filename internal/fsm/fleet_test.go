@@ -219,13 +219,19 @@ func TestFleetReplayGatedMatchesBlockTable(t *testing.T) {
 		}
 		n := rng.Intn(300)
 		correct, valid := randomBits(rng, n), randomBits(rng, n)
-		gf, gfc := fl.ReplayGated(correct.Words(), valid.Words(), n)
+		gf, gfc, err := fl.ReplayGated(correct.Words(), valid.Words(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
 		for j, m := range machines {
 			tab, err := CompileBlockTable(m)
 			if err != nil {
 				t.Fatal(err)
 			}
-			wf, wfc := tab.ReplayGated(correct.Words(), valid.Words(), n)
+			wf, wfc, err := tab.ReplayGated(correct.Words(), valid.Words(), n)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if gf[j] != wf || gfc[j] != wfc {
 				t.Fatalf("trial %d machine %d: fleet (%d,%d), single (%d,%d)",
 					trial, j, gf[j], gfc[j], wf, wfc)

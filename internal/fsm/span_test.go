@@ -1,0 +1,458 @@
+package fsm
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"fsmpredict/internal/bitseq"
+)
+
+// runnyBits generates a biased stream with geometric run structure — the
+// workload the span kernel exists for. Alternating taken/not-taken runs
+// with means 2·meanRun·bias and 2·meanRun·(1−bias) give overall bias
+// `bias` and mean run length meanRun.
+func runnyBits(rng *rand.Rand, n int, bias, meanRun float64) *bitseq.Bits {
+	b := &bitseq.Bits{}
+	one := rng.Float64() < bias
+	for b.Len() < n {
+		mean := 2 * meanRun * (1 - bias)
+		if one {
+			mean = 2 * meanRun * bias
+		}
+		k := 1
+		if mean > 1 {
+			for rng.Float64() < 1-1/mean {
+				k++
+			}
+		}
+		for j := 0; j < k && b.Len() < n; j++ {
+			b.Append(one)
+		}
+		one = !one
+	}
+	return b
+}
+
+// spanIndexOf is the tests' run-index shorthand.
+func spanIndexOf(bits *bitseq.Bits) []bitseq.Run {
+	return bitseq.Runs(bits.Words(), bits.Len(), bitseq.DefaultMinRunBytes)
+}
+
+// TestSpanWalkMatchesScalar checks every power-table walk against 8k
+// scalar steps, for both byte values and run lengths crossing several
+// level boundaries.
+func TestSpanWalkMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 20; trial++ {
+		m := randomMachine(rng, 1+rng.Intn(maxBlockStates))
+		tab, err := CompileBlockTable(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := tab.Spans()
+		for _, k := range []int{1, 2, 3, 5, 8, 13, 31, 64, 100} {
+			for b := 0; b < 2; b++ {
+				s0 := rng.Intn(len(m.Output))
+				wantS, wantMiss := s0, 0
+				for e := 0; e < 8*k; e++ {
+					if m.Output[wantS] != (b == 1) {
+						wantMiss++
+					}
+					wantS = m.Step(wantS, b == 1)
+				}
+				gotS, gotMiss := st.walk(uint8(s0), k, b)
+				if int(gotS) != wantS || gotMiss != wantMiss {
+					t.Fatalf("trial %d k=%d b=%d: walk (%d,%d), scalar (%d,%d)",
+						trial, k, b, gotS, gotMiss, wantS, wantMiss)
+				}
+			}
+		}
+	}
+}
+
+// TestRunFromSpansMatchesRunFrom sweeps biased runny streams with random
+// skips — every ragged alignment of run boundaries against the kernel's
+// warm-up/head/body/tail phases — against the block kernel.
+func TestRunFromSpansMatchesRunFrom(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for trial := 0; trial < 60; trial++ {
+		m := randomMachine(rng, 1+rng.Intn(40))
+		tab, err := CompileBlockTable(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := rng.Intn(2000)
+		bias := 0.5 + rng.Float64()*0.49
+		bits := runnyBits(rng, n, bias, float64(1+rng.Intn(200)))
+		words := bits.Words()
+		runs := spanIndexOf(bits)
+		skip := rng.Intn(n + 2)
+		state := rng.Intn(len(m.Output))
+
+		wantRes, wantEnd := tab.RunFrom(state, words, n, skip)
+		gotRes, gotEnd := tab.RunFromSpans(state, words, n, skip, runs)
+		if gotRes != wantRes || gotEnd != wantEnd {
+			t.Fatalf("trial %d (n=%d skip=%d runs=%d): spans (%+v,%d), block (%+v,%d)",
+				trial, n, skip, len(runs), gotRes, gotEnd, wantRes, wantEnd)
+		}
+	}
+}
+
+// TestSimulatePackedSpansMatchesScalar pins the span kernel directly to
+// the scalar oracle, not just to the block kernel.
+func TestSimulatePackedSpansMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	for trial := 0; trial < 20; trial++ {
+		m := randomMachine(rng, 1+rng.Intn(30))
+		tab, err := CompileBlockTable(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := rng.Intn(1500)
+		bits := runnyBits(rng, n, 0.9, 40)
+		skip := rng.Intn(n + 2)
+		want := m.SimulateScalar(bits.Bools(), skip)
+		got := tab.SimulatePackedSpans(bits.Words(), n, skip, spanIndexOf(bits))
+		if got != want {
+			t.Fatalf("trial %d: spans %+v, scalar %+v", trial, got, want)
+		}
+	}
+}
+
+// TestRunSampledSpansMatchesRunSampled sweeps random sampled-position
+// subsets — empty, sparse, dense, clustered inside runs — against the
+// block kernel.
+func TestRunSampledSpansMatchesRunSampled(t *testing.T) {
+	rng := rand.New(rand.NewSource(74))
+	for trial := 0; trial < 60; trial++ {
+		m := randomMachine(rng, 1+rng.Intn(40))
+		tab, err := CompileBlockTable(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := rng.Intn(2000)
+		bits := runnyBits(rng, n, 0.5+rng.Float64()*0.49, float64(1+rng.Intn(150)))
+		words := bits.Words()
+		runs := spanIndexOf(bits)
+		var pos []int32
+		for i := 0; i < n; i++ {
+			if rng.Float64() < 0.05 {
+				pos = append(pos, int32(i))
+			}
+		}
+		state := rng.Intn(len(m.Output))
+
+		wantM, wantEnd := tab.RunSampled(state, words, n, pos)
+		gotM, gotEnd := tab.RunSampledSpans(state, words, n, pos, runs)
+		if gotM != wantM || gotEnd != wantEnd {
+			t.Fatalf("trial %d (n=%d pos=%d): spans (%d,%d), block (%d,%d)",
+				trial, n, len(pos), gotM, gotEnd, wantM, wantEnd)
+		}
+	}
+}
+
+// TestReplayGatedSpansMatchesReplayGated sweeps gated replays whose
+// valid stream mixes saturated stretches (where runs skip) with sparse
+// gating (where they fall back), against the block kernel.
+func TestReplayGatedSpansMatchesReplayGated(t *testing.T) {
+	rng := rand.New(rand.NewSource(75))
+	for trial := 0; trial < 60; trial++ {
+		m := randomMachine(rng, 1+rng.Intn(40))
+		tab, err := CompileBlockTable(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := rng.Intn(2000)
+		correct := runnyBits(rng, n, 0.5+rng.Float64()*0.49, float64(1+rng.Intn(150)))
+		// Valid saturates in long stretches, like a warm predictor table.
+		valid := runnyBits(rng, n, 0.95, 200)
+		runs := spanIndexOf(correct)
+
+		wantF, wantFC, err := tab.ReplayGated(correct.Words(), valid.Words(), n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotF, gotFC, err := tab.ReplayGatedSpans(correct.Words(), valid.Words(), n, runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotF != wantF || gotFC != wantFC {
+			t.Fatalf("trial %d (n=%d runs=%d): spans (%d,%d), block (%d,%d)",
+				trial, n, len(runs), gotF, gotFC, wantF, wantFC)
+		}
+	}
+}
+
+// TestGatedStreamsMismatchError pins the satellite fix: mismatched
+// gated streams are an explicit error, not a silent truncation — on the
+// single-machine kernel, the fleet, and the span variants.
+func TestGatedStreamsMismatchError(t *testing.T) {
+	rng := rand.New(rand.NewSource(76))
+	m := randomMachine(rng, 8)
+	tab, err := CompileBlockTable(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fl, err := NewFleet([]*Machine{m})
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, long := make([]uint64, 2), make([]uint64, 3)
+
+	if _, _, err := tab.ReplayGated(short, long, 100); err == nil {
+		t.Fatal("BlockTable.ReplayGated accepted mismatched streams")
+	}
+	if _, _, err := tab.ReplayGatedSpans(long, short, 100, nil); err == nil {
+		t.Fatal("BlockTable.ReplayGatedSpans accepted mismatched streams")
+	}
+	if _, _, err := fl.ReplayGated(short, long, 100); err == nil {
+		t.Fatal("Fleet.ReplayGated accepted mismatched streams")
+	}
+	if _, _, err := fl.ReplayGatedSpans(long, short, 100, nil); err == nil {
+		t.Fatal("Fleet.ReplayGatedSpans accepted mismatched streams")
+	}
+	if _, _, err := tab.ReplayGated(short, short, 129); err == nil {
+		t.Fatal("ReplayGated accepted n beyond the streams' capacity")
+	}
+	if _, _, err := tab.ReplayGated(short, short, 128); err != nil {
+		t.Fatalf("ReplayGated rejected an exactly-full stream: %v", err)
+	}
+	if f, fc, err := tab.ReplayGated(short, short, -5); err != nil || f != 0 || fc != 0 {
+		t.Fatalf("ReplayGated on negative n: (%d,%d,%v), want zeros", f, fc, err)
+	}
+}
+
+// TestFleetRunSpansMatchesRun checks the fleet span path — run-boundary
+// segment cutting, per-lane power walks, the scoreFrom straddle — against
+// the plain fleet and the single-machine kernel, including deduped twins.
+func TestFleetRunSpansMatchesRun(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 25; trial++ {
+		count := 1 + rng.Intn(12)
+		machines := make([]*Machine, count)
+		for j := range machines {
+			if j > 0 && rng.Intn(3) == 0 {
+				machines[j] = machines[rng.Intn(j)]
+			} else {
+				machines[j] = randomMachine(rng, 1+rng.Intn(25))
+			}
+		}
+		fl, err := NewFleet(machines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := rng.Intn(4000)
+		bits := runnyBits(rng, n, 0.5+rng.Float64()*0.49, float64(1+rng.Intn(300)))
+		words := bits.Words()
+		runs := spanIndexOf(bits)
+		skip := rng.Intn(n + 2)
+
+		want := fl.RunParallelSpans(1, words, n, skip, nil)
+		got := fl.RunSpans(words, n, skip, runs)
+		gotPar := fl.RunParallelSpans(3, words, n, skip, runs)
+		for j := range machines {
+			if got[j] != want[j] || gotPar[j] != want[j] {
+				t.Fatalf("trial %d machine %d: spans %+v par %+v, plain %+v",
+					trial, j, got[j], gotPar[j], want[j])
+			}
+		}
+	}
+}
+
+// TestFleetReplayGatedSpansMatchesBlockTable checks the fleet's gated
+// span replay against the single-machine span kernel.
+func TestFleetReplayGatedSpansMatchesBlockTable(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for trial := 0; trial < 25; trial++ {
+		count := 1 + rng.Intn(8)
+		machines := make([]*Machine, count)
+		for j := range machines {
+			machines[j] = randomMachine(rng, 1+rng.Intn(20))
+		}
+		fl, err := NewFleet(machines)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := rng.Intn(2000)
+		correct := runnyBits(rng, n, 0.9, 100)
+		valid := runnyBits(rng, n, 0.97, 300)
+		runs := spanIndexOf(correct)
+
+		gf, gfc, err := fl.ReplayGatedSpans(correct.Words(), valid.Words(), n, runs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j, m := range machines {
+			tab, err := CompileBlockTable(m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wf, wfc, err := tab.ReplayGated(correct.Words(), valid.Words(), n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if gf[j] != wf || gfc[j] != wfc {
+				t.Fatalf("trial %d machine %d: fleet (%d,%d), single (%d,%d)",
+					trial, j, gf[j], gfc[j], wf, wfc)
+			}
+		}
+	}
+}
+
+// TestSpanKernelToggle proves the toggle routes around the span path and
+// that both settings produce identical results.
+func TestSpanKernelToggle(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	m := randomMachine(rng, 12)
+	tab, err := CompileBlockTable(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := runnyBits(rng, 3000, 0.95, 80)
+	runs := spanIndexOf(bits)
+	on := tab.SimulatePackedSpans(bits.Words(), bits.Len(), 16, runs)
+
+	was := SetSpanKernel(false)
+	defer SetSpanKernel(was)
+	if !was {
+		t.Fatal("span kernel should default to enabled")
+	}
+	if SpanKernelEnabled() {
+		t.Fatal("SetSpanKernel(false) left the kernel enabled")
+	}
+	off := tab.SimulatePackedSpans(bits.Words(), bits.Len(), 16, runs)
+	if on != off {
+		t.Fatalf("toggle changed results: on %+v, off %+v", on, off)
+	}
+}
+
+// TestSpanStatsAdvance checks the metrics counters actually move when
+// runs are skipped.
+func TestSpanStatsAdvance(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	m := randomMachine(rng, 10)
+	tab, err := CompileBlockTable(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := runnyBits(rng, 8000, 0.97, 200)
+	runs := spanIndexOf(bits)
+	if len(runs) == 0 {
+		t.Fatal("runny stream produced no runs")
+	}
+	before := SpanStats()
+	tab.SimulatePackedSpans(bits.Words(), bits.Len(), 0, runs)
+	after := SpanStats()
+	if after.Runs <= before.Runs || after.SkippedEvents <= before.SkippedEvents {
+		t.Fatalf("span counters did not advance: before %+v, after %+v", before, after)
+	}
+	if after.TableBytes == 0 {
+		t.Fatal("power-table bytes unaccounted")
+	}
+}
+
+// TestSpanTableConcurrent hammers one shared span table from many
+// goroutines demanding ascending levels concurrently — the -race stress
+// for the lazy level growth.
+func TestSpanTableConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	m := randomMachine(rng, 30)
+	tab, err := CompileBlockTable(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bits := runnyBits(rng, 20000, 0.96, 150)
+	words, n := bits.Words(), bits.Len()
+	runs := spanIndexOf(bits)
+	want := tab.SimulatePacked(words, n, 5)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for it := 0; it < 20; it++ {
+				if got := tab.SimulatePackedSpans(words, n, 5, runs); got != want {
+					t.Errorf("goroutine %d iter %d: %+v, want %+v", g, it, got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}
+
+// BenchmarkSpanKernel measures the span kernel against the block kernel
+// on 95%-bias streams across run-length regimes — short blips (runlen
+// 64: runs barely clear the index threshold) up to loop-dominated
+// structure (runlen 512+: a back-edge resolving the same way for
+// hundreds of iterations, the behaviour the paper's gcc/go traces
+// show). The span/512 case carries the ≥3× acceptance bar.
+func BenchmarkSpanKernel(b *testing.B) {
+	rng := rand.New(rand.NewSource(9))
+	m := randomMachine(rng, 16)
+	tab, err := CompileBlockTable(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 1 << 22
+	bytes := int64(n) / 8
+
+	for _, runlen := range []int{64, 512, 4096} {
+		bits := runnyBits(rng, n, 0.95, float64(runlen))
+		words := bits.Words()
+		runs := spanIndexOf(bits)
+		b.Run(fmt.Sprintf("block/runlen=%d", runlen), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				tab.SimulatePacked(words, n, 0)
+			}
+		})
+		b.Run(fmt.Sprintf("span/runlen=%d", runlen), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				tab.SimulatePackedSpans(words, n, 0, runs)
+			}
+		})
+		b.Run(fmt.Sprintf("index/runlen=%d", runlen), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				bitseq.Runs(words, n, bitseq.DefaultMinRunBytes)
+			}
+		})
+	}
+}
+
+// BenchmarkSpanBias sweeps the stream bias at fixed run structure
+// (mean run 256 events) — the source of the EXPERIMENTS.md bias-scaling
+// table. At bias 0.5 runs split evenly between the two values; toward
+// 0.99 the stream approaches one solid run per index entry.
+func BenchmarkSpanBias(b *testing.B) {
+	rng := rand.New(rand.NewSource(10))
+	m := randomMachine(rng, 16)
+	tab, err := CompileBlockTable(m)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := 1 << 22
+	bytes := int64(n) / 8
+	for _, bias := range []float64{0.5, 0.75, 0.9, 0.95, 0.99} {
+		bits := runnyBits(rng, n, bias, 256)
+		words := bits.Words()
+		runs := spanIndexOf(bits)
+		b.Run(fmt.Sprintf("off/bias=%g", bias), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				tab.SimulatePacked(words, n, 0)
+			}
+		})
+		b.Run(fmt.Sprintf("on/bias=%g", bias), func(b *testing.B) {
+			b.SetBytes(bytes)
+			for i := 0; i < b.N; i++ {
+				tab.SimulatePackedSpans(words, n, 0, runs)
+			}
+		})
+	}
+}

@@ -110,6 +110,9 @@ func Search(trace []bool, opt Options) (*Result, error) {
 	// search trajectory does not change, only its wall clock.
 	bits := bitseq.FromBools(trace)
 	words, n := bits.Words(), bits.Len()
+	// One run scan serves every cohort of the search: the trace never
+	// changes, so the span kernel's index is hoisted out of the loop.
+	runs := bitseq.Runs(words, n, bitseq.DefaultMinRunBytes)
 
 	evaluateAll := func(batch []*genome) {
 		res.Evaluations += len(batch)
@@ -129,7 +132,7 @@ func Search(trace []bool, opt Options) (*Result, error) {
 			}
 			if ok {
 				fl := fsm.FleetOfTables(tabs)
-				rs := fl.RunParallel(opt.Workers, words, n, opt.Warmup)
+				rs := fl.RunParallelSpans(opt.Workers, words, n, opt.Warmup, runs)
 				for i, g := range batch {
 					g.miss = rs[i].MissRate()
 				}

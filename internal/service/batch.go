@@ -244,7 +244,11 @@ func (s *Service) flushSimulations(key string, items []simItem) []batch.Outcome[
 	}
 	if len(tabs) > 0 {
 		fl := fsm.FleetOfTables(tabs)
-		res := fl.Run(tr.Words(), tr.Len(), skip)
+		// One run scan per flush, amortized over every machine in the
+		// group — the span kernel then skips each homogeneous stretch
+		// once per unique machine instead of walking it byte by byte.
+		runs := bitseq.Runs(tr.Words(), tr.Len(), bitseq.DefaultMinRunBytes)
+		res := fl.RunSpans(tr.Words(), tr.Len(), skip, runs)
 		for k, i := range idxs {
 			outs[i].Val = res[k]
 		}

@@ -1,0 +1,103 @@
+package trace
+
+import (
+	"math"
+	"testing"
+)
+
+func TestGenBiasedDeterministic(t *testing.T) {
+	a, err := GenBiased(5000, 0.9, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenBiased(5000, 0.9, 32, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs across identical seeds", i)
+		}
+	}
+	c, _ := GenBiased(5000, 0.9, 32, 8)
+	same := 0
+	for i := range a {
+		if a[i].Taken == c[i].Taken {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatal("different seeds produced identical outcome streams")
+	}
+}
+
+func TestGenBiasedHitsBias(t *testing.T) {
+	for _, tc := range []struct{ bias, runlen float64 }{
+		{0.5, 0}, {0.75, 0}, {0.95, 0},
+		{0.5, 16}, {0.9, 64}, {0.95, 64}, {0.99, 128},
+	} {
+		events, err := GenBiased(400_000, tc.bias, tc.runlen, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		taken := 0
+		for _, e := range events {
+			if e.Taken {
+				taken++
+			}
+		}
+		got := float64(taken) / float64(len(events))
+		// Run-structured streams have high variance: tolerance scales
+		// with the standard error of ~n/runlen independent runs.
+		tol := 0.01 + 0.05*math.Sqrt(math.Max(tc.runlen, 1)/float64(len(events)))*10
+		if math.Abs(got-tc.bias) > tol {
+			t.Errorf("bias %g runlen %g: measured %g (tol %g)", tc.bias, tc.runlen, got, tol)
+		}
+	}
+}
+
+func TestGenBiasedRunStructure(t *testing.T) {
+	events, err := GenBiased(200_000, 0.95, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, cur := 0, 0
+	for i, e := range events {
+		if i == 0 || e.Taken != events[i-1].Taken {
+			runs++
+		}
+		_ = cur
+	}
+	meanRun := float64(len(events)) / float64(runs)
+	if meanRun < 32 || meanRun > 128 {
+		t.Fatalf("mean run %g, want near 64", meanRun)
+	}
+	iid, _ := GenBiased(200_000, 0.95, 0, 1)
+	iidRuns := 0
+	for i, e := range iid {
+		if i == 0 || e.Taken != iid[i-1].Taken {
+			iidRuns++
+		}
+	}
+	if iidMean := float64(len(iid)) / float64(iidRuns); iidMean > 15 {
+		t.Fatalf("iid mean run %g, expected short runs", iidMean)
+	}
+}
+
+func TestGenBiasedErrors(t *testing.T) {
+	for _, tc := range []struct {
+		n      int
+		bias   float64
+		runlen float64
+	}{
+		{-1, 0.5, 0}, {10, 0, 0}, {10, 1, 0}, {10, -0.5, 0},
+		{10, math.NaN(), 0}, {10, 0.5, -1}, {10, 0.5, math.Inf(1)},
+	} {
+		if _, err := GenBiased(tc.n, tc.bias, tc.runlen, 1); err == nil {
+			t.Errorf("GenBiased(%d, %g, %g) accepted invalid input", tc.n, tc.bias, tc.runlen)
+		}
+	}
+	if events, err := GenBiased(0, 0.5, 0, 1); err != nil || len(events) != 0 {
+		t.Fatalf("empty trace: %v, %d events", err, len(events))
+	}
+}

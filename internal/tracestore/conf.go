@@ -20,6 +20,10 @@ type ConfSegment struct {
 	// Correct marks loads that were validly predicted AND correct — the
 	// bit estimators train on (Correct implies Valid).
 	Correct *bitseq.Bits
+	// Spans indexes the homogeneous byte runs of Correct (bitseq.Runs)
+	// for the fsm span kernel's gated replay. Derived data: computed
+	// once at build/decode time, deterministic per Correct stream.
+	Spans []bitseq.Run
 }
 
 // ConfStreams is the order-independent residue of one (load trace,
@@ -66,7 +70,18 @@ func BuildConfStreams(loads []trace.LoadEvent, tableLog2 int) *ConfStreams {
 		cs.Valid.Append(acc.Valid)
 		cs.Correct.Append(correct)
 	}
+	cs.indexSpans()
 	return cs
+}
+
+// indexSpans (re)derives every segment's run index from its correctness
+// stream — after building, after decoding from the disk tier, and after
+// any other construction path, so the two are always consistent.
+func (c *ConfStreams) indexSpans() {
+	for i := range c.Segments {
+		seg := &c.Segments[i]
+		seg.Spans = bitseq.Runs(seg.Correct.Words(), seg.Correct.Len(), bitseq.DefaultMinRunBytes)
+	}
 }
 
 // confKey addresses one simulated confidence-stream set: the load trace

@@ -26,6 +26,9 @@ const (
 
 	confKind    = "confstream"
 	confVersion = 1
+
+	spanKind    = "spanidx"
+	spanVersion = 1
 )
 
 // SetDisk attaches a disk store beneath the trace cache (nil detaches).
@@ -63,6 +66,10 @@ func branchAddress(k Key) string { return diskAddress(k.String()) }
 
 func confAddress(k confKey) string {
 	return diskAddress(fmt.Sprintf("%s|conf|%d", k.Key.String(), k.TableLog2))
+}
+
+func spanAddress(k Key) string {
+	return diskAddress(fmt.Sprintf("%s|spanidx|%d", k.String(), bitseq.DefaultMinRunBytes))
 }
 
 // encodePacked renders a packed trace: event count, PC table, per-event
@@ -183,6 +190,9 @@ func decodeConfStreams(payload []byte) (*ConfStreams, bool) {
 	if !r.Done() || total != n {
 		return nil, false
 	}
+	// Span indexes are derived data, never persisted: rederive them so a
+	// decoded artifact is structurally identical to a fresh build.
+	cs.indexSpans()
 	return cs, true
 }
 
@@ -212,6 +222,86 @@ func impliesBitwise(a, b *bitseq.Bits) bool {
 		}
 	}
 	return true
+}
+
+// encodeSpanIndex renders a trace's run index: the run count, then each
+// run's start position, byte length, and repeated bit.
+func encodeSpanIndex(runs []bitseq.Run) []byte {
+	b := make([]byte, 0, 4+9*len(runs))
+	b = disktier.AppendU32(b, uint32(len(runs)))
+	for _, r := range runs {
+		b = disktier.AppendU32(b, uint32(r.Start))
+		b = disktier.AppendU32(b, uint32(r.Bytes))
+		var one uint8
+		if r.One {
+			one = 1
+		}
+		b = append(b, one)
+	}
+	return b
+}
+
+// decodeSpanIndex parses a run index and validates it against the trace
+// it claims to describe: runs must be byte-aligned, in-bounds, ascending
+// and non-overlapping, at least the default granularity, and — the part
+// that makes corruption harmless — every covered word of the outcome
+// stream must actually be homogeneous with the claimed bit. A stale or
+// corrupt index reads as a miss and the store rescans; it can never make
+// a span kernel skip a mixed region. Non-maximal runs are accepted (they
+// only cost speed), so the check is pure word compares, no rescan.
+func decodeSpanIndex(payload []byte, p *Packed) ([]bitseq.Run, bool) {
+	r := disktier.NewReader(payload)
+	count := int(r.U32())
+	words, n := p.Outcomes().Words(), p.Outcomes().Len()
+	if r.Err() || count < 0 || count > n/8+1 {
+		return nil, false
+	}
+	// nil for an empty index, matching a fresh scan exactly.
+	var runs []bitseq.Run
+	if count > 0 {
+		runs = make([]bitseq.Run, 0, count)
+	}
+	prevEnd := 0
+	for i := 0; i < count; i++ {
+		start, nbytes := int(r.U32()), int(r.U32())
+		one := r.U8() != 0
+		if r.Err() || start&7 != 0 || start < prevEnd || nbytes < bitseq.DefaultMinRunBytes {
+			return nil, false
+		}
+		end := start + nbytes<<3
+		if end > n&^7 {
+			return nil, false
+		}
+		var want uint64
+		if one {
+			want = ^uint64(0)
+		}
+		for j := start >> 3; j < end>>3; j++ {
+			if uint8(words[j>>3]>>uint((j&7)<<3)) != uint8(want) {
+				return nil, false
+			}
+		}
+		runs = append(runs, bitseq.Run{Start: int32(start), Bytes: int32(nbytes), One: one})
+		prevEnd = end
+	}
+	if !r.Done() {
+		return nil, false
+	}
+	return runs, true
+}
+
+// diskLoadSpans consults the disk tier for a trace's run index,
+// validating it against the already-loaded trace words.
+func (s *Store) diskLoadSpans(d *disktier.Store, k Key, p *Packed) ([]bitseq.Run, bool) {
+	if d == nil {
+		return nil, false
+	}
+	blob, ok := d.Get(spanKind, spanVersion, spanAddress(k))
+	if !ok {
+		return nil, false
+	}
+	defer blob.Close()
+	return decodeSpanIndex(blob.Data, p)
 }
 
 // diskLoadPacked consults the disk tier for a branch trace. Generation

@@ -24,6 +24,7 @@ package tracestore
 import (
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"fsmpredict/internal/bitseq"
 	"fsmpredict/internal/markov"
@@ -50,6 +51,9 @@ type Packed struct {
 	outcomes *bitseq.Bits // bit i = direction of event i
 	subs     []Sub        // per-ID substream views
 	byPC     map[uint64]int32
+
+	spanOnce sync.Once
+	spanIdx  []bitseq.Run // homogeneous-byte run index of outcomes
 }
 
 // Pack converts an event slice into the packed form. Static branches are
@@ -113,6 +117,25 @@ func (p *Packed) Outcomes() *bitseq.Bits { return p.outcomes }
 
 // SubOf returns the substream view of one static branch.
 func (p *Packed) SubOf(id int32) Sub { return p.subs[id] }
+
+// SpanIndex returns the homogeneous-byte run index of the global outcome
+// stream (bitseq.Runs at the default granularity), computing it on first
+// request. The scan is one pass over the packed words and the result is
+// immutable and shared — the span kernels walk it on every replay of this
+// trace. Callers must not mutate the returned slice.
+func (p *Packed) SpanIndex() []bitseq.Run {
+	p.spanOnce.Do(func() {
+		p.spanIdx = bitseq.Runs(p.outcomes.Words(), p.outcomes.Len(), bitseq.DefaultMinRunBytes)
+	})
+	return p.spanIdx
+}
+
+// seedSpanIndex installs a precomputed run index (a validated disk-tier
+// artifact), short-circuiting the first SpanIndex scan. Must be called
+// before the trace is shared, i.e. inside the store's singleflight slot.
+func (p *Packed) seedSpanIndex(runs []bitseq.Run) {
+	p.spanOnce.Do(func() { p.spanIdx = runs })
+}
 
 // Events materializes the trace back into a fresh event slice — the
 // compatibility bridge to the []trace.BranchEvent APIs and the

@@ -1,0 +1,188 @@
+package tracestore
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/disktier"
+	"fsmpredict/internal/trace"
+	"fsmpredict/internal/workload"
+)
+
+// biasedEvents builds a run-heavy branch trace — the workload whose span
+// index is actually populated.
+func biasedEvents(t *testing.T, n int) []trace.BranchEvent {
+	t.Helper()
+	events, err := trace.GenBiased(n, 0.95, 64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return events
+}
+
+func TestSpanIndexMatchesScan(t *testing.T) {
+	prog, err := workload.ByName("gsm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Pack(prog.Generate(workload.Train, 5000))
+	want := bitseq.Runs(p.Outcomes().Words(), p.Outcomes().Len(), bitseq.DefaultMinRunBytes)
+	got := p.SpanIndex()
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("SpanIndex differs from a direct scan")
+	}
+	// Idempotent and cached: same slice back.
+	if again := p.SpanIndex(); len(got) > 0 && &again[0] != &got[0] {
+		t.Fatal("SpanIndex recomputed instead of caching")
+	}
+	// A seeded index wins over a scan when installed first.
+	seeded := Pack(prog.Generate(workload.Train, 5000))
+	fake := []bitseq.Run{}
+	seeded.seedSpanIndex(fake)
+	if idx := seeded.SpanIndex(); len(idx) != 0 {
+		t.Fatal("seeded index was rescanned")
+	}
+}
+
+func TestSpanIndexDiskCodecRoundTrip(t *testing.T) {
+	p := Pack(biasedEvents(t, 4000))
+	want := p.SpanIndex()
+	if len(want) == 0 {
+		t.Fatal("biased trace produced no runs")
+	}
+	got, ok := decodeSpanIndex(encodeSpanIndex(want), p)
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("decoded index differs")
+	}
+	if got, ok := decodeSpanIndex(encodeSpanIndex(nil), p); !ok || len(got) != 0 {
+		t.Fatal("empty index did not round-trip")
+	}
+}
+
+// TestSpanIndexDecodeRejectsLies is the content-validation guarantee: an
+// index claiming a run over a mixed region — the one corruption that
+// could make the span kernel produce wrong bits — must read as a miss.
+func TestSpanIndexDecodeRejectsLies(t *testing.T) {
+	p := Pack(biasedEvents(t, 4000))
+	good := p.SpanIndex()
+	if len(good) == 0 {
+		t.Fatal("biased trace produced no runs")
+	}
+
+	for name, mutate := range map[string]func([]bitseq.Run) []bitseq.Run{
+		"flipped polarity": func(rs []bitseq.Run) []bitseq.Run {
+			rs[0].One = !rs[0].One
+			return rs
+		},
+		"run past stream": func(rs []bitseq.Run) []bitseq.Run {
+			rs[len(rs)-1].Bytes += 1 << 20
+			return rs
+		},
+		"unaligned start": func(rs []bitseq.Run) []bitseq.Run {
+			rs[0].Start += 3
+			return rs
+		},
+		"out of order": func(rs []bitseq.Run) []bitseq.Run {
+			if len(rs) < 2 {
+				return append(rs, rs[0])
+			}
+			rs[0], rs[1] = rs[1], rs[0]
+			return rs
+		},
+		"below min length": func(rs []bitseq.Run) []bitseq.Run {
+			rs[0].Bytes = 1
+			return rs
+		},
+	} {
+		bad := mutate(append([]bitseq.Run(nil), good...))
+		if _, ok := decodeSpanIndex(encodeSpanIndex(bad), p); ok {
+			t.Errorf("%s accepted", name)
+		}
+	}
+	for _, raw := range [][]byte{nil, {1}, encodeSpanIndex(good)[:5]} {
+		if _, ok := decodeSpanIndex(raw, p); ok {
+			t.Errorf("truncated payload (%d bytes) accepted", len(raw))
+		}
+	}
+	// A non-maximal but truthful index is acceptable: it only skips less.
+	partial := []bitseq.Run{good[0]}
+	if len(good) > 1 {
+		if _, ok := decodeSpanIndex(encodeSpanIndex(partial), p); !ok {
+			t.Error("truthful partial index rejected")
+		}
+	}
+}
+
+// TestStoreSpanIndexTier proves the cached index travels with the trace:
+// a warm store persists it, a cold store loads and validates it inside
+// the same singleflight slot, and a corrupted artifact degrades to a
+// rescan with identical results.
+func TestStoreSpanIndexTier(t *testing.T) {
+	dir := t.TempDir()
+	disk, err := disktier.Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := NewStore()
+	warm.SetDisk(disk)
+	prog, _ := workload.ByName("gs")
+	want := warm.Branches(prog, workload.Train, 3000).SpanIndex()
+
+	ents, err := os.ReadDir(filepath.Join(dir, spanKind))
+	if err != nil || len(ents) == 0 {
+		t.Fatalf("no %s artifacts persisted (err %v)", spanKind, err)
+	}
+
+	cold := NewStore()
+	cold.SetDisk(disk)
+	if got := cold.Branches(prog, workload.Train, 3000).SpanIndex(); !reflect.DeepEqual(got, want) {
+		t.Fatal("disk-tier span index differs from scanned")
+	}
+
+	for _, e := range ents {
+		p := filepath.Join(dir, spanKind, e.Name())
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0x40
+		if err := os.WriteFile(p, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hurt := NewStore()
+	hurt.SetDisk(disk)
+	if got := hurt.Branches(prog, workload.Train, 3000).SpanIndex(); !reflect.DeepEqual(got, want) {
+		t.Fatal("post-corruption span index differs")
+	}
+}
+
+// TestConfSegmentSpans checks every built and decoded segment carries a
+// truthful run index over its correctness stream.
+func TestConfSegmentSpans(t *testing.T) {
+	lp, err := workload.LoadByName("gcc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := BuildConfStreams(lp.Generate(workload.Train, 3000), 4)
+	check := func(label string, cs *ConfStreams) {
+		for i, seg := range cs.Segments {
+			want := bitseq.Runs(seg.Correct.Words(), seg.Correct.Len(), bitseq.DefaultMinRunBytes)
+			if !reflect.DeepEqual(seg.Spans, want) {
+				t.Fatalf("%s segment %d: spans differ from scan", label, i)
+			}
+		}
+	}
+	check("built", cs)
+	dec, ok := decodeConfStreams(encodeConfStreams(cs))
+	if !ok {
+		t.Fatal("decode failed")
+	}
+	check("decoded", dec)
+}

@@ -135,6 +135,16 @@ func (s *Store) Branches(p *workload.Program, v workload.Variant, n int) *Packed
 			disk.Put(traceKind, traceVersion, branchAddress(key), encodePacked(f.val))
 		}
 	}
+	if disk != nil {
+		// The run index rides the same singleflight slot: loaded (and
+		// validated against the trace words) from the tier when present,
+		// otherwise scanned once here and persisted for the next process.
+		if runs, ok := s.diskLoadSpans(disk, key, f.val); ok {
+			f.val.seedSpanIndex(runs)
+		} else {
+			disk.Put(spanKind, spanVersion, spanAddress(key), encodeSpanIndex(f.val.SpanIndex()))
+		}
+	}
 	s.bytes.Add(f.val.Bytes())
 	close(f.done)
 	return f.val
