@@ -29,6 +29,7 @@ func main() {
 		events  = flag.Int("n", 250_000, "branch events per benchmark")
 		csv     = flag.Bool("csv", false, "emit CSV points instead of a table")
 		workers = flag.Int("workers", 0, "parallel design/synthesis workers (0 = GOMAXPROCS)")
+		adapt   = flag.Bool("adaptive", false, "serve repeated sweeps from the persistent fitness memo (results identical; pair with -cache-dir for cross-run reuse)")
 
 		cacheDir  = flag.String("cache-dir", "", "persistent artifact cache directory (empty disables the disk tier)")
 		cacheSize = flag.String("cache-size", "", "disk cache size bound, e.g. 512M (empty = store default)")
@@ -53,6 +54,7 @@ func main() {
 	cfg := experiments.DefaultConfig()
 	cfg.BranchEvents = *events
 	cfg.Workers = *workers
+	cfg.Adaptive = *adapt
 
 	res, err := experiments.Figure4(cfg, *sample)
 	if err != nil {

@@ -41,6 +41,7 @@ import (
 	"fsmpredict/internal/cliutil"
 	"fsmpredict/internal/disktier"
 	"fsmpredict/internal/experiments"
+	"fsmpredict/internal/fidelity"
 	"fsmpredict/internal/fsm"
 	"fsmpredict/internal/stats"
 	"fsmpredict/internal/tracestore"
@@ -73,6 +74,11 @@ type gridScale struct {
 	Histories    []int `json:"histories"`
 	TableLog2    int   `json:"table_log2"`
 	Workers      int   `json:"workers"`
+	// Adaptive serves repeated figure sweeps from the persistent
+	// fitness memo (experiments.Config.Adaptive). Table outputs are
+	// byte-identical either way — the golden tests pin that — so a grid
+	// can turn it on purely for wall clock.
+	Adaptive bool `json:"adaptive"`
 }
 
 func (g gridScale) config() experiments.Config {
@@ -84,6 +90,7 @@ func (g gridScale) config() experiments.Config {
 		Histories:    g.Histories,
 		TableLog2:    g.TableLog2,
 		Workers:      g.Workers,
+		Adaptive:     g.Adaptive,
 	}
 }
 
@@ -177,6 +184,7 @@ func run(o options) (*runResult, error) {
 		// (and any later run in the same process) start clean.
 		defer fsm.SetDiskTier(nil)
 		defer tracestore.Shared.SetDisk(nil)
+		defer fidelity.SetDiskTier(nil)
 	}
 
 	cfg := g.Scale.config()

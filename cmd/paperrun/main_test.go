@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"fsmpredict/internal/fidelity"
 	"fsmpredict/internal/fsm"
 	"fsmpredict/internal/tracestore"
 )
@@ -24,6 +25,31 @@ func TestSmokeGridMatchesGolden(t *testing.T) {
 	}
 	if len(res.Files) == 0 {
 		t.Fatal("run produced no tables")
+	}
+}
+
+// TestAdaptiveGridMatchesGolden is the figure byte-identity guarantee
+// for the adaptive-fidelity engine: the adaptive grid is the smoke grid
+// with the sweep memo turned on, and it must diff clean against the
+// SAME golden directory — first cold, then again in the same process
+// with the memo warm, proving memo hits change nothing either.
+func TestAdaptiveGridMatchesGolden(t *testing.T) {
+	fidelity.ResetMemo()
+	for _, pass := range []string{"cold", "memo-warm"} {
+		res, err := run(options{
+			grid:   filepath.Join("testdata", "grid.adaptive.json"),
+			out:    t.TempDir(),
+			golden: filepath.Join("testdata", "golden.smoke"),
+		})
+		if err != nil {
+			t.Fatalf("%s adaptive run: %v", pass, err)
+		}
+		if len(res.Files) == 0 {
+			t.Fatalf("%s adaptive run produced no tables", pass)
+		}
+	}
+	if fidelity.Snapshot().Hits == 0 {
+		t.Fatal("memo-warm adaptive run served no fitness-memo hits")
 	}
 }
 

@@ -13,6 +13,7 @@ import (
 	"strings"
 
 	"fsmpredict/internal/disktier"
+	"fsmpredict/internal/fidelity"
 	"fsmpredict/internal/fsm"
 	"fsmpredict/internal/tracestore"
 )
@@ -31,6 +32,7 @@ func Setup(dir string, maxBytes int64) (*disktier.Store, error) {
 	}
 	fsm.SetDiskTier(d)
 	tracestore.Shared.SetDisk(d)
+	fidelity.SetDiskTier(d)
 	return d, nil
 }
 

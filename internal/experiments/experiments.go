@@ -27,6 +27,14 @@ type Config struct {
 	// per-area-point simulations). 0 means GOMAXPROCS; every experiment
 	// produces bit-identical results for any worker count.
 	Workers int
+	// Adaptive routes the figure sweeps' exact result vectors through
+	// the fidelity engine's content-addressed sweep memo (fitmemo.go):
+	// repeated runs — paperrun grids, warm-started processes with a disk
+	// tier — serve the custom-prefix and sampled-miss simulations from
+	// cache instead of re-running them. Only exact full-fidelity vectors
+	// enter the memo, so outputs are byte-identical with Adaptive on or
+	// off; the paperrun golden test pins that.
+	Adaptive bool
 }
 
 // DefaultConfig returns the paper-scale configuration.

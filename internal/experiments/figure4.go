@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"encoding/binary"
 	"fmt"
 	"math/rand"
 
@@ -92,7 +93,7 @@ func Figure4(cfg Config, sampleFrac float64) (*Figure4Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Figure4Result{Points: points, MissRates: customMissRates(sampled)}
+	res := &Figure4Result{Points: points, MissRates: customMissRates(sampled, cfg.Adaptive)}
 	if err := res.fitTrimmed(); err != nil {
 		return nil, err
 	}
@@ -113,8 +114,10 @@ type sampledEntry struct {
 // whole group) when the block kernel is on; with the kernel off each
 // machine replays through the scalar bit-at-a-time oracle, and the two
 // paths are bit-identical (the figure-level kernel on/off test covers
-// this field like every other).
-func customMissRates(sampled []sampledEntry) []float64 {
+// this field like every other). With adaptive on, each group's exact
+// result vector is served from the sweep memo on repeats — legal
+// precisely because the two simulation paths agree bit for bit.
+func customMissRates(sampled []sampledEntry, adaptive bool) []float64 {
 	rates := make([]float64, len(sampled))
 	groups := make(map[*tracestore.Packed][]int)
 	var order []*tracestore.Packed
@@ -126,6 +129,24 @@ func customMissRates(sampled []sampledEntry) []float64 {
 	}
 	for _, p := range order {
 		idxs := groups[p]
+		var mkey []byte
+		if adaptive {
+			var tag [8]byte
+			for _, i := range idxs {
+				binary.LittleEndian.PutUint64(tag[:], sampled[i].entry.Tag)
+				mkey = append(mkey, tag[:]...)
+				mkey = sampled[i].entry.Machine.AppendCanonical(mkey)
+			}
+		}
+		hit, grp := lookupSampledMisses(p, mkey, len(idxs), adaptive)
+		if hit != nil {
+			for k, i := range idxs {
+				if hit[k].Total > 0 {
+					rates[i] = hit[k].MissRate()
+				}
+			}
+			continue
+		}
 		words, n := p.Outcomes().Words(), p.Len()
 		machines := make([]*fsm.Machine, len(idxs))
 		pos := make([][]int32, len(idxs))
@@ -146,6 +167,13 @@ func customMissRates(sampled []sampledEntry) []float64 {
 			for k, m := range machines {
 				misses[k], _ = m.RunSampledScalar(m.Start, words, n, pos[k])
 			}
+		}
+		if adaptive {
+			v := make([]fsm.SimResult, len(idxs))
+			for k := range idxs {
+				v[k] = fsm.SimResult{Total: len(pos[k]), Correct: len(pos[k]) - misses[k]}
+			}
+			grp.store(v)
 		}
 		for k, i := range idxs {
 			if len(pos[k]) > 0 {

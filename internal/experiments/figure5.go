@@ -111,10 +111,11 @@ func Figure5(program string, cfg Config, fsmArea func(states int) float64) (*Fig
 	// so the whole sweep is two single-pass prefix simulations (train and
 	// test input, run concurrently) instead of one pass per point — and
 	// within each pass the per-entry blocked replays shard across the
-	// configured workers.
+	// configured workers. With cfg.Adaptive the sweep memo serves
+	// repeated (trace, entry-set) runs without re-simulating.
 	sweeps, err := par.MapSlice(ctx, 2, []*tracestore.Packed{train, test},
 		func(_ int, tr *tracestore.Packed) ([]bpred.Result, error) {
-			return bpred.RunCustomPrefixesParallel(entries, tr, cfg.Workers), nil
+			return prefixSweep(entries, tr, cfg.Workers, cfg.Adaptive), nil
 		})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"encoding/binary"
+
+	"fsmpredict/internal/bpred"
+	"fsmpredict/internal/fidelity"
+	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/tracestore"
+)
+
+// This file is the experiments side of the adaptive-fidelity engine:
+// the figure sweeps' exact result vectors are content-addressed into
+// the fidelity sweep memo, so a repeated sweep over the same trace and
+// entry set (a paperrun grid re-run, a warm-started process with the
+// disk tier attached) loads its numbers instead of re-simulating. Only
+// exact full-fidelity vectors are ever stored — a hit is
+// indistinguishable from re-running the sweep, which is why Adaptive
+// cannot change any figure output.
+
+// entryKeyBytes renders a custom-entry set as canonical key material:
+// each entry's branch tag followed by its machine's canonical
+// structural bytes. Two entry sets with the same key material simulate
+// identically on the same trace.
+func entryKeyBytes(entries []*bpred.CustomEntry) []byte {
+	var b []byte
+	var tag [8]byte
+	for _, e := range entries {
+		binary.LittleEndian.PutUint64(tag[:], e.Tag)
+		b = append(b, tag[:]...)
+		b = e.Machine.AppendCanonical(b)
+	}
+	return b
+}
+
+// traceKeyBytes fingerprints a packed trace's outcome stream (event
+// count included, buffer tails masked).
+func traceKeyBytes(tr *tracestore.Packed) []byte {
+	k := fidelity.TraceDigest(tr.Outcomes().Words(), tr.Len())
+	return k[:]
+}
+
+// prefixSweep is Figure 5's custom-prefix simulation behind the sweep
+// memo: with adaptive off (or on a memo miss) it runs
+// bpred.RunCustomPrefixesParallel and records the exact vector; on a
+// hit it decodes the memoized vector. Results are identical on every
+// path — the update-all prefix sweep is deterministic and the memo only
+// ever holds exact runs.
+func prefixSweep(entries []*bpred.CustomEntry, tr *tracestore.Packed, workers int, adaptive bool) []bpred.Result {
+	var key fidelity.Key
+	if adaptive {
+		key = fidelity.DigestKey("experiments/custom-prefixes",
+			traceKeyBytes(tr), entryKeyBytes(entries))
+		if v, ok := fidelity.SweepGet(key); ok && len(v) == len(entries) {
+			out := make([]bpred.Result, len(v))
+			for i, r := range v {
+				out[i] = bpred.Result{Total: r.Total, Misses: r.Total - r.Correct}
+			}
+			return out
+		}
+	}
+	results := bpred.RunCustomPrefixesParallel(entries, tr, workers)
+	if adaptive {
+		v := make([]fsm.SimResult, len(results))
+		for i, r := range results {
+			v[i] = fsm.SimResult{Total: r.Total, Correct: r.Total - r.Misses}
+		}
+		fidelity.SweepPut(key, v)
+	}
+	return results
+}
+
+// sampledMissGroup is Figure 4's per-program update-all replay behind
+// the sweep memo: one vector of (sampled positions, misses) pairs per
+// (trace, machine group). The kernel fleet pass and the scalar oracle
+// are bit-identical, so memoized values agree with either path.
+type sampledMissGroup struct {
+	key fidelity.Key
+	ok  bool
+}
+
+// lookupSampledMisses consults the memo for one program group's
+// sampled-miss vector. machinesKey must cover every (tag, machine)
+// pair of the group in order.
+func lookupSampledMisses(tr *tracestore.Packed, machinesKey []byte, want int, adaptive bool) ([]fsm.SimResult, sampledMissGroup) {
+	if !adaptive {
+		return nil, sampledMissGroup{}
+	}
+	key := fidelity.DigestKey("experiments/sampled-miss", traceKeyBytes(tr), machinesKey)
+	if v, ok := fidelity.SweepGet(key); ok && len(v) == want {
+		return v, sampledMissGroup{key: key, ok: true}
+	}
+	return nil, sampledMissGroup{key: key, ok: true}
+}
+
+// store records a freshly simulated group vector under the key lookup
+// derived (no-op when adaptive was off).
+func (g sampledMissGroup) store(v []fsm.SimResult) {
+	if g.ok {
+		fidelity.SweepPut(g.key, v)
+	}
+}

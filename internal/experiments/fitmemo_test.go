@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+
+	"fsmpredict/internal/fidelity"
+)
+
+// memoTestConfig is small enough for three figure runs per test but
+// still exercises multi-entry prefix sweeps.
+func memoTestConfig() Config {
+	return Config{
+		BranchEvents: 20_000,
+		LoadEvents:   12_000,
+		MaxCustom:    3,
+		Order:        6,
+		Histories:    []int{2, 4},
+		TableLog2:    8,
+	}
+}
+
+// flatArea is a stand-in area model so Figure 5 tests don't run the
+// whole Figure 4 synthesis first.
+func flatArea(states int) float64 { return float64(states) }
+
+// TestFigure5AdaptiveIdentical is the sweep memo's exactness contract
+// at the figure level: adaptive off, adaptive cold, and adaptive warm
+// (second run in the same process) must produce identical curves, and
+// the warm run must actually be served by the memo.
+func TestFigure5AdaptiveIdentical(t *testing.T) {
+	fidelity.ResetMemo()
+	cfg := memoTestConfig()
+	exact, err := Figure5("gsm", cfg, flatArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Adaptive = true
+	cold, err := Figure5("gsm", cfg, flatArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fidelity.Snapshot().Hits
+	warm, err := Figure5("gsm", cfg, flatArea)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fidelity.Snapshot().Hits <= before {
+		t.Error("warm adaptive Figure5 took no sweep-memo hits")
+	}
+	for _, pair := range []struct {
+		name string
+		got  *Figure5Result
+	}{{"adaptive-cold", cold}, {"adaptive-warm", warm}} {
+		if !reflect.DeepEqual(exact.Series(), pair.got.Series()) {
+			t.Errorf("%s Figure5 series differ from exact mode", pair.name)
+		}
+	}
+}
+
+// TestFigure4AdaptiveIdentical covers the sampled-miss group memo the
+// same way: the scored training miss rates must be bit-identical with
+// the memo off, cold, and warm.
+func TestFigure4AdaptiveIdentical(t *testing.T) {
+	fidelity.ResetMemo()
+	cfg := memoTestConfig()
+	exact, err := Figure4(cfg, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Adaptive = true
+	cold, err := Figure4(cfg, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := fidelity.Snapshot().Hits
+	warm, err := Figure4(cfg, 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fidelity.Snapshot().Hits <= before {
+		t.Error("warm adaptive Figure4 took no sweep-memo hits")
+	}
+	for _, pair := range []struct {
+		name string
+		got  *Figure4Result
+	}{{"adaptive-cold", cold}, {"adaptive-warm", warm}} {
+		if !reflect.DeepEqual(exact.MissRates, pair.got.MissRates) {
+			t.Errorf("%s Figure4 miss rates differ from exact mode", pair.name)
+		}
+		if !reflect.DeepEqual(exact.Points, pair.got.Points) {
+			t.Errorf("%s Figure4 area points differ from exact mode", pair.name)
+		}
+	}
+}

@@ -78,11 +78,17 @@ type Fleet struct {
 	// spans[u] is unique machine u's span power tables, shared with the
 	// source BlockTable so levels built anywhere serve everywhere.
 	spans []*SpanTable
-	// off is the cumulative state count, len(unique)+1.
+	// off is the cumulative state count, len(unique)+1 (padding slots
+	// included).
 	off []uint32
 	// idx maps each input machine to its unique slot: idx[i] == idx[j]
 	// iff machines i and j are structurally identical.
 	idx []int32
+	// nuniq is the number of real unique machines; slots beyond it are
+	// lane padding (copies of the last unique table) that round the
+	// packed slot count up to an eight-lane group so the whole pass runs
+	// in the wide spanOct loop. No idx entry maps to a padding slot.
+	nuniq int
 }
 
 // NewFleet compiles a fleet from machines. Every machine must be valid
@@ -135,6 +141,20 @@ func FleetOfTables(tabs []*BlockTable) *Fleet {
 		}
 		f.idx[i] = slot
 	}
+	f.nuniq = len(uniq)
+	// Pad the packed slots to an eight-lane group: the single-lane span
+	// walker costs ~4x a spanOct lane per machine (one serially-dependent
+	// chain exposes the full table-load latency every byte), so whenever
+	// the tail would put three or more machines on it, duplicating the
+	// last table into the spare lanes is cheaper than walking the tail
+	// serially. Padding slots produce no results (idx never points at
+	// them) and two or fewer tail machines stay on the scalar path, where
+	// padding would cost more than it saves.
+	if tail := len(uniq) % 8; tail >= 3 {
+		for len(uniq)%8 != 0 {
+			uniq = append(uniq, uniq[len(uniq)-1])
+		}
+	}
 	f.off = make([]uint32, len(uniq)+1)
 	total := 0
 	for u, t := range uniq {
@@ -161,8 +181,12 @@ func FleetOfTables(tabs []*BlockTable) *Fleet {
 func (f *Fleet) Len() int { return len(f.idx) }
 
 // Unique returns the number of structurally distinct machines — the
-// number of state walks a fleet pass actually performs.
-func (f *Fleet) Unique() int { return len(f.off) - 1 }
+// number of state walks whose results a fleet pass actually uses.
+func (f *Fleet) Unique() int { return f.nuniq }
+
+// slots returns the packed slot count including lane padding — the walk
+// width of the superstep kernels.
+func (f *Fleet) slots() int { return len(f.off) - 1 }
 
 // Deduped returns how many input machines were folded into another
 // slot's walk.
@@ -211,7 +235,7 @@ func (f *Fleet) RunParallelSpans(workers int, words []uint64, n, skip int, runs 
 		runs = nil
 	}
 	n, skip = clampSpan(words, n, skip)
-	nu := f.Unique()
+	nu := f.slots()
 	states := make([]uint8, nu)
 	correct := make([]int, nu)
 	chunks := f.chunks()
@@ -238,7 +262,7 @@ func (f *Fleet) RunParallelSpans(workers int, words []uint64, n, skip int, runs 
 // than one lane group, which is also the kernel's irreducible cache
 // unit.
 func (f *Fleet) chunks() [][2]int32 {
-	nu := f.Unique()
+	nu := f.slots()
 	var out [][2]int32
 	lo, bytes := 0, 0
 	for u := 0; u < nu; u++ {

@@ -6,6 +6,17 @@
 // behavioural model, where a search must evaluate thousands of candidate
 // machines against the trace; this package provides that baseline so the
 // claim can be measured (see the BenchmarkSearchVsDesigner ablation).
+//
+// Two evaluators share the search loop. The exact evaluator scores
+// every genome on the full trace in one fleet pass per cohort and is
+// the differential oracle. The adaptive evaluator (Options.Adaptive)
+// races cohorts through the fidelity ladder — representative windows
+// first, escalating statistical survivors to exact full-trace scoring —
+// and memoizes every exact score by machine structure, so duplicate
+// cohort members, re-emitted children, and repeat searches over the
+// same trace never re-simulate. Estimates only ever steer selection
+// pressure: every elite slot, and therefore the reported Best and
+// BestMissRate, is re-scored at full fidelity before it is trusted.
 package gasearch
 
 import (
@@ -13,6 +24,7 @@ import (
 	"math/rand"
 
 	"fsmpredict/internal/bitseq"
+	"fsmpredict/internal/fidelity"
 	"fsmpredict/internal/fsm"
 )
 
@@ -28,7 +40,16 @@ type Options struct {
 	MutationRate float64
 	// Elite is how many top genomes survive unchanged (default 2).
 	Elite int
-	// TournamentK is the tournament selection size (default 3).
+	// Pool is the parent-pool size: each generation's children are bred
+	// by tournaments within the top-Pool genomes (truncation selection,
+	// the successive-halving shape). Keeping breeding inside an
+	// exactly-scored top set is what lets the adaptive racer prune
+	// losers on estimates without touching the trajectory: a pruned
+	// candidate's fitness is only ever compared against other losers.
+	// Default max(Elite, Population/8).
+	Pool int
+	// TournamentK is the tournament selection size within the parent
+	// pool (default 3).
 	TournamentK int
 	// Seed makes the search reproducible.
 	Seed int64
@@ -38,6 +59,13 @@ type Options struct {
 	// machine chunks over (<= 0 means GOMAXPROCS). Fleet chunks are
 	// independent, so results are bit-identical for any setting.
 	Workers int
+	// Adaptive enables staged-fidelity candidate racing with the
+	// persistent fitness memo (internal/fidelity). Default off — the
+	// exact evaluator is the differential oracle the adaptive path is
+	// tested against. Adaptive requires the block kernel; with the
+	// kernel disabled the search silently runs exact. Best and
+	// BestMissRate are always exact full-trace values in either mode.
+	Adaptive bool
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +81,19 @@ func (o Options) withDefaults() Options {
 	if o.Elite <= 0 {
 		o.Elite = 2
 	}
+	if o.Pool <= 0 {
+		// P/8 parents, capped at 8: past that, tournaments of K within
+		// the pool almost never reach the extra members, and every pool
+		// slot is a full-fidelity evaluation the adaptive ladder cannot
+		// skip.
+		o.Pool = o.Population / 8
+		if o.Pool > 8 {
+			o.Pool = 8
+		}
+		if o.Pool < o.Elite {
+			o.Pool = o.Elite
+		}
+	}
 	if o.TournamentK <= 0 {
 		o.TournamentK = 3
 	}
@@ -66,26 +107,61 @@ func (o Options) validate() error {
 	if o.Elite >= o.Population {
 		return fmt.Errorf("gasearch: elite %d must be below population %d", o.Elite, o.Population)
 	}
+	if o.Pool < o.Elite || o.Pool >= o.Population {
+		return fmt.Errorf("gasearch: pool %d out of range [elite %d, population %d)",
+			o.Pool, o.Elite, o.Population)
+	}
 	return nil
+}
+
+// RacingStats reports the adaptive evaluator's activity for one search
+// (all zero when Adaptive is off).
+type RacingStats struct {
+	// LadderUsed reports whether the trace was long enough for the
+	// staged ladder (short traces score exact even in adaptive mode).
+	LadderUsed bool
+	// RungEvals, Pruned and Escalated are the ladder's tallies.
+	RungEvals int
+	Pruned    int
+	Escalated int
+	// MemoHits counts genomes scored from the fitness memo.
+	MemoHits int
+	// Deduped counts genomes that shared a structurally identical
+	// cohort member's single evaluation.
+	Deduped int
 }
 
 // Result reports the outcome of a search.
 type Result struct {
 	// Best is the fittest machine found.
 	Best *fsm.Machine
-	// BestMissRate is its misprediction rate on the training trace.
+	// BestMissRate is its misprediction rate on the training trace,
+	// always measured at full fidelity.
 	BestMissRate float64
 	// PerGeneration records the best miss rate after each generation
-	// (non-increasing thanks to elitism).
+	// (non-increasing thanks to elitism; always full-fidelity values).
 	PerGeneration []float64
-	// Evaluations counts fitness evaluations performed.
+	// Evaluations counts fitness evaluations requested, including those
+	// served by the memo or folded into a duplicate's score.
 	Evaluations int
+	// Racing describes the adaptive evaluator's work.
+	Racing RacingStats
 }
 
 type genome struct {
 	m    *fsm.Machine
 	miss float64
+	// exact reports whether miss is a full-fidelity measurement rather
+	// than a ladder estimate. The exact evaluator always sets it.
+	exact bool
 }
+
+// tractionPatience is how many consecutive low-pruning generations the
+// adaptive evaluator tolerates before abandoning the ladder for the
+// rest of the search (the memo and cohort dedup keep working): on
+// workloads where the confidence bounds never separate candidates,
+// racing is pure overhead and the honest move is to stop.
+const tractionPatience = 2
 
 // Search evolves Moore machines of the configured size to minimize the
 // misprediction rate on the trace.
@@ -114,27 +190,43 @@ func Search(trace []bool, opt Options) (*Result, error) {
 	// changes, so the span kernel's index is hoisted out of the loop.
 	runs := bitseq.Runs(words, n, bitseq.DefaultMinRunBytes)
 
+	// compileBatch builds each genome's closure table, compiling every
+	// distinct structure once: duplicate cohort members (crossover
+	// copies, re-converged mutants) share a table by canonical-bytes
+	// identity, and the fleet pass then also walks them once.
+	var keyBuf []byte
+	compileBatch := func(batch []*genome) ([]*fsm.BlockTable, bool) {
+		tabs := make([]*fsm.BlockTable, len(batch))
+		byKey := make(map[string]*fsm.BlockTable, len(batch))
+		for i, g := range batch {
+			keyBuf = g.m.AppendCanonical(keyBuf[:0])
+			if t, ok := byKey[string(keyBuf)]; ok {
+				tabs[i] = t
+				continue
+			}
+			t, err := fsm.CompileBlockTable(g.m)
+			if err != nil {
+				return nil, false
+			}
+			byKey[string(keyBuf)] = t
+			tabs[i] = t
+		}
+		return tabs, true
+	}
+
+	// evaluateAll is the exact evaluator and the differential oracle:
+	// every genome's fitness is its full-trace miss rate.
 	evaluateAll := func(batch []*genome) {
 		res.Evaluations += len(batch)
 		if fsm.BlockKernelEnabled() {
 			// Compile directly rather than through the shared block
 			// cache: a search burns through thousands of transient
 			// machines that would evict the serving workload's entries.
-			tabs := make([]*fsm.BlockTable, len(batch))
-			ok := true
-			for i, g := range batch {
-				t, err := fsm.CompileBlockTable(g.m)
-				if err != nil {
-					ok = false
-					break
-				}
-				tabs[i] = t
-			}
-			if ok {
+			if tabs, ok := compileBatch(batch); ok {
 				fl := fsm.FleetOfTables(tabs)
 				rs := fl.RunParallelSpans(opt.Workers, words, n, opt.Warmup, runs)
 				for i, g := range batch {
-					g.miss = rs[i].MissRate()
+					g.miss, g.exact = rs[i].MissRate(), true
 				}
 				return
 			}
@@ -142,7 +234,145 @@ func Search(trace []bool, opt Options) (*Result, error) {
 		// Scalar oracle: per-genome bit-at-a-time simulation. The
 		// kernel on/off differential test pins the two paths together.
 		for _, g := range batch {
-			g.miss = g.m.Simulate(trace, opt.Warmup).MissRate()
+			g.miss, g.exact = g.m.Simulate(trace, opt.Warmup).MissRate(), true
+		}
+	}
+
+	// Adaptive plumbing. The ladder is nil when the trace is too short
+	// to stage, in which case adaptive mode degenerates to exact
+	// scoring through the memo — same fitness values, same trajectory.
+	adaptive := opt.Adaptive && fsm.BlockKernelEnabled()
+	var (
+		ladder *fidelity.Ladder
+		digest fidelity.Key
+	)
+	if adaptive {
+		digest = fidelity.TraceDigest(words, n)
+		ladder = fidelity.NewLadder(words, n, runs, fidelity.LadderConfig{
+			Warmup:  opt.Warmup,
+			Workers: opt.Workers,
+			Seed:    opt.Seed,
+		})
+		res.Racing.LadderUsed = ladder != nil
+	}
+
+	// evaluateAdaptive scores a cohort through memo, dedup, and — when
+	// useLadder — the staged ladder, racing for the cohort's top-Pool
+	// slots against the anchors (the carried elites' exact misses, which
+	// compete for the same slots). With useLadder false everything
+	// scores at full fidelity. It returns how many distinct machines
+	// were raced and how many of those were pruned, for the traction
+	// tracker. Only exact misses enter the memo.
+	evaluateAdaptive := func(batch []*genome, anchors []float64, useLadder bool) (raced, prunedN int) {
+		res.Evaluations += len(batch)
+		type slot struct {
+			key fidelity.Key
+			gs  []*genome
+		}
+		var slots []*slot
+		index := make(map[fidelity.Key]*slot, len(batch))
+		// Full-capacity clamp: appends below copy rather than scribbling
+		// on the caller's backing array.
+		anchors = anchors[:len(anchors):len(anchors)]
+		for _, g := range batch {
+			k := fidelity.FitnessKey(g.m, digest, opt.Warmup)
+			if s, ok := index[k]; ok {
+				s.gs = append(s.gs, g)
+				res.Racing.Deduped++
+				continue
+			}
+			if miss, ok := fidelity.MemoGet(k); ok {
+				g.miss, g.exact = miss, true
+				res.Racing.MemoHits++
+				// Memo hits are cohort members with exact scores: they
+				// compete for the same top-Pool slots, so their values
+				// anchor (tighten) the racing bar for free.
+				anchors = append(anchors, miss)
+				continue
+			}
+			s := &slot{key: k, gs: []*genome{g}}
+			index[k] = s
+			slots = append(slots, s)
+		}
+		if len(slots) == 0 {
+			return 0, 0
+		}
+		tabs := make([]*fsm.BlockTable, len(slots))
+		for i, s := range slots {
+			t, err := fsm.CompileBlockTable(s.gs[0].m)
+			if err != nil {
+				// Unreachable for generated genomes (<= 64 valid
+				// states); fall back to the scalar oracle defensively.
+				for _, sl := range slots {
+					for _, g := range sl.gs {
+						g.miss, g.exact = g.m.Simulate(trace, opt.Warmup).MissRate(), true
+						fidelity.MemoPut(sl.key, g.miss)
+					}
+				}
+				return 0, 0
+			}
+			tabs[i] = t
+		}
+		if useLadder && ladder != nil {
+			// keep = Pool exactly: the racing bar is the Pool-th smallest
+			// UCB, which (bounds holding) upper-bounds the Pool-th best
+			// true value, so nothing prunable can belong in the pool. The
+			// slack-inflated radii are the safety margin for the windows'
+			// non-iid reality.
+			vs := ladder.RaceTop(tabs, opt.Pool, anchors)
+			for i, s := range slots {
+				v := vs[i]
+				if v.Exact {
+					fidelity.MemoPut(s.key, v.Miss)
+				} else {
+					prunedN++
+				}
+				for _, g := range s.gs {
+					g.miss, g.exact = v.Miss, v.Exact
+				}
+			}
+			return len(slots), prunedN
+		}
+		var misses []float64
+		if ladder != nil {
+			misses = ladder.ScoreExact(tabs)
+		} else {
+			fl := fsm.FleetOfTables(tabs)
+			rs := fl.RunParallelSpans(opt.Workers, words, n, opt.Warmup, runs)
+			misses = make([]float64, len(rs))
+			for i, r := range rs {
+				misses[i] = r.MissRate()
+			}
+		}
+		for i, s := range slots {
+			fidelity.MemoPut(s.key, misses[i])
+			for _, g := range s.gs {
+				g.miss, g.exact = misses[i], true
+			}
+		}
+		return 0, 0
+	}
+
+	// ensureTopExact upgrades every estimate in the sorted population's
+	// top k slots to a full-fidelity measurement and re-sorts, repeating
+	// until the band is stable. This is what makes pruning a pure
+	// skip-ahead: estimates can rank losers among themselves, but
+	// nothing inexact can enter the parent pool, become an elite, a
+	// reported per-generation best, or the champion. It terminates
+	// because genomes only ever move from estimate to exact.
+	ensureTopExact := func(pop []*genome, k int) {
+		for {
+			var inexact []*genome
+			for _, g := range pop[:k] {
+				if !g.exact {
+					inexact = append(inexact, g)
+				}
+			}
+			if len(inexact) == 0 {
+				return
+			}
+			evaluateAdaptive(inexact, nil, false)
+			sortByFitness(pop)
 		}
 	}
 
@@ -150,31 +380,76 @@ func Search(trace []bool, opt Options) (*Result, error) {
 	for i := range pop {
 		pop[i] = &genome{m: randomMachine(rng, opt.States)}
 	}
-	evaluateAll(pop)
-	sortByFitness(pop)
+	// The initial cohort races like any other: it competes only for the
+	// first parent pool, so losers can keep windowed estimates, and a
+	// random population's spread dwarfs the window radius — this is where
+	// pruning bites hardest. ensureTopExact then settles the pool.
+	if adaptive {
+		evaluateAdaptive(pop, nil, ladder != nil)
+		sortByFitness(pop)
+		ensureTopExact(pop, opt.Pool)
+	} else {
+		evaluateAll(pop)
+		sortByFitness(pop)
+	}
 
+	lowTraction := 0
 	for gen := 0; gen < opt.Generations; gen++ {
 		next := make([]*genome, 0, opt.Population)
 		for i := 0; i < opt.Elite; i++ {
 			next = append(next, pop[i])
 		}
-		// Children's fitness is first read by the NEXT generation's
-		// tournaments, so the whole cohort can be generated up front and
-		// scored by one fleet pass.
+		// Children are bred by tournaments within the exactly-scored
+		// top-Pool parent pool. Their fitness is first read by the NEXT
+		// generation's pool selection, so the whole cohort can be
+		// generated up front and scored by one fleet pass.
+		pool := pop[:opt.Pool]
 		for len(next) < opt.Population {
-			a := tournament(rng, pop, opt.TournamentK)
-			b := tournament(rng, pop, opt.TournamentK)
+			a := tournament(rng, pool, opt.TournamentK)
+			b := tournament(rng, pool, opt.TournamentK)
 			child := &genome{m: crossover(rng, a.m, b.m)}
 			mutate(rng, child.m, opt.MutationRate)
 			next = append(next, child)
 		}
-		evaluateAll(next[opt.Elite:])
-		pop = next
-		sortByFitness(pop)
+		if adaptive {
+			// The carried elites anchor the racing bar (they hold pool
+			// slots with exact scores), and the ladder is dropped for
+			// good once pruning shows no traction for a few generations.
+			useLadder := ladder != nil && lowTraction < tractionPatience
+			anchors := make([]float64, opt.Elite)
+			for i := 0; i < opt.Elite; i++ {
+				anchors[i] = pop[i].miss
+			}
+			raced, prunedN := evaluateAdaptive(next[opt.Elite:], anchors, useLadder)
+			if useLadder && raced > 0 {
+				if prunedN*5 < raced {
+					lowTraction++
+				} else {
+					lowTraction = 0
+				}
+			}
+			pop = next
+			sortByFitness(pop)
+			// The whole next parent pool must be exact before anything
+			// reads it: racing already escalated every plausible member,
+			// so this loop converges immediately unless a confidence
+			// bound was violated.
+			ensureTopExact(pop, opt.Pool)
+		} else {
+			evaluateAll(next[opt.Elite:])
+			pop = next
+			sortByFitness(pop)
+		}
 		res.PerGeneration = append(res.PerGeneration, pop[0].miss)
 	}
 	res.Best = pop[0].m
 	res.BestMissRate = pop[0].miss
+	if ladder != nil {
+		st := ladder.Stats()
+		res.Racing.RungEvals = st.RungEvals
+		res.Racing.Pruned = st.Pruned
+		res.Racing.Escalated = st.Escalated
+	}
 	return res, nil
 }
 
@@ -240,13 +515,23 @@ func tournament(rng *rand.Rand, pop []*genome, k int) *genome {
 	return best
 }
 
-// sortByFitness orders genomes best-first, breaking ties by a stable
+// lessFit orders genomes best-first: by miss rate, ties broken by the
+// structural total order so equal-fitness populations sort identically
+// no matter how they were generated.
+func lessFit(a, b *genome) bool {
+	if a.miss != b.miss {
+		return a.miss < b.miss
+	}
+	return fsm.CompareStructural(a.m, b.m) < 0
+}
+
+// sortByFitness orders genomes best-first, breaking ties by the stable
 // structural key so runs are reproducible.
 func sortByFitness(pop []*genome) {
 	// Insertion sort: populations are small and mostly sorted after the
 	// first generation.
 	for i := 1; i < len(pop); i++ {
-		for j := i; j > 0 && pop[j].miss < pop[j-1].miss; j-- {
+		for j := i; j > 0 && lessFit(pop[j], pop[j-1]); j-- {
 			pop[j], pop[j-1] = pop[j-1], pop[j]
 		}
 	}

@@ -11,6 +11,7 @@ import (
 	"fsmpredict/internal/bitseq"
 	"fsmpredict/internal/core"
 	"fsmpredict/internal/fsm"
+	"fsmpredict/internal/gasearch"
 )
 
 // maxBodyBytes bounds request bodies; the largest legitimate payload is
@@ -103,6 +104,79 @@ type SimulateResponse struct {
 	MissRate float64 `json:"miss_rate"`
 }
 
+// SearchRequest is the wire form of POST /v1/search: a genetic search
+// for a small predictor FSM over the outcome stream, the measured
+// baseline the paper's constructive flow is compared against. Exactly
+// one of Trace and Workload supplies the stream.
+type SearchRequest struct {
+	// Trace is the outcome string to search against.
+	Trace string `json:"trace,omitempty"`
+	// Workload references a stored workload trace instead.
+	Workload *TraceRefJSON `json:"workload,omitempty"`
+	// Options selects the search parameters; see SearchOptionsJSON.
+	Options SearchOptionsJSON `json:"options"`
+}
+
+// SearchOptionsJSON is the wire form of gasearch.Options. Zero values
+// mean the library defaults; Mode is the search-mode knob.
+type SearchOptionsJSON struct {
+	// States is the fixed machine size (2..64). Required.
+	States int `json:"states"`
+	// Population and Generations size the evolution (defaults 64, 50;
+	// capped server-side).
+	Population  int `json:"population,omitempty"`
+	Generations int `json:"generations,omitempty"`
+	// Seed makes the search reproducible.
+	Seed int64 `json:"seed,omitempty"`
+	// Warmup outcomes at the head of the trace are not scored.
+	Warmup int `json:"warmup,omitempty"`
+	// Mode selects the evaluator: "exact" (default) scores every genome
+	// on the full trace; "adaptive" races cohorts through the fidelity
+	// ladder with the persistent fitness memo. Best and miss_rate are
+	// exact full-trace values in either mode.
+	Mode string `json:"mode,omitempty"`
+}
+
+// Options converts the wire form to search options, resolving Mode.
+func (o SearchOptionsJSON) Options() (gasearch.Options, error) {
+	opt := gasearch.Options{
+		States:      o.States,
+		Population:  o.Population,
+		Generations: o.Generations,
+		Seed:        o.Seed,
+		Warmup:      o.Warmup,
+	}
+	switch o.Mode {
+	case "", "exact":
+	case "adaptive":
+		opt.Adaptive = true
+	default:
+		return opt, fmt.Errorf("%w: unknown search mode %q (want \"exact\" or \"adaptive\")", ErrInvalid, o.Mode)
+	}
+	return opt, nil
+}
+
+// SearchResponse is the wire form of a search result. The racing block
+// reports the adaptive evaluator's activity (all zero in exact mode).
+type SearchResponse struct {
+	// Machine is the champion in the canonical JSON encoding.
+	Machine *fsm.Machine `json:"machine"`
+	// States is the champion's machine size.
+	States int `json:"states"`
+	// MissRate is its full-fidelity training miss rate.
+	MissRate float64 `json:"miss_rate"`
+	// Evaluations counts fitness evaluations requested.
+	Evaluations int `json:"evaluations"`
+	Racing      struct {
+		LadderUsed bool `json:"ladder_used"`
+		RungEvals  int  `json:"rung_evals"`
+		Pruned     int  `json:"pruned"`
+		Escalated  int  `json:"escalated"`
+		MemoHits   int  `json:"memo_hits"`
+		Deduped    int  `json:"deduped"`
+	} `json:"racing"`
+}
+
 // errorResponse is the wire form of any failure.
 type errorResponse struct {
 	Error string `json:"error"`
@@ -158,6 +232,7 @@ func requestTraceGrouped(s *Service, inline string, ref *TraceRefJSON) (*bitseq.
 //
 //	POST /v1/design         — trace + options → machine JSON, VHDL, area, stats
 //	POST /v1/simulate       — machine + trace → prediction accuracy
+//	POST /v1/search         — trace + options → evolved predictor (mode: exact|adaptive)
 //	POST /v1/batch/design   — NDJSON stream of design requests, coalesced
 //	POST /v1/batch/simulate — NDJSON stream of simulate requests, coalesced
 //	GET  /healthz           — liveness probe
@@ -215,6 +290,40 @@ func NewHandler(s *Service) http.Handler {
 			Accuracy: res.Accuracy(),
 			MissRate: res.MissRate(),
 		})
+	})
+	mux.HandleFunc("POST /v1/search", func(w http.ResponseWriter, r *http.Request) {
+		var req SearchRequest
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeError(w, fmt.Errorf("%w: %v", ErrInvalid, err))
+			return
+		}
+		bits, err := requestTrace(s, req.Trace, req.Workload)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		opt, err := req.Options.Options()
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		res, err := s.Search(bits, opt)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		var resp SearchResponse
+		resp.Machine = res.Best
+		resp.States = res.Best.NumStates()
+		resp.MissRate = res.BestMissRate
+		resp.Evaluations = res.Evaluations
+		resp.Racing.LadderUsed = res.Racing.LadderUsed
+		resp.Racing.RungEvals = res.Racing.RungEvals
+		resp.Racing.Pruned = res.Racing.Pruned
+		resp.Racing.Escalated = res.Racing.Escalated
+		resp.Racing.MemoHits = res.Racing.MemoHits
+		resp.Racing.Deduped = res.Racing.Deduped
+		writeJSON(w, http.StatusOK, resp)
 	})
 	if s.disk != nil && s.cacheServe {
 		// Peer-warming plane (operator opt-in): a cold process lists this

@@ -195,6 +195,75 @@ func waitFor(t *testing.T, what string, cond func() bool) {
 	}
 }
 
+// TestHTTPSearchModes drives POST /v1/search through both evaluator
+// modes on the same trace and seed: the adaptive racer must return the
+// exact evaluator's champion and miss rate (the endpoint-level face of
+// the gasearch differential contract), and the fidelity counters must
+// land on /metrics.
+func TestHTTPSearchModes(t *testing.T) {
+	_, srv := newTestServer(t)
+
+	trace := strings.Repeat("1101", 1024)
+	search := func(mode string) SearchResponse {
+		t.Helper()
+		resp := postJSON(t, srv.URL+"/v1/search", SearchRequest{
+			Trace: trace,
+			Options: SearchOptionsJSON{
+				States: 4, Population: 16, Generations: 4, Seed: 7, Mode: mode,
+			},
+		})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("search mode %q status = %d", mode, resp.StatusCode)
+		}
+		return decodeBody[SearchResponse](t, resp)
+	}
+	exact := search("exact")
+	adaptive := search("adaptive")
+	if exact.MissRate != adaptive.MissRate {
+		t.Errorf("adaptive miss rate %v != exact %v", adaptive.MissRate, exact.MissRate)
+	}
+	ej, _ := json.Marshal(exact.Machine)
+	aj, _ := json.Marshal(adaptive.Machine)
+	if string(ej) != string(aj) {
+		t.Errorf("adaptive champion differs from exact:\n%s\n%s", aj, ej)
+	}
+	if exact.States != 4 || adaptive.States != 4 {
+		t.Errorf("champion states = %d/%d, want 4", exact.States, adaptive.States)
+	}
+
+	resp := postJSON(t, srv.URL+"/v1/search", SearchRequest{
+		Trace:   trace,
+		Options: SearchOptionsJSON{States: 4, Mode: "psychic"},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("unknown mode status = %d, want 400", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	mresp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := string(raw)
+	for _, want := range []string{
+		"fsmpredict_search_requests_total 2",
+		"fsmpredict_search_fitness_hits_total",
+		"fsmpredict_search_rung_evals_total",
+		"fsmpredict_search_pruned_total",
+		"fsmpredict_search_escalated_total",
+		"fsmpredict_search_memo_bytes_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("metrics exposition missing %q", want)
+		}
+	}
+}
+
 func TestHTTPHealthAndMetrics(t *testing.T) {
 	_, srv := newTestServer(t)
 	resp, err := http.Get(srv.URL + "/healthz")
